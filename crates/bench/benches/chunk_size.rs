@@ -1,0 +1,40 @@
+//! Chunk-size sweep benches — **Figures 6 and 7**: search cost as a
+//! function of the (uniform) chunk size, on dataset and space queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eff2_bench::fixtures;
+use eff2_core::SearchParams;
+use std::hint::black_box;
+
+const SWEEP: [usize; 4] = [50, 150, 500, 2_000];
+
+fn sweep(c: &mut Criterion, group: &str, queries: &[eff2_descriptor::Vector]) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for leaf in SWEEP {
+        let index = fixtures::sr_index_with_leaf(leaf);
+        g.bench_with_input(BenchmarkId::new("chunk_size", leaf), &index, |b, index| {
+            b.iter(|| {
+                for q in queries {
+                    black_box(index.search(q, &SearchParams::exact(30)).expect("search"));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 6: the chunk-size sweep on dataset queries.
+fn fig6_chunk_size_sweep_dq(c: &mut Criterion) {
+    let queries = fixtures::dq(4).queries;
+    sweep(c, "fig6_chunk_size_sweep_dq", &queries);
+}
+
+/// Figure 7: the chunk-size sweep on space queries.
+fn fig7_chunk_size_sweep_sq(c: &mut Criterion) {
+    let queries = fixtures::sq(4).queries;
+    sweep(c, "fig7_chunk_size_sweep_sq", &queries);
+}
+
+criterion_group!(benches, fig6_chunk_size_sweep_dq, fig7_chunk_size_sweep_sq);
+criterion_main!(benches);

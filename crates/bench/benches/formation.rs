@@ -1,0 +1,105 @@
+//! Chunk-formation benches — **Table 1** (formation cost of each strategy)
+//! and **Figure 1** (chunk-size distribution work), plus the BAG engine
+//! ablation (grid pruning vs the paper's exhaustive scan).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eff2_bag::{Bag, BagConfig, EngineKind};
+use eff2_bench::fixtures;
+use eff2_core::chunkers::{
+    ChunkFormer, HybridChunker, RandomChunker, RoundRobinChunker, SrTreeChunker,
+};
+use eff2_srtree::bulk::centroid_and_radius;
+use std::hint::black_box;
+
+/// Table 1: how long each chunk-forming strategy takes. BAG runs on a
+/// sub-collection (its faithful cost is quadratic — the paper needed 12
+/// days at 5 M).
+fn table1_chunk_formation(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let mut g = c.benchmark_group("table1_chunk_formation");
+    g.sample_size(10);
+
+    g.bench_function("sr_tree", |b| {
+        b.iter(|| black_box(SrTreeChunker { leaf_size: 150 }.form(set)))
+    });
+    g.bench_function("round_robin", |b| {
+        b.iter(|| black_box(RoundRobinChunker { n_chunks: set.len() / 150 }.form(set)))
+    });
+    g.bench_function("random", |b| {
+        b.iter(|| black_box(RandomChunker { n_chunks: set.len() / 150, seed: 1 }.form(set)))
+    });
+    g.bench_function("hybrid", |b| {
+        b.iter(|| black_box(HybridChunker { chunk_size: 150, sweeps: 2, ..HybridChunker::default() }.form(set)))
+    });
+
+    // BAG on a 2k sub-collection to keep the bench bounded.
+    let positions: Vec<usize> = (0..set.len().min(2_000)).collect();
+    let sub = set.subset(&positions);
+    let mpi = BagConfig::estimate_mpi(&sub, 500, 1);
+    g.bench_function("bag_grid_2k", |b| {
+        b.iter(|| {
+            let cfg = BagConfig { mpi, max_passes: 300, ..BagConfig::default() };
+            black_box(Bag::new(&sub, cfg).run_to(sub.len() / 150))
+        })
+    });
+    g.finish();
+}
+
+/// Figure 1's raw material: summarising every chunk (centroid + minimum
+/// bounding radius) — the step the paper found dominating SR-tree index
+/// construction ("the actual tree generation took at most 10 minutes,
+/// while the rest of the time was spent on calculating the centroid and
+/// radius of each chunk").
+fn fig1_largest_chunks(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let partitions = eff2_srtree::bulk::build_leaf_partitions(set, 150);
+    let mut g = c.benchmark_group("fig1_largest_chunks");
+    g.bench_function("summarise_all_chunks", |b| {
+        b.iter(|| {
+            let mut sizes: Vec<(usize, f32)> = partitions
+                .iter()
+                .map(|p| {
+                    let (_, r) = centroid_and_radius(set, p);
+                    (p.len(), r)
+                })
+                .collect();
+            sizes.sort_by(|a, b| b.0.cmp(&a.0));
+            black_box(sizes)
+        })
+    });
+    g.finish();
+}
+
+/// Ablation: the grid candidate engine vs the paper's exhaustive scan.
+/// Identical output; the bench shows the wall-clock gap that substitutes
+/// for the paper's 12-day run.
+fn bag_engine_ablation(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let positions: Vec<usize> = (0..set.len().min(1_200)).collect();
+    let sub = set.subset(&positions);
+    let mpi = BagConfig::estimate_mpi(&sub, 400, 3);
+    let target = sub.len() / 150;
+    let mut g = c.benchmark_group("bag_engine_ablation");
+    g.sample_size(10);
+    for engine in [EngineKind::Pruned, EngineKind::Exhaustive] {
+        g.bench_with_input(
+            BenchmarkId::new("engine", format!("{engine:?}")),
+            &engine,
+            |b, &engine| {
+                b.iter(|| {
+                    let cfg = BagConfig { mpi, engine, max_passes: 300, ..BagConfig::default() };
+                    black_box(Bag::new(&sub, cfg).run_to(target))
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    table1_chunk_formation,
+    fig1_largest_chunks,
+    bag_engine_ablation
+);
+criterion_main!(benches);

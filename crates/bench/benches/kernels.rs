@@ -1,0 +1,116 @@
+//! Kernel micro-benches: the distance kernels every experiment bottoms out
+//! in, the neighbour-set heap, the 100-byte record codec, and the SR-tree
+//! k-NN vs a sequential scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eff2_bench::fixtures;
+use eff2_core::{scan_knn, NeighborSet};
+use eff2_descriptor::{codec, l2_sq, l2_sq_batch, DIM};
+use eff2_srtree::{bulk_build, BulkConfig};
+use std::hint::black_box;
+
+fn distance_kernels(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let q = set.vector_owned(0);
+    let n = set.len().min(4_096);
+    let packed = &set.packed()[..n * DIM];
+    let mut out = vec![0.0f32; n];
+
+    let mut g = c.benchmark_group("distance_kernels");
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("l2_sq_scalar_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for row in packed.chunks_exact(DIM) {
+                let row: &[f32; DIM] = row.try_into().expect("exact");
+                acc += l2_sq(q.as_array(), row);
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("l2_sq_batch", |b| {
+        b.iter(|| {
+            l2_sq_batch(q.as_array(), packed, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.finish();
+}
+
+fn neighbor_set(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let q = set.vector_owned(1);
+    let n = set.len().min(4_096);
+    let mut dists = vec![0.0f32; n];
+    l2_sq_batch(q.as_array(), &set.packed()[..n * DIM], &mut dists);
+
+    let mut g = c.benchmark_group("neighbor_set");
+    g.throughput(Throughput::Elements(n as u64));
+    for k in [10usize, 30, 100] {
+        g.bench_with_input(BenchmarkId::new("offer_stream_k", k), &k, |b, &k| {
+            b.iter(|| {
+                let mut ns = NeighborSet::new(k);
+                for (i, &d) in dists.iter().enumerate() {
+                    ns.offer(i as u32, d);
+                }
+                black_box(ns.sorted_ids())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn record_codec(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let positions: Vec<usize> = (0..set.len().min(2_000)).collect();
+    let sub = set.subset(&positions);
+    let mut buf = Vec::new();
+    codec::write_collection(&sub, &mut buf).expect("encode");
+
+    let mut g = c.benchmark_group("record_codec");
+    g.throughput(Throughput::Bytes(buf.len() as u64));
+    g.bench_function("encode_2k", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(buf.len());
+            codec::write_collection(&sub, &mut out).expect("encode");
+            black_box(out.len())
+        })
+    });
+    g.bench_function("decode_2k", |b| {
+        b.iter(|| black_box(codec::read_collection(&buf[..]).expect("decode").len()))
+    });
+    g.finish();
+}
+
+fn srtree_knn_vs_scan(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let tree = bulk_build(
+        set,
+        BulkConfig {
+            leaf_size: 64,
+            internal_fanout: 16,
+        },
+    );
+    let queries = fixtures::queries(16);
+
+    let mut g = c.benchmark_group("srtree_knn_vs_scan");
+    g.sample_size(20);
+    g.bench_function("srtree_knn30", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(tree.knn(q, 30));
+            }
+        })
+    });
+    g.bench_function("sequential_scan_knn30", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(scan_knn(set, q, 30));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, distance_kernels, neighbor_set, record_codec, srtree_knn_vs_scan);
+criterion_main!(benches);

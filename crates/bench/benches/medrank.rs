@@ -1,0 +1,56 @@
+//! Medrank benches: build cost and query cost of the rank-aggregation
+//! baseline vs the chunk index, at the same k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eff2_bench::fixtures;
+use eff2_core::SearchParams;
+use eff2_medrank::{MedrankIndex, MedrankParams};
+use std::hint::black_box;
+
+fn medrank_build(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let mut g = c.benchmark_group("medrank_build");
+    g.sample_size(10);
+    for lines in [5usize, 9, 15] {
+        g.bench_with_input(BenchmarkId::new("lines", lines), &lines, |b, &lines| {
+            b.iter(|| {
+                black_box(MedrankIndex::build(
+                    set,
+                    MedrankParams {
+                        lines,
+                        ..MedrankParams::default()
+                    },
+                ))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn medrank_vs_chunk_query(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let medrank = MedrankIndex::build(set, MedrankParams::default());
+    let chunked = fixtures::sr_index();
+    let queries = fixtures::queries(8);
+
+    let mut g = c.benchmark_group("medrank_vs_chunk_query");
+    g.sample_size(10);
+    g.bench_function("medrank_knn30", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(medrank.knn(q, 30));
+            }
+        })
+    });
+    g.bench_function("chunk_index_5_chunks_knn30", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(chunked.search(q, &SearchParams::approximate(30, 5)).expect("search"));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, medrank_build, medrank_vs_chunk_query);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Search benches — **Figures 2–5** (approximate search under the
+//! chunks-read and time-budget stop rules, DQ and SQ) and **Table 2**
+//! (search to completion), on both chunk-forming strategies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eff2_bench::fixtures;
+use eff2_core::{SearchParams, StopRule};
+use eff2_storage::diskmodel::VirtualDuration;
+use std::hint::black_box;
+
+fn run_workload(
+    c: &mut Criterion,
+    group: &str,
+    queries: &[eff2_descriptor::Vector],
+    params: SearchParams,
+) {
+    let mut g = c.benchmark_group(group);
+    g.sample_size(10);
+    for (name, index) in [("bag", fixtures::bag_index()), ("sr", fixtures::sr_index())] {
+        g.bench_with_input(BenchmarkId::new("index", name), &index, |b, index| {
+            b.iter(|| {
+                for q in queries {
+                    black_box(index.search(q, &params).expect("search"));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figure 2: chunks-read stop rule on dataset queries.
+fn fig2_chunks_read_dq(c: &mut Criterion) {
+    let queries = fixtures::dq(8).queries;
+    run_workload(c, "fig2_chunks_read_dq", &queries, SearchParams::approximate(30, 5));
+}
+
+/// Figure 3: chunks-read stop rule on space queries.
+fn fig3_chunks_read_sq(c: &mut Criterion) {
+    let queries = fixtures::sq(8).queries;
+    run_workload(c, "fig3_chunks_read_sq", &queries, SearchParams::approximate(30, 5));
+}
+
+/// Figure 4: a virtual-time budget on dataset queries.
+fn fig4_walltime_dq(c: &mut Criterion) {
+    let queries = fixtures::dq(8).queries;
+    let params = SearchParams {
+        k: 30,
+        stop: StopRule::VirtualTime(VirtualDuration::from_ms(500.0)),
+        prefetch_depth: 2,
+        log_snapshots: true,
+    };
+    run_workload(c, "fig4_walltime_dq", &queries, params);
+}
+
+/// Figure 5: a virtual-time budget on space queries.
+fn fig5_walltime_sq(c: &mut Criterion) {
+    let queries = fixtures::sq(8).queries;
+    let params = SearchParams {
+        k: 30,
+        stop: StopRule::VirtualTime(VirtualDuration::from_ms(500.0)),
+        prefetch_depth: 2,
+        log_snapshots: true,
+    };
+    run_workload(c, "fig5_walltime_sq", &queries, params);
+}
+
+/// Table 2: run queries to provable completion.
+fn table2_time_to_completion(c: &mut Criterion) {
+    let dq = fixtures::dq(4).queries;
+    let sq = fixtures::sq(4).queries;
+    let mut g = c.benchmark_group("table2_time_to_completion");
+    g.sample_size(10);
+    for (wl_name, queries) in [("dq", &dq), ("sq", &sq)] {
+        for (ix_name, index) in [("bag", fixtures::bag_index()), ("sr", fixtures::sr_index())] {
+            g.bench_with_input(
+                BenchmarkId::new(ix_name, wl_name),
+                &index,
+                |b, index| {
+                    b.iter(|| {
+                        for q in queries.iter() {
+                            black_box(index.search(q, &SearchParams::exact(30)).expect("search"));
+                        }
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    fig2_chunks_read_dq,
+    fig3_chunks_read_sq,
+    fig4_walltime_dq,
+    fig5_walltime_sq,
+    table2_time_to_completion
+);
+criterion_main!(benches);

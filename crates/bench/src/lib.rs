@@ -1,0 +1,9 @@
+#![warn(missing_docs)]
+
+//! # eff2-bench
+//!
+//! Criterion benchmarks, one group per paper table/figure plus kernel and
+//! ablation benches. See `benches/` for the targets and
+//! [`fixtures`] for the shared bench-scale collection and indexes.
+
+pub mod fixtures;

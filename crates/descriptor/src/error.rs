@@ -1,0 +1,106 @@
+//! Error type for descriptor collection I/O and validation.
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised while encoding, decoding or validating descriptor
+/// collections.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file is not a descriptor collection (bad magic bytes).
+    BadMagic {
+        /// The magic actually found.
+        found: [u8; 4],
+    },
+    /// The format version is newer than this library understands.
+    UnsupportedVersion(u32),
+    /// The file advertises a different dimensionality than [`crate::DIM`].
+    DimensionMismatch {
+        /// Dimensionality recorded in the file.
+        found: u32,
+    },
+    /// The file body is shorter than the header-declared record count needs.
+    Truncated {
+        /// Number of records the header promised.
+        expected_records: u64,
+        /// Number of whole records actually present.
+        found_records: u64,
+    },
+    /// A record contained a non-finite component.
+    NonFiniteComponent {
+        /// Index of the offending record.
+        record: u64,
+    },
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::BadMagic { found } => {
+                write!(f, "not a descriptor collection (magic {found:?})")
+            }
+            Error::UnsupportedVersion(v) => write!(f, "unsupported collection version {v}"),
+            Error::DimensionMismatch { found } => write!(
+                f,
+                "collection has {found}-dimensional descriptors, expected {}",
+                crate::DIM
+            ),
+            Error::Truncated {
+                expected_records,
+                found_records,
+            } => write!(
+                f,
+                "collection truncated: header declares {expected_records} records, \
+                 body holds {found_records}"
+            ),
+            Error::NonFiniteComponent { record } => {
+                write!(f, "record {record} has a non-finite component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = Error::BadMagic { found: *b"nope" };
+        assert!(e.to_string().contains("magic"));
+        let e = Error::Truncated {
+            expected_records: 10,
+            found_records: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains('3'));
+        let e = Error::DimensionMismatch { found: 12 };
+        assert!(e.to_string().contains("12"));
+        assert!(e.to_string().contains("24"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error as _;
+        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

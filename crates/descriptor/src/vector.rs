@@ -1,0 +1,347 @@
+//! The fixed 24-dimensional vector type and its Euclidean distance kernels.
+//!
+//! All of the paper's machinery — the SR-tree, the BAG clustering algorithm,
+//! the chunk ranking and the in-chunk scans — boils down to squared-Euclidean
+//! distance evaluations over 24-dimensional `f32` points, so these kernels
+//! are the hottest code in the workspace. They operate on fixed-size arrays
+//! (`[f32; 24]`) so the compiler can fully unroll and vectorise them, and
+//! they stay in the *squared* domain; callers take the square root only at
+//! API boundaries where a true metric is required.
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensionality of the local image descriptors used throughout the paper.
+pub const DIM: usize = 24;
+
+/// A point in the 24-dimensional descriptor space.
+///
+/// `Vector` is a thin wrapper over `[f32; 24]` that carries the arithmetic
+/// needed by the index structures: component-wise accumulation for centroid
+/// maintenance, scaling, and distance kernels.
+#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Vector(pub [f32; DIM]);
+
+impl std::fmt::Debug for Vector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Print only the first few components; full 24-component dumps drown
+        // test failure output.
+        write!(
+            f,
+            "Vector[{:.3}, {:.3}, {:.3}, …; dim={}]",
+            self.0[0], self.0[1], self.0[2], DIM
+        )
+    }
+}
+
+impl Default for Vector {
+    fn default() -> Self {
+        Vector([0.0; DIM])
+    }
+}
+
+impl Vector {
+    /// The origin.
+    pub const ZERO: Vector = Vector([0.0; DIM]);
+
+    /// Builds a vector whose components are all `value`.
+    pub fn splat(value: f32) -> Self {
+        Vector([value; DIM])
+    }
+
+    /// Borrows the raw components.
+    #[inline]
+    pub fn as_array(&self) -> &[f32; DIM] {
+        &self.0
+    }
+
+    /// Borrows the raw components as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f32] {
+        &self.0
+    }
+
+    /// Builds a vector from a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice.len() != DIM`; this is an internal invariant
+    /// violation everywhere it is used.
+    #[inline]
+    pub fn from_slice(slice: &[f32]) -> Self {
+        let arr: [f32; DIM] = slice.try_into().expect("descriptor slice must have 24 dims");
+        Vector(arr)
+    }
+
+    /// Component-wise addition into `self` (centroid accumulation).
+    #[inline]
+    pub fn add_assign(&mut self, other: &Vector) {
+        for (a, b) in self.0.iter_mut().zip(other.0.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Component-wise subtraction, returning a new vector.
+    #[inline]
+    pub fn sub(&self, other: &Vector) -> Vector {
+        let mut out = [0.0f32; DIM];
+        for ((o, a), b) in out.iter_mut().zip(self.0.iter()).zip(other.0.iter()) {
+            *o = a - b;
+        }
+        Vector(out)
+    }
+
+    /// Scales every component by `k`, returning a new vector.
+    #[inline]
+    pub fn scale(&self, k: f32) -> Vector {
+        let mut out = self.0;
+        for o in out.iter_mut() {
+            *o *= k;
+        }
+        Vector(out)
+    }
+
+    /// Squared Euclidean norm.
+    #[inline]
+    pub fn norm_sq(&self) -> f32 {
+        self.0.iter().map(|x| x * x).sum()
+    }
+
+    /// Euclidean norm (the "total length" the paper's alternative outlier
+    /// filter thresholds on).
+    #[inline]
+    pub fn norm(&self) -> f32 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    #[inline]
+    pub fn dist_sq(&self, other: &Vector) -> f32 {
+        l2_sq(&self.0, &other.0)
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Vector) -> f32 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// The component-wise mean of `vectors`.
+    ///
+    /// Accumulates in `f64` so that centroids of very large clusters (the
+    /// paper's biggest BAG cluster holds over a million descriptors) do not
+    /// drift from `f32` rounding.
+    ///
+    /// Returns [`Vector::ZERO`] for an empty input.
+    pub fn mean<'a, I>(vectors: I) -> Vector
+    where
+        I: IntoIterator<Item = &'a Vector>,
+    {
+        let mut acc = [0.0f64; DIM];
+        let mut n = 0usize;
+        for v in vectors {
+            for (a, x) in acc.iter_mut().zip(v.0.iter()) {
+                *a += f64::from(*x);
+            }
+            n += 1;
+        }
+        if n == 0 {
+            return Vector::ZERO;
+        }
+        let inv = 1.0 / n as f64;
+        let mut out = [0.0f32; DIM];
+        for (o, a) in out.iter_mut().zip(acc.iter()) {
+            *o = (a * inv) as f32;
+        }
+        Vector(out)
+    }
+}
+
+impl From<[f32; DIM]> for Vector {
+    fn from(arr: [f32; DIM]) -> Self {
+        Vector(arr)
+    }
+}
+
+impl std::ops::Index<usize> for Vector {
+    type Output = f32;
+    #[inline]
+    fn index(&self, i: usize) -> &f32 {
+        &self.0[i]
+    }
+}
+
+impl std::ops::IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f32 {
+        &mut self.0[i]
+    }
+}
+
+/// Squared Euclidean distance between two 24-dimensional points.
+///
+/// This is *the* hot kernel: every chunk scan evaluates it once per stored
+/// descriptor. Fixed-size arrays let LLVM unroll the loop completely.
+#[inline]
+pub fn l2_sq(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
+    let mut acc = 0.0f32;
+    for i in 0..DIM {
+        let d = a[i] - b[i];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Euclidean distance between two 24-dimensional points.
+#[inline]
+pub fn l2(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
+    l2_sq(a, b).sqrt()
+}
+
+/// Squared Euclidean distance between a query and a flat slice of packed
+/// vectors, writing one output per packed vector.
+///
+/// `packed.len()` must be a multiple of [`DIM`]; `out` must hold
+/// `packed.len() / DIM` elements. Operating on the packed layout lets chunk
+/// scans avoid any per-descriptor indirection.
+pub fn l2_sq_batch(query: &[f32; DIM], packed: &[f32], out: &mut [f32]) {
+    assert_eq!(packed.len() % DIM, 0, "packed vector data must be a multiple of DIM");
+    assert_eq!(out.len(), packed.len() / DIM, "output length mismatch");
+    for (row, o) in packed.chunks_exact(DIM).zip(out.iter_mut()) {
+        // chunks_exact guarantees row.len() == DIM, so the array conversion
+        // cannot fail and the compiler removes the bounds checks.
+        let row: &[f32; DIM] = row.try_into().expect("chunks_exact yields DIM-sized rows");
+        *o = l2_sq(query, row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(fill: impl Fn(usize) -> f32) -> Vector {
+        let mut arr = [0.0f32; DIM];
+        for (i, a) in arr.iter_mut().enumerate() {
+            *a = fill(i);
+        }
+        Vector(arr)
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let a = v(|i| i as f32 * 0.5);
+        assert_eq!(a.dist_sq(&a), 0.0);
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn unit_axis_distance() {
+        let a = Vector::ZERO;
+        let mut b = Vector::ZERO;
+        b[3] = 1.0;
+        assert_eq!(a.dist_sq(&b), 1.0);
+        assert_eq!(a.dist(&b), 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = v(|i| (i as f32).sin());
+        let b = v(|i| (i as f32).cos());
+        assert_eq!(a.dist_sq(&b), b.dist_sq(&a));
+    }
+
+    #[test]
+    fn known_distance() {
+        // 24 components each differing by 2 → squared distance 24 * 4 = 96.
+        let a = Vector::splat(1.0);
+        let b = Vector::splat(3.0);
+        assert_eq!(a.dist_sq(&b), 96.0);
+        assert!((a.dist(&b) - 96.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_of_two_points_is_midpoint() {
+        let a = Vector::splat(0.0);
+        let b = Vector::splat(2.0);
+        let m = Vector::mean([&a, &b]);
+        assert_eq!(m, Vector::splat(1.0));
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Vector::mean(std::iter::empty()), Vector::ZERO);
+    }
+
+    #[test]
+    fn mean_is_stable_for_many_points() {
+        // 100k copies of the same point must average back to exactly that
+        // point (f64 accumulation).
+        let p = v(|i| 1.0 + i as f32 * 0.125);
+        let points: Vec<Vector> = vec![p; 100_000];
+        let m = Vector::mean(points.iter());
+        for i in 0..DIM {
+            assert!((m[i] - p[i]).abs() < 1e-5, "dim {i}: {} vs {}", m[i], p[i]);
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_kernel() {
+        let q = v(|i| i as f32 * 0.1);
+        let rows: Vec<Vector> = (0..17).map(|r| v(|i| (r * 31 + i) as f32 * 0.01)).collect();
+        let mut packed = Vec::new();
+        for r in &rows {
+            packed.extend_from_slice(r.as_slice());
+        }
+        let mut out = vec![0.0f32; rows.len()];
+        l2_sq_batch(q.as_array(), &packed, &mut out);
+        for (r, o) in rows.iter().zip(out.iter()) {
+            assert_eq!(*o, q.dist_sq(r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of DIM")]
+    fn batch_rejects_ragged_input() {
+        let q = [0.0f32; DIM];
+        let packed = vec![0.0f32; DIM + 1];
+        let mut out = vec![0.0f32; 1];
+        l2_sq_batch(&q, &packed, &mut out);
+    }
+
+    #[test]
+    fn sub_and_scale() {
+        let a = Vector::splat(4.0);
+        let b = Vector::splat(1.0);
+        assert_eq!(a.sub(&b), Vector::splat(3.0));
+        assert_eq!(a.scale(0.25), Vector::splat(1.0));
+    }
+
+    #[test]
+    fn norm_of_axis_vectors() {
+        let mut a = Vector::ZERO;
+        a[0] = 3.0;
+        a[1] = 4.0;
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.norm(), 5.0);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut acc = Vector::ZERO;
+        acc.add_assign(&Vector::splat(1.5));
+        acc.add_assign(&Vector::splat(0.5));
+        assert_eq!(acc, Vector::splat(2.0));
+    }
+
+    #[test]
+    fn from_slice_roundtrip() {
+        let a = v(|i| i as f32);
+        let b = Vector::from_slice(a.as_slice());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "24 dims")]
+    fn from_slice_rejects_wrong_len() {
+        Vector::from_slice(&[1.0, 2.0]);
+    }
+}

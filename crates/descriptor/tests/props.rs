@@ -1,0 +1,106 @@
+//! Property-based tests for the descriptor substrate: metric axioms,
+//! codec round-trips, and statistics invariants.
+
+use eff2_descriptor::{codec, Descriptor, DescriptorSet, DimensionStats, TrimmedRanges, Vector, DIM};
+use proptest::prelude::*;
+
+fn arb_vector() -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-1000.0f32..1000.0, DIM)
+        .prop_map(|v| Vector::from_slice(&v))
+}
+
+fn arb_set(max: usize) -> impl Strategy<Value = DescriptorSet> {
+    proptest::collection::vec(arb_vector(), 1..max).prop_map(|vs| {
+        vs.into_iter()
+            .enumerate()
+            .map(|(i, v)| Descriptor::new(i as u32, v))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn distance_non_negative(a in arb_vector(), b in arb_vector()) {
+        prop_assert!(a.dist_sq(&b) >= 0.0);
+    }
+
+    #[test]
+    fn distance_symmetric(a in arb_vector(), b in arb_vector()) {
+        prop_assert_eq!(a.dist_sq(&b), b.dist_sq(&a));
+    }
+
+    #[test]
+    fn distance_identity(a in arb_vector()) {
+        prop_assert_eq!(a.dist_sq(&a), 0.0);
+    }
+
+    #[test]
+    fn triangle_inequality(a in arb_vector(), b in arb_vector(), c in arb_vector()) {
+        let ab = a.dist(&b);
+        let bc = b.dist(&c);
+        let ac = a.dist(&c);
+        // Allow relative f32 slack.
+        prop_assert!(ac <= ab + bc + 1e-3 * (1.0 + ab + bc));
+    }
+
+    #[test]
+    fn mean_lies_in_bounding_box(vs in proptest::collection::vec(arb_vector(), 1..50)) {
+        let m = Vector::mean(vs.iter());
+        for d in 0..DIM {
+            let lo = vs.iter().map(|v| v[d]).fold(f32::INFINITY, f32::min);
+            let hi = vs.iter().map(|v| v[d]).fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(m[d] >= lo - 1e-3 && m[d] <= hi + 1e-3);
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip(set in arb_set(100)) {
+        let mut buf = Vec::new();
+        codec::write_collection(&set, &mut buf).unwrap();
+        let back = codec::read_collection(&buf[..]).unwrap();
+        prop_assert_eq!(back.len(), set.len());
+        for i in 0..set.len() {
+            prop_assert_eq!(back.get(i), set.get(i));
+        }
+    }
+
+    #[test]
+    fn codec_size_is_exact(set in arb_set(50)) {
+        let mut buf = Vec::new();
+        codec::write_collection(&set, &mut buf).unwrap();
+        prop_assert_eq!(buf.len(), codec::HEADER_BYTES + set.len() * codec::RECORD_BYTES);
+    }
+
+    #[test]
+    fn trimmed_range_within_extrema(set in arb_set(200), trim in 0.0f32..0.3) {
+        let stats = DimensionStats::compute(&set);
+        let ranges = TrimmedRanges::compute(&set, trim);
+        for d in 0..DIM {
+            prop_assert!(ranges.low[d] >= stats.min[d]);
+            prop_assert!(ranges.high[d] <= stats.max[d]);
+            prop_assert!(ranges.low[d] <= ranges.high[d]);
+        }
+    }
+
+    #[test]
+    fn stats_mean_within_extrema(set in arb_set(200)) {
+        let stats = DimensionStats::compute(&set);
+        for d in 0..DIM {
+            prop_assert!(stats.mean[d] >= stats.min[d] - 1e-3);
+            prop_assert!(stats.mean[d] <= stats.max[d] + 1e-3);
+            prop_assert!(stats.variance[d] >= 0.0);
+        }
+    }
+
+    #[test]
+    fn subset_of_everything_is_identity(set in arb_set(60)) {
+        let all: Vec<usize> = (0..set.len()).collect();
+        let sub = set.subset(&all);
+        prop_assert_eq!(sub.len(), set.len());
+        for i in 0..set.len() {
+            prop_assert_eq!(sub.get(i), set.get(i));
+        }
+    }
+}

@@ -1,0 +1,354 @@
+//! The experiments: each function regenerates one or more of the paper's
+//! tables/figures, prints aligned tables and writes CSV series next to
+//! them.
+
+use crate::lab::Lab;
+use crate::EvalResult;
+use eff2_metrics::{Table, QualityCurve};
+
+/// The neighbour counts Figures 6/7 trace (scaled to the configured k).
+pub fn sweep_neighbor_marks(k: usize) -> Vec<usize> {
+    [1usize, 10, 20, 25, 28, 30]
+        .into_iter()
+        .map(|m| m.min(k))
+        .filter(|&m| m >= 1)
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect()
+}
+
+fn fmt_f(x: f64, digits: usize) -> String {
+    if x.is_nan() {
+        "—".to_string()
+    } else {
+        format!("{x:.digits$}")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+// ---------------------------------------------------------------------------
+
+/// Regenerates **Table 1**: properties of the BAG and SR-tree chunk
+/// indexes (retained/discarded descriptors, chunk counts, mean sizes).
+pub fn table1(lab: &Lab) -> EvalResult<String> {
+    let six = lab.six_indexes()?;
+    let mut t = Table::new(
+        "Table 1. Properties of the BAG and SR-tree chunk indexes",
+        &[
+            "Chunk sizes",
+            "Retained",
+            "Discarded",
+            "Outliers %",
+            "BAG chunks",
+            "BAG desc/chunk",
+            "SR chunks",
+            "SR desc/chunk",
+        ],
+    );
+    for pair in six.chunks(2) {
+        let (bag, sr) = (&pair[0].meta, &pair[1].meta);
+        let class = bag.label.split('/').nth(1).unwrap_or("?").trim();
+        t.row(vec![
+            class.to_string(),
+            bag.retained.to_string(),
+            bag.discarded.to_string(),
+            format!("{:.1}%", 100.0 * bag.discarded as f64 / bag.total_input.max(1) as f64),
+            bag.n_chunks.to_string(),
+            fmt_f(bag.mean_chunk_size, 0),
+            sr.n_chunks.to_string(),
+            fmt_f(sr.mean_chunk_size, 0),
+        ]);
+    }
+    let rendered = t.render();
+    let dir = lab.results_dir()?;
+    t.save_csv(&dir.join("table1.csv"))?;
+
+    // Formation-cost side table (the §5.2 "12 days vs 3 hours" discussion).
+    let mut cost = Table::new(
+        "Chunk formation cost",
+        &["Index", "Distance-op equivalents", "Rounds", "Wall secs (this run)"],
+    );
+    for h in &six {
+        cost.row(vec![
+            h.meta.label.clone(),
+            h.meta.distance_ops.to_string(),
+            h.meta.rounds.to_string(),
+            fmt_f(h.meta.build_wall_secs, 2),
+        ]);
+    }
+    cost.save_csv(&dir.join("table1_formation_cost.csv"))?;
+    Ok(format!("{rendered}\n{}", cost.render()))
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+/// Regenerates **Figure 1**: sizes of the 30 largest chunks of each of the
+/// six indexes (the paper plots these on a log scale — BAG's head chunks
+/// are orders of magnitude above its mean).
+pub fn fig1(lab: &Lab) -> EvalResult<String> {
+    let six = lab.six_indexes()?;
+    let headers: Vec<String> = std::iter::once("Rank".to_string())
+        .chain(six.iter().map(|h| h.meta.label.clone()))
+        .collect();
+    let mut t = Table::new(
+        "Figure 1. Size of the largest chunks (descriptors)",
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for rank in 0..30 {
+        let mut row = vec![(rank + 1).to_string()];
+        for h in &six {
+            row.push(
+                h.meta
+                    .largest_sizes
+                    .get(rank)
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| "—".into()),
+            );
+        }
+        t.row(row);
+    }
+    let rendered = t.render();
+    t.save_csv(&lab.results_dir()?.join("fig1.csv"))?;
+    Ok(rendered)
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 1: Figures 2–5 + Table 2
+// ---------------------------------------------------------------------------
+
+/// All curves of experiment 1: the six indexes × the two workloads.
+pub struct Exp1Curves {
+    /// (index label, DQ curve, SQ curve) in index order.
+    pub per_index: Vec<(String, QualityCurve, QualityCurve)>,
+    /// k used.
+    pub k: usize,
+}
+
+/// Runs (or loads from cache) every experiment-1 curve.
+pub fn exp1_curves(lab: &Lab) -> EvalResult<Exp1Curves> {
+    let six = lab.six_indexes()?;
+    let dq = lab.dq()?;
+    let sq = lab.sq()?;
+    let mut per_index = Vec::with_capacity(6);
+    for h in &six {
+        eprintln!("[exp1] evaluating {} …", h.meta.label);
+        let cd = lab.curve(h, &dq)?;
+        let cs = lab.curve(h, &sq)?;
+        per_index.push((h.meta.label.clone(), cd, cs));
+    }
+    Ok(Exp1Curves {
+        per_index,
+        k: lab.scale.k,
+    })
+}
+
+fn curve_figure(
+    lab: &Lab,
+    curves: &Exp1Curves,
+    title: &str,
+    file: &str,
+    pick: impl Fn(&(String, QualityCurve, QualityCurve)) -> &QualityCurve,
+    value: impl Fn(&QualityCurve, usize) -> f64,
+    digits: usize,
+) -> EvalResult<String> {
+    let headers: Vec<String> = std::iter::once("Neighbors".to_string())
+        .chain(curves.per_index.iter().map(|(l, _, _)| l.clone()))
+        .collect();
+    let mut t = Table::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    for m in 1..=curves.k {
+        let mut row = vec![m.to_string()];
+        for entry in &curves.per_index {
+            row.push(fmt_f(value(pick(entry), m), digits));
+        }
+        t.row(row);
+    }
+    let rendered = t.render();
+    t.save_csv(&lab.results_dir()?.join(file))?;
+    Ok(rendered)
+}
+
+/// Regenerates **Figure 2** (chunks read vs neighbours found, DQ).
+pub fn fig2(lab: &Lab, curves: &Exp1Curves) -> EvalResult<String> {
+    curve_figure(
+        lab,
+        curves,
+        "Figure 2. Chunks read to find nearest neighbors (DQ)",
+        "fig2.csv",
+        |e| &e.1,
+        |c, m| c.chunks_for(m),
+        1,
+    )
+}
+
+/// Regenerates **Figure 3** (chunks read vs neighbours found, SQ).
+pub fn fig3(lab: &Lab, curves: &Exp1Curves) -> EvalResult<String> {
+    curve_figure(
+        lab,
+        curves,
+        "Figure 3. Chunks read to find nearest neighbors (SQ)",
+        "fig3.csv",
+        |e| &e.2,
+        |c, m| c.chunks_for(m),
+        1,
+    )
+}
+
+/// Regenerates **Figure 4** (virtual elapsed time vs neighbours found, DQ).
+pub fn fig4(lab: &Lab, curves: &Exp1Curves) -> EvalResult<String> {
+    curve_figure(
+        lab,
+        curves,
+        "Figure 4. Elapsed virtual time (s) to find nearest neighbors (DQ)",
+        "fig4.csv",
+        |e| &e.1,
+        |c, m| c.time_for(m),
+        3,
+    )
+}
+
+/// Regenerates **Figure 5** (virtual elapsed time vs neighbours found, SQ).
+pub fn fig5(lab: &Lab, curves: &Exp1Curves) -> EvalResult<String> {
+    curve_figure(
+        lab,
+        curves,
+        "Figure 5. Elapsed virtual time (s) to find nearest neighbors (SQ)",
+        "fig5.csv",
+        |e| &e.2,
+        |c, m| c.time_for(m),
+        3,
+    )
+}
+
+/// Regenerates **Table 2**: average virtual time to run queries to
+/// completion, per index and workload.
+pub fn table2(lab: &Lab, curves: &Exp1Curves) -> EvalResult<String> {
+    let mut t = Table::new(
+        "Table 2. Time to completion (virtual seconds)",
+        &["Chunk sizes", "BAG DQ", "BAG SQ", "SR DQ", "SR SQ"],
+    );
+    for pair in curves.per_index.chunks(2) {
+        let class = pair[0].0.split('/').nth(1).unwrap_or("?").trim();
+        t.row(vec![
+            class.to_string(),
+            fmt_f(pair[0].1.avg_completion_secs, 2),
+            fmt_f(pair[0].2.avg_completion_secs, 2),
+            fmt_f(pair[1].1.avg_completion_secs, 2),
+            fmt_f(pair[1].2.avg_completion_secs, 2),
+        ]);
+    }
+    let rendered = t.render();
+    t.save_csv(&lab.results_dir()?.join("table2.csv"))?;
+    Ok(rendered)
+}
+
+/// Runs the whole of Experiment 1, returning the concatenated report
+/// (Figures 2–5 and Table 2).
+pub fn exp1(lab: &Lab) -> EvalResult<String> {
+    let curves = exp1_curves(lab)?;
+    let mut out = String::new();
+    for part in [
+        fig2(lab, &curves)?,
+        fig3(lab, &curves)?,
+        fig4(lab, &curves)?,
+        fig5(lab, &curves)?,
+        table2(lab, &curves)?,
+    ] {
+        out.push_str(&part);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Experiment 2: Figures 6–7
+// ---------------------------------------------------------------------------
+
+/// Regenerates **Figures 6 and 7**: time to find 1/10/20/25/28/30
+/// neighbours as a function of the (SR-tree) chunk size, over 16 chunk
+/// indexes on the outlier-free collection.
+pub fn exp2(lab: &Lab) -> EvalResult<String> {
+    let six = lab.six_indexes()?;
+    let subset = lab.small_retained_subset(&six)?;
+    let marks = sweep_neighbor_marks(lab.scale.k);
+    let dq = lab.dq()?;
+    let sq = lab.sq()?;
+
+    let mut out = String::new();
+    for (fig_no, workload) in [(6, &dq), (7, &sq)] {
+        let headers: Vec<String> = std::iter::once("Chunk size".to_string())
+            .chain(marks.iter().map(|m| format!("{m} nbr")))
+            .chain(std::iter::once("completion".to_string()))
+            .collect();
+        let mut t = Table::new(
+            &format!(
+                "Figure {fig_no}. Virtual time (s) to find neighbors vs chunk size ({})",
+                workload.name
+            ),
+            &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+        );
+        for &size in &lab.scale.sweep_sizes() {
+            let handle = lab.sweep_index(&subset, size)?;
+            eprintln!("[exp2] {} chunk size {size} …", workload.name);
+            let curve = lab.curve(&handle, workload)?;
+            let mut row = vec![size.to_string()];
+            for &m in &marks {
+                row.push(fmt_f(curve.time_for(m), 3));
+            }
+            row.push(fmt_f(curve.avg_completion_secs, 2));
+            t.row(row);
+        }
+        let rendered = t.render();
+        t.save_csv(&lab.results_dir()?.join(format!("fig{fig_no}.csv")))?;
+        out.push_str(&rendered);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn tiny_lab(tag: &str) -> Lab {
+        let mut scale = Scale::new(2_500);
+        scale.n_queries = 6;
+        scale.k = 5;
+        let dir = std::env::temp_dir().join(format!("eff2_exp_{tag}"));
+        Lab::prepare(scale, &dir).expect("prepare")
+    }
+
+    #[test]
+    fn sweep_marks_respect_k() {
+        assert_eq!(sweep_neighbor_marks(30), vec![1, 10, 20, 25, 28, 30]);
+        assert_eq!(sweep_neighbor_marks(5), vec![1, 5]);
+        assert_eq!(sweep_neighbor_marks(1), vec![1]);
+    }
+
+    #[test]
+    fn table1_and_fig1_render() {
+        let lab = tiny_lab("t1");
+        let t1 = table1(&lab).expect("table1");
+        assert!(t1.contains("SMALL") && t1.contains("LARGE"));
+        assert!(t1.contains("BAG"));
+        let f1 = fig1(&lab).expect("fig1");
+        assert!(f1.lines().count() > 30);
+        assert!(lab.results_dir().unwrap().join("table1.csv").exists());
+        assert!(lab.results_dir().unwrap().join("fig1.csv").exists());
+    }
+
+    #[test]
+    fn exp1_smoke() {
+        let lab = tiny_lab("e1");
+        let report = exp1(&lab).expect("exp1");
+        for fig in ["Figure 2", "Figure 3", "Figure 4", "Figure 5", "Table 2"] {
+            assert!(report.contains(fig), "missing {fig}");
+        }
+        for f in ["fig2.csv", "fig3.csv", "fig4.csv", "fig5.csv", "table2.csv"] {
+            assert!(lab.results_dir().unwrap().join(f).exists(), "missing {f}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+
+//! # eff2-eval
+//!
+//! The experiment harness: everything needed to regenerate the paper's
+//! tables and figures at a configurable scale.
+//!
+//! | Paper artefact | Harness entry point |
+//! |----------------|---------------------|
+//! | Table 1 (chunk index properties) | [`experiments::table1`] |
+//! | Figure 1 (30 largest chunks) | [`experiments::fig1`] |
+//! | Figures 2–3 (chunks read vs neighbours, DQ/SQ) | [`experiments::exp1`] |
+//! | Figures 4–5 (elapsed time vs neighbours, DQ/SQ) | [`experiments::exp1`] |
+//! | Table 2 (time to completion) | [`experiments::exp1`] |
+//! | Figures 6–7 (optimal chunk size, DQ/SQ) | [`experiments::exp2`] |
+//!
+//! The default scale is 100,000 descriptors (the paper used 5,017,298 — see
+//! DESIGN.md §5 for the substitution rationale); chunk-size targets scale
+//! with √(N/N_paper) so both the per-chunk population and the chunk count
+//! stay in the paper's operating regime. Timings are reported on the
+//! simulated 2005 testbed ([`eff2_storage::DiskModel::ata_2005`]).
+
+pub mod experiments;
+pub mod lab;
+pub mod scale;
+
+pub use lab::{IndexHandle, IndexMeta, Lab};
+pub use scale::Scale;
+
+/// Harness-level result type (errors cross crate boundaries).
+pub type EvalResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;

@@ -1,0 +1,125 @@
+//! `eff2-eval` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! eff2-eval <command> [--scale N] [--queries N] [--seed S] [--out DIR]
+//!
+//! commands:
+//!   gen      generate (or load) the synthetic collection and print stats
+//!   indexes  build the six chunk indexes (BAG + SR at three sizes)
+//!   table1   Table 1  — chunk index properties
+//!   fig1     Figure 1 — sizes of the 30 largest chunks
+//!   exp1     Figures 2–5 and Table 2 — quality vs time, six indexes
+//!   table2   Table 2 only (runs/loads exp1 curves)
+//!   exp2     Figures 6–7 — the chunk-size sweep
+//!   all      everything above, in order
+//! ```
+//!
+//! Environment variables `EFF2_SCALE`, `EFF2_QUERIES`, `EFF2_SEED` provide
+//! defaults for the corresponding flags.
+
+use eff2_eval::experiments;
+use eff2_eval::{EvalResult, Lab, Scale};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|all> \
+         [--scale N] [--queries N] [--seed S] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut scale = Scale::from_env();
+    let mut out = PathBuf::from("results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                scale.n_descriptors = parse_next(&args, &mut i);
+            }
+            "--queries" => {
+                scale.n_queries = parse_next(&args, &mut i);
+            }
+            "--seed" => {
+                scale.seed = parse_next(&args, &mut i);
+            }
+            "--out" => {
+                i += 1;
+                out = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                usage();
+            }
+        }
+        i += 1;
+    }
+
+    if let Err(e) = run(&command, scale, &out) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
+    *i += 1;
+    args.get(*i)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| usage())
+}
+
+fn run(command: &str, scale: Scale, out: &PathBuf) -> EvalResult<()> {
+    let started = std::time::Instant::now();
+    let lab = Lab::prepare(scale, out)?;
+    eprintln!(
+        "[lab] collection: {} descriptors (target {}), cache {}",
+        lab.set.len(),
+        scale.n_descriptors,
+        lab.cache_dir.display()
+    );
+
+    match command {
+        "gen" => {
+            let stats = eff2_descriptor::DimensionStats::compute(&lab.set);
+            println!(
+                "collection: {} descriptors, dim mean[0] = {:.3}, var[0] = {:.3}",
+                stats.count, stats.mean[0], stats.variance[0]
+            );
+        }
+        "indexes" => {
+            for h in lab.six_indexes()? {
+                println!(
+                    "{:<14} chunks = {:>6}  mean size = {:>8.1}  outliers = {:>7} ({:.1}%)",
+                    h.meta.label,
+                    h.meta.n_chunks,
+                    h.meta.mean_chunk_size,
+                    h.meta.discarded,
+                    100.0 * h.meta.discarded as f64 / h.meta.total_input.max(1) as f64,
+                );
+            }
+        }
+        "table1" => print!("{}", experiments::table1(&lab)?),
+        "fig1" => print!("{}", experiments::fig1(&lab)?),
+        "exp1" => print!("{}", experiments::exp1(&lab)?),
+        "table2" => {
+            let curves = experiments::exp1_curves(&lab)?;
+            print!("{}", experiments::table2(&lab, &curves)?);
+        }
+        "exp2" => print!("{}", experiments::exp2(&lab)?),
+        "all" => {
+            print!("{}", experiments::table1(&lab)?);
+            print!("{}", experiments::fig1(&lab)?);
+            print!("{}", experiments::exp1(&lab)?);
+            print!("{}", experiments::exp2(&lab)?);
+        }
+        _ => usage(),
+    }
+    eprintln!("[done] {command} in {:.1}s", started.elapsed().as_secs_f64());
+    Ok(())
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # eff2-medrank
+//!
+//! **Medrank** (Fagin, Kumar, Sivakumar, *"Efficient similarity search and
+//! classification via rank aggregation"*, SIGMOD 2003) — the "very
+//! different approach to approximate searches" the eff2 paper's related
+//! work singles out (§6):
+//!
+//! > *"all descriptors are projected onto a set of random lines. Then, the
+//! > database elements are ranked based on the proximity of the projections
+//! > to the projection of the query. A rank aggregation rule picks the
+//! > database element that has the best median rank as being, with a high
+//! > probability, the true nearest neighbor of the query point. … One of
+//! > the very nice properties of this algorithm is that it is I/O bound
+//! > (and I/O optimal) because the algorithm is based on the aggregation of
+//! > ranking rather than distance calculations."*
+//!
+//! Implemented here as an additional baseline to set the chunk-index
+//! results in context:
+//!
+//! * [`MedrankIndex::build`] projects the collection onto `L` random unit
+//!   lines and sorts each projection (the on-disk layout would be `L`
+//!   sorted runs; cost accounting charges sequential access);
+//! * [`MedrankIndex::knn`] walks the `L` runs outward from the query's
+//!   projection in lockstep (the MEDRANK cursor walk) and emits an element
+//!   once it has been seen on **more than half** the lines — its *median
+//!   rank* is then minimal among the unseen; no distance in the original
+//!   space is ever computed.
+
+pub mod index;
+
+pub use index::{MedrankIndex, MedrankParams, MedrankResult};

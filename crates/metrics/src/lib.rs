@@ -1,0 +1,23 @@
+#![warn(missing_docs)]
+
+//! # eff2-metrics
+//!
+//! Measurement machinery for the paper's experiments (§5.4):
+//!
+//! * [`truth`] — ground truth by sequential scan: "we first ran a
+//!   sequential scan of the collection, and stored the identifiers of the
+//!   returned descriptors";
+//! * [`curves`] — quality-vs-time curves over intermediate results:
+//!   metrics "were logged after the processing of every chunk. As we
+//!   always ran queries to conclusion, we were able to measure the quality
+//!   of intermediate results";
+//! * [`table`] — aligned text tables and CSV output for the experiment
+//!   harness.
+
+pub mod curves;
+pub mod table;
+pub mod truth;
+
+pub use curves::{precision_at, quality_curve, QualityCurve};
+pub use table::{write_csv, Table};
+pub use truth::GroundTruth;

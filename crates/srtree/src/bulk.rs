@@ -1,0 +1,322 @@
+//! Static (bulk) build of the SR-tree.
+//!
+//! The paper: *"We used the static build method, as it was much faster and
+//! guaranteed uniform leaf size. Unfortunately, it requires the collection
+//! to fit in memory"* (§2). This module implements that build as a
+//! recursive variance-split partitioning:
+//!
+//! 1. compute the number of leaves `L = ceil(n / leaf_size)`;
+//! 2. split the point set along its maximum-variance dimension into two
+//!    parts whose sizes are proportional to the leaf counts assigned to
+//!    each side (`select_nth_unstable` — no full sort needed);
+//! 3. recurse until a single leaf's worth of points remains.
+//!
+//! Every leaf ends up with either `⌊n/L⌋` or `⌈n/L⌉` points — the uniform
+//! size the paper relies on — and leaves are *roundish* because splits
+//! always cut the widest spread. The upper levels are then assembled
+//! bottom-up with a fixed fan-out, yielding a complete, valid [`SRTree`].
+
+use crate::node::{ChildRef, LeafEntry, Node};
+use crate::tree::{SRTree, SRTreeConfig};
+use eff2_descriptor::{DescriptorSet, Vector, DIM};
+
+/// Parameters of the static build.
+#[derive(Clone, Copy, Debug)]
+pub struct BulkConfig {
+    /// Target number of points per leaf — the paper's "parameter to control
+    /// the size of the leaves".
+    pub leaf_size: usize,
+    /// Fan-out of the internal levels assembled above the leaves.
+    pub internal_fanout: usize,
+}
+
+impl Default for BulkConfig {
+    fn default() -> Self {
+        BulkConfig {
+            leaf_size: 64,
+            internal_fanout: 16,
+        }
+    }
+}
+
+/// Statically builds an SR-tree over every descriptor in `set`.
+///
+/// # Panics
+///
+/// Panics if `leaf_size == 0` or `internal_fanout < 2`.
+pub fn bulk_build(set: &DescriptorSet, cfg: BulkConfig) -> SRTree {
+    assert!(cfg.leaf_size > 0, "leaf size must be positive");
+    assert!(cfg.internal_fanout >= 2, "internal fan-out must be at least 2");
+
+    let tree_cfg = SRTreeConfig {
+        // The dynamic invariants must admit what the static build produces.
+        leaf_capacity: cfg.leaf_size.max(2),
+        internal_capacity: cfg.internal_fanout,
+        ..SRTreeConfig::default()
+    };
+    if set.is_empty() {
+        return SRTree::new(tree_cfg);
+    }
+
+    let leaves = build_leaf_partitions(set, cfg.leaf_size);
+
+    // Materialise the leaves.
+    let mut level: Vec<ChildRef> = leaves
+        .into_iter()
+        .map(|positions| {
+            let entries: Vec<LeafEntry> = positions
+                .into_iter()
+                .map(|pos| LeafEntry {
+                    pos,
+                    vector: set.vector_owned(pos as usize),
+                })
+                .collect();
+            ChildRef::summarise(Box::new(Node::Leaf { entries }))
+        })
+        .collect();
+
+    // Assemble internal levels bottom-up. Adjacent leaves come from
+    // adjacent recursion branches, so grouping in order preserves locality.
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(cfg.internal_fanout));
+        let mut iter = level.into_iter().peekable();
+        while iter.peek().is_some() {
+            let group: Vec<ChildRef> = iter.by_ref().take(cfg.internal_fanout).collect();
+            next.push(ChildRef::summarise(Box::new(Node::Internal {
+                children: group,
+            })));
+        }
+        level = next;
+    }
+    let root = level.pop().expect("non-empty collection produces a root");
+    let len = root.count;
+    SRTree::from_parts(root, tree_cfg, len)
+}
+
+/// Partitions the positions `0..set.len()` into leaves of uniform size
+/// (every leaf holds `⌊n/L⌋` or `⌈n/L⌉` points, `L = ceil(n/leaf_size)`).
+///
+/// This is the work-horse the experiments call directly through
+/// [`crate::chunks::chunks_from_collection`]: building chunks does not
+/// require materialising the upper tree levels at all.
+pub fn build_leaf_partitions(set: &DescriptorSet, leaf_size: usize) -> Vec<Vec<u32>> {
+    assert!(leaf_size > 0, "leaf size must be positive");
+    let n = set.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut positions: Vec<u32> = (0..n as u32).collect();
+    let n_leaves = n.div_ceil(leaf_size);
+    let mut out = Vec::with_capacity(n_leaves);
+    partition_rec(set, &mut positions, n_leaves, &mut out);
+    out
+}
+
+fn partition_rec(set: &DescriptorSet, positions: &mut [u32], n_leaves: usize, out: &mut Vec<Vec<u32>>) {
+    if n_leaves <= 1 {
+        out.push(positions.to_vec());
+        return;
+    }
+    let axis = max_variance_axis(set, positions);
+    let left_leaves = n_leaves / 2;
+    // Sizes proportional to leaf counts keep every leaf within ±1 of n/L.
+    let split_at = positions.len() * left_leaves / n_leaves;
+    let key = |p: &u32| set.vector(*p as usize)[axis];
+    positions.select_nth_unstable_by(split_at, |a, b| key(a).total_cmp(&key(b)));
+    let (left, right) = positions.split_at_mut(split_at);
+    partition_rec(set, left, left_leaves, out);
+    partition_rec(set, right, n_leaves - left_leaves, out);
+}
+
+fn max_variance_axis(set: &DescriptorSet, positions: &[u32]) -> usize {
+    let mut sum = [0.0f64; DIM];
+    let mut sum_sq = [0.0f64; DIM];
+    for &p in positions {
+        let v = set.vector(p as usize);
+        for d in 0..DIM {
+            let x = f64::from(v[d]);
+            sum[d] += x;
+            sum_sq[d] += x * x;
+        }
+    }
+    let inv = 1.0 / positions.len().max(1) as f64;
+    let mut best = 0;
+    let mut best_var = f64::NEG_INFINITY;
+    for d in 0..DIM {
+        let mean = sum[d] * inv;
+        let var = sum_sq[d] * inv - mean * mean;
+        if var > best_var {
+            best_var = var;
+            best = d;
+        }
+    }
+    best
+}
+
+/// Centroid and minimum bounding radius of the points at `positions`.
+pub fn centroid_and_radius(set: &DescriptorSet, positions: &[u32]) -> (Vector, f32) {
+    let mut sum = [0.0f64; DIM];
+    for &p in positions {
+        let v = set.vector(p as usize);
+        for d in 0..DIM {
+            sum[d] += f64::from(v[d]);
+        }
+    }
+    let inv = 1.0 / positions.len().max(1) as f64;
+    let mut centroid = Vector::ZERO;
+    for d in 0..DIM {
+        centroid[d] = (sum[d] * inv) as f32;
+    }
+    let radius = positions
+        .iter()
+        .map(|&p| centroid.dist(&Vector(*set.vector(p as usize))))
+        .fold(0.0f32, f32::max);
+    (centroid, radius)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eff2_descriptor::Descriptor;
+
+    fn spread_set(n: usize) -> DescriptorSet {
+        (0..n)
+            .map(|i| {
+                let mut v = Vector::ZERO;
+                for d in 0..DIM {
+                    v[d] = (((i * 131 + d * 29) % 211) as f32) * 0.11 - 11.0;
+                }
+                Descriptor::new(i as u32, v)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn partitions_cover_everything_exactly_once() {
+        let set = spread_set(1_000);
+        let leaves = build_leaf_partitions(&set, 64);
+        let mut seen = vec![false; set.len()];
+        for leaf in &leaves {
+            for &p in leaf {
+                assert!(!seen[p as usize], "position {p} appears twice");
+                seen[p as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every position must be covered");
+    }
+
+    #[test]
+    fn leaf_sizes_are_uniform_within_one() {
+        for (n, leaf_size) in [(1_000usize, 64usize), (997, 100), (5_000, 7), (64, 64), (65, 64)] {
+            let set = spread_set(n);
+            let leaves = build_leaf_partitions(&set, leaf_size);
+            let l = n.div_ceil(leaf_size);
+            assert_eq!(leaves.len(), l, "n={n} leaf_size={leaf_size}");
+            let lo = n / l;
+            let hi = n.div_ceil(l);
+            for leaf in &leaves {
+                assert!(
+                    leaf.len() == lo || leaf.len() == hi,
+                    "n={n} leaf_size={leaf_size}: leaf of {} not in [{lo},{hi}]",
+                    leaf.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_leaf_when_collection_fits() {
+        let set = spread_set(10);
+        let leaves = build_leaf_partitions(&set, 64);
+        assert_eq!(leaves.len(), 1);
+        assert_eq!(leaves[0].len(), 10);
+    }
+
+    #[test]
+    fn empty_collection_yields_no_leaves() {
+        let set = DescriptorSet::new();
+        assert!(build_leaf_partitions(&set, 10).is_empty());
+    }
+
+    #[test]
+    fn bulk_tree_is_valid_and_complete() {
+        let set = spread_set(2_000);
+        let tree = bulk_build(
+            &set,
+            BulkConfig {
+                leaf_size: 50,
+                internal_fanout: 8,
+            },
+        );
+        assert_eq!(tree.len(), 2_000);
+        tree.validate();
+        assert!(tree.height() >= 3);
+    }
+
+    #[test]
+    fn bulk_tree_knn_matches_brute_force() {
+        let set = spread_set(800);
+        let tree = bulk_build(
+            &set,
+            BulkConfig {
+                leaf_size: 32,
+                internal_fanout: 8,
+            },
+        );
+        let q = set.vector_owned(137);
+        let got = tree.knn(&q, 5);
+        // Brute force.
+        let mut want: Vec<(f32, u32)> = (0..set.len())
+            .map(|i| (q.dist_sq(&set.vector_owned(i)), i as u32))
+            .collect();
+        want.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (g, w) in got.iter().zip(want.iter()) {
+            assert!((g.dist_sq - w.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bulk_empty_collection() {
+        let tree = bulk_build(&DescriptorSet::new(), BulkConfig::default());
+        assert!(tree.is_empty());
+        tree.validate();
+    }
+
+    #[test]
+    fn splits_partition_space_not_just_counts() {
+        // With two well-separated blobs and leaf_size = half, the two
+        // leaves should separate the blobs.
+        let mut set = DescriptorSet::new();
+        for i in 0..50u32 {
+            set.push(Descriptor::new(i, Vector::splat(0.0 + (i as f32) * 1e-3)));
+        }
+        for i in 50..100u32 {
+            set.push(Descriptor::new(i, Vector::splat(100.0 + (i as f32) * 1e-3)));
+        }
+        let leaves = build_leaf_partitions(&set, 50);
+        assert_eq!(leaves.len(), 2);
+        for leaf in &leaves {
+            let first_group = set.vector(leaf[0] as usize)[0] < 50.0;
+            for &p in leaf {
+                assert_eq!(set.vector(p as usize)[0] < 50.0, first_group);
+            }
+        }
+    }
+
+    #[test]
+    fn centroid_and_radius_cover_members() {
+        let set = spread_set(200);
+        let positions: Vec<u32> = (0..200).collect();
+        let (c, r) = centroid_and_radius(&set, &positions);
+        for &p in &positions {
+            let d = c.dist(&set.vector_owned(p as usize));
+            assert!(d <= r * (1.0 + 1e-5) + 1e-4, "point {p} at {d} > radius {r}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "leaf size")]
+    fn rejects_zero_leaf_size() {
+        build_leaf_partitions(&spread_set(5), 0);
+    }
+}

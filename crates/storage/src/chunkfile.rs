@@ -1,0 +1,312 @@
+//! The chunk file: descriptors grouped by chunk, page-padded.
+//!
+//! §4.2: descriptors of a chunk are stored together, chunks sequentially,
+//! each padded to occupy full disk pages. Records use the collection's
+//! 100-byte layout (id + 24 components).
+
+use crate::error::{Error, Result};
+use crate::indexfile::ChunkMeta;
+use eff2_descriptor::{DescriptorSet, DIM};
+use std::io::{Read, Seek, SeekFrom, Write};
+
+/// Magic bytes of a chunk file.
+pub const MAGIC: [u8; 4] = *b"EFCH";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Header size (one full page is reserved so chunk 0 starts page-aligned,
+/// but the logical header is this many bytes).
+pub const HEADER_BYTES: usize = 24;
+/// Bytes per descriptor record.
+pub const RECORD_BYTES: usize = 4 + DIM * 4;
+
+/// Rounds `len` up to a multiple of `page_size`.
+pub fn pad_to_page(len: u64, page_size: u64) -> u64 {
+    assert!(page_size > 0, "page size must be positive");
+    len.div_ceil(page_size) * page_size
+}
+
+/// Writes the chunk file header into a page-sized buffer.
+fn header_page(page_size: u32, n_chunks: u32, total_descriptors: u64) -> Vec<u8> {
+    let mut page = vec![0u8; page_size as usize];
+    page[0..4].copy_from_slice(&MAGIC);
+    page[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    page[8..12].copy_from_slice(&page_size.to_le_bytes());
+    page[12..16].copy_from_slice(&n_chunks.to_le_bytes());
+    page[16..24].copy_from_slice(&total_descriptors.to_le_bytes());
+    page
+}
+
+/// Writes the chunks to `writer` and returns, per chunk, the
+/// `(offset, byte_len, count)` triple the index file records.
+///
+/// `chunks` gives each chunk's member positions into `set`. The first page
+/// is the header; every chunk starts on a page boundary.
+pub fn write_chunks<W: Write>(
+    set: &DescriptorSet,
+    chunks: &[Vec<u32>],
+    page_size: u32,
+    writer: W,
+) -> Result<Vec<(u64, u32, u32)>> {
+    assert!(
+        page_size as usize >= HEADER_BYTES,
+        "page size must hold the header"
+    );
+    let mut w = std::io::BufWriter::new(writer);
+    let total: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+    w.write_all(&header_page(page_size, chunks.len() as u32, total))?;
+
+    let mut locations = Vec::with_capacity(chunks.len());
+    let mut offset = u64::from(page_size);
+    for members in chunks {
+        let byte_len = (members.len() * RECORD_BYTES) as u32;
+        for &pos in members {
+            let pos = pos as usize;
+            w.write_all(&set.id(pos).0.to_le_bytes())?;
+            for &c in set.vector(pos) {
+                w.write_all(&c.to_le_bytes())?;
+            }
+        }
+        let padded = pad_to_page(u64::from(byte_len), u64::from(page_size));
+        let padding = padded - u64::from(byte_len);
+        // Zero-fill to the page boundary.
+        w.write_all(&vec![0u8; padding as usize])?;
+        locations.push((offset, byte_len, members.len() as u32));
+        offset += padded;
+    }
+    w.flush()?;
+    Ok(locations)
+}
+
+/// Parsed header of a chunk file.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChunkFileHeader {
+    /// Page size the file was written with.
+    pub page_size: u32,
+    /// Number of chunks.
+    pub n_chunks: u32,
+    /// Total descriptors across all chunks.
+    pub total_descriptors: u64,
+}
+
+/// Reads and validates the chunk-file header.
+pub fn read_header<R: Read>(reader: &mut R) -> Result<ChunkFileHeader> {
+    let mut buf = [0u8; HEADER_BYTES];
+    reader
+        .read_exact(&mut buf)
+        .map_err(|_| Error::Truncated("chunk file header"))?;
+    let magic: [u8; 4] = buf[0..4].try_into().expect("fixed slice");
+    if magic != MAGIC {
+        return Err(Error::BadMagic {
+            file: "chunk file",
+            found: magic,
+        });
+    }
+    let version = u32::from_le_bytes(buf[4..8].try_into().expect("fixed slice"));
+    if version != VERSION {
+        return Err(Error::UnsupportedVersion(version));
+    }
+    Ok(ChunkFileHeader {
+        page_size: u32::from_le_bytes(buf[8..12].try_into().expect("fixed slice")),
+        n_chunks: u32::from_le_bytes(buf[12..16].try_into().expect("fixed slice")),
+        total_descriptors: u64::from_le_bytes(buf[16..24].try_into().expect("fixed slice")),
+    })
+}
+
+/// Decoded contents of one chunk.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ChunkPayload {
+    /// Descriptor identifiers, in storage order.
+    pub ids: Vec<u32>,
+    /// Packed vector components (`ids.len() * DIM` floats, row-major).
+    pub packed: Vec<f32>,
+}
+
+impl ChunkPayload {
+    /// Number of descriptors.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Clears without releasing capacity (buffer reuse across chunks).
+    pub fn clear(&mut self) {
+        self.ids.clear();
+        self.packed.clear();
+    }
+}
+
+/// Reads one chunk (located by its index entry) from a seekable chunk file
+/// into `payload`, reusing its buffers. Returns the number of bytes read
+/// from disk — the padded page span, which is what the disk transfers.
+pub fn read_chunk_at<R: Read + Seek>(
+    reader: &mut R,
+    meta: &ChunkMeta,
+    page_size: u32,
+    payload: &mut ChunkPayload,
+) -> Result<u64> {
+    payload.clear();
+    reader.seek(SeekFrom::Start(meta.offset))?;
+    let padded = pad_to_page(u64::from(meta.byte_len), u64::from(page_size));
+    let mut raw = vec![0u8; padded as usize];
+    reader
+        .read_exact(&mut raw)
+        .map_err(|_| Error::Truncated("chunk body"))?;
+    decode_records(&raw[..meta.byte_len as usize], meta.count, payload)?;
+    Ok(padded)
+}
+
+/// Decodes `count` records from `raw` into `payload`.
+pub fn decode_records(raw: &[u8], count: u32, payload: &mut ChunkPayload) -> Result<()> {
+    if raw.len() != count as usize * RECORD_BYTES {
+        return Err(Error::Inconsistent(format!(
+            "chunk body of {} bytes cannot hold {} records",
+            raw.len(),
+            count
+        )));
+    }
+    payload.ids.reserve(count as usize);
+    payload.packed.reserve(count as usize * DIM);
+    for rec in raw.chunks_exact(RECORD_BYTES) {
+        payload
+            .ids
+            .push(u32::from_le_bytes(rec[0..4].try_into().expect("fixed slice")));
+        for d in 0..DIM {
+            let at = 4 + d * 4;
+            payload
+                .packed
+                .push(f32::from_le_bytes(rec[at..at + 4].try_into().expect("fixed slice")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eff2_descriptor::{Descriptor, Vector};
+    use std::io::Cursor;
+
+    fn sample_set(n: usize) -> DescriptorSet {
+        (0..n)
+            .map(|i| Descriptor::new(i as u32 * 3, Vector::splat(i as f32 * 0.25)))
+            .collect()
+    }
+
+    #[test]
+    fn pad_rounds_up() {
+        assert_eq!(pad_to_page(0, 4096), 0);
+        assert_eq!(pad_to_page(1, 4096), 4096);
+        assert_eq!(pad_to_page(4096, 4096), 4096);
+        assert_eq!(pad_to_page(4097, 4096), 8192);
+    }
+
+    #[test]
+    fn chunks_are_page_aligned_and_roundtrip() {
+        let set = sample_set(10);
+        let chunks = vec![vec![0u32, 1, 2], vec![3, 4, 5, 6], vec![7, 8, 9]];
+        let page = 512u32;
+        let mut buf = Vec::new();
+        let locs = write_chunks(&set, &chunks, page, &mut buf).expect("write");
+        assert_eq!(locs.len(), 3);
+        for (off, _, _) in &locs {
+            assert_eq!(off % u64::from(page), 0, "chunk must start on a page");
+        }
+        // Read back each chunk and compare ids/vectors.
+        let mut cursor = Cursor::new(&buf);
+        let header = read_header(&mut cursor).expect("header");
+        assert_eq!(header.n_chunks, 3);
+        assert_eq!(header.total_descriptors, 10);
+        assert_eq!(header.page_size, page);
+        let mut payload = ChunkPayload::default();
+        for (ci, (off, blen, count)) in locs.iter().enumerate() {
+            let meta = ChunkMeta {
+                centroid: Vector::ZERO,
+                radius: 0.0,
+                offset: *off,
+                byte_len: *blen,
+                count: *count,
+            };
+            let read = read_chunk_at(&mut cursor, &meta, page, &mut payload).expect("read");
+            assert_eq!(read % u64::from(page), 0);
+            assert_eq!(payload.len(), chunks[ci].len());
+            for (k, &pos) in chunks[ci].iter().enumerate() {
+                assert_eq!(payload.ids[k], set.id(pos as usize).0);
+                assert_eq!(
+                    &payload.packed[k * DIM..(k + 1) * DIM],
+                    set.vector(pos as usize)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_chunk_list() {
+        let set = sample_set(1);
+        let mut buf = Vec::new();
+        let locs = write_chunks(&set, &[], 256, &mut buf).expect("write");
+        assert!(locs.is_empty());
+        let mut cursor = Cursor::new(&buf);
+        let header = read_header(&mut cursor).expect("header");
+        assert_eq!(header.n_chunks, 0);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = vec![0u8; 64];
+        buf[0..4].copy_from_slice(b"XXXX");
+        assert!(matches!(
+            read_header(&mut Cursor::new(&buf)),
+            Err(Error::BadMagic { file: "chunk file", .. })
+        ));
+    }
+
+    #[test]
+    fn truncated_chunk_detected() {
+        let set = sample_set(4);
+        let chunks = vec![vec![0u32, 1, 2, 3]];
+        let page = 256u32;
+        let mut buf = Vec::new();
+        let locs = write_chunks(&set, &chunks, page, &mut buf).expect("write");
+        buf.truncate(buf.len() - 100);
+        let meta = ChunkMeta {
+            centroid: Vector::ZERO,
+            radius: 0.0,
+            offset: locs[0].0,
+            byte_len: locs[0].1,
+            count: locs[0].2,
+        };
+        let mut payload = ChunkPayload::default();
+        assert!(matches!(
+            read_chunk_at(&mut Cursor::new(&buf), &meta, page, &mut payload),
+            Err(Error::Truncated(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_count() {
+        let raw = vec![0u8; RECORD_BYTES * 2];
+        let mut payload = ChunkPayload::default();
+        assert!(matches!(
+            decode_records(&raw, 3, &mut payload),
+            Err(Error::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn payload_clear_keeps_capacity() {
+        let mut p = ChunkPayload {
+            ids: Vec::with_capacity(100),
+            packed: Vec::with_capacity(100 * DIM),
+        };
+        p.ids.push(1);
+        p.packed.extend(std::iter::repeat(0.0).take(DIM));
+        let cap = p.ids.capacity();
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.ids.capacity(), cap);
+    }
+}

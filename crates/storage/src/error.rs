@@ -1,0 +1,80 @@
+//! Error type for chunk-index storage.
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by chunk-index file operations.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A file is not of the expected kind (bad magic bytes).
+    BadMagic {
+        /// Which file was being read.
+        file: &'static str,
+        /// The magic actually found.
+        found: [u8; 4],
+    },
+    /// Unsupported format version.
+    UnsupportedVersion(u32),
+    /// The chunk and index files disagree (different chunk counts,
+    /// mismatched page size, out-of-range offsets…).
+    Inconsistent(String),
+    /// A requested chunk id does not exist.
+    NoSuchChunk {
+        /// The requested chunk id.
+        id: usize,
+        /// Number of chunks in the store.
+        n_chunks: usize,
+    },
+    /// A file ended before its declared contents.
+    Truncated(&'static str),
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::BadMagic { file, found } => {
+                write!(f, "{file} is not a chunk-index file (magic {found:?})")
+            }
+            Error::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            Error::Inconsistent(why) => write!(f, "chunk index inconsistent: {why}"),
+            Error::NoSuchChunk { id, n_chunks } => {
+                write!(f, "chunk {id} out of range (store has {n_chunks} chunks)")
+            }
+            Error::Truncated(which) => write!(f, "{which} truncated"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(Error::NoSuchChunk { id: 9, n_chunks: 3 }
+            .to_string()
+            .contains('9'));
+        assert!(Error::Inconsistent("page size".into())
+            .to_string()
+            .contains("page size"));
+        assert!(Error::Truncated("index file").to_string().contains("index file"));
+    }
+}

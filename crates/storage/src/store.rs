@@ -1,0 +1,336 @@
+//! Creating and opening chunk indexes (the chunk file + index file pair).
+
+use crate::chunkfile::{self, ChunkPayload};
+use crate::error::{Error, Result};
+use crate::indexfile::{self, ChunkMeta};
+use eff2_descriptor::{DescriptorSet, Vector};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+
+/// Re-export: the decoded contents of one chunk.
+pub use crate::chunkfile::ChunkPayload as ChunkData;
+
+/// Input to [`ChunkStore::create`]: one chunk as its member positions plus
+/// the centroid/radius summary the index file records.
+#[derive(Clone, Debug)]
+pub struct ChunkDef {
+    /// Member positions into the backing collection.
+    pub positions: Vec<u32>,
+    /// Centroid of the members.
+    pub centroid: Vector,
+    /// Minimum bounding radius around the centroid.
+    pub radius: f32,
+}
+
+/// An opened (or freshly created) chunk index.
+#[derive(Debug)]
+pub struct ChunkStore {
+    chunk_path: PathBuf,
+    index_path: PathBuf,
+    metas: Vec<ChunkMeta>,
+    page_size: u32,
+    total_descriptors: u64,
+}
+
+impl ChunkStore {
+    /// Writes the chunk file and index file for `chunks` under
+    /// `dir/name.chunks` and `dir/name.index`, then returns the opened
+    /// store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chunk references a position outside `set` — chunk
+    /// formers produce positions from the same collection by construction.
+    pub fn create(
+        dir: &Path,
+        name: &str,
+        set: &DescriptorSet,
+        chunks: &[ChunkDef],
+        page_size: u32,
+    ) -> Result<ChunkStore> {
+        for (ci, c) in chunks.iter().enumerate() {
+            for &p in &c.positions {
+                assert!(
+                    (p as usize) < set.len(),
+                    "chunk {ci} references position {p} outside the collection"
+                );
+            }
+        }
+        std::fs::create_dir_all(dir)?;
+        let chunk_path = dir.join(format!("{name}.chunks"));
+        let index_path = dir.join(format!("{name}.index"));
+
+        let membership: Vec<Vec<u32>> = chunks.iter().map(|c| c.positions.clone()).collect();
+        let chunk_file = File::create(&chunk_path)?;
+        let locations = chunkfile::write_chunks(set, &membership, page_size, chunk_file)?;
+
+        let metas: Vec<ChunkMeta> = chunks
+            .iter()
+            .zip(locations.iter())
+            .map(|(c, &(offset, byte_len, count))| ChunkMeta {
+                centroid: c.centroid,
+                radius: c.radius,
+                offset,
+                byte_len,
+                count,
+            })
+            .collect();
+        let index_file = File::create(&index_path)?;
+        indexfile::write_index(&metas, page_size, index_file)?;
+
+        let total_descriptors = metas.iter().map(|m| u64::from(m.count)).sum();
+        Ok(ChunkStore {
+            chunk_path,
+            index_path,
+            metas,
+            page_size,
+            total_descriptors,
+        })
+    }
+
+    /// Opens an existing chunk index, cross-validating the two files.
+    pub fn open(chunk_path: &Path, index_path: &Path) -> Result<ChunkStore> {
+        let (metas, page_size) = indexfile::read_index(File::open(index_path)?)?;
+        let mut chunk_reader = BufReader::new(File::open(chunk_path)?);
+        let header = chunkfile::read_header(&mut chunk_reader)?;
+        if header.page_size != page_size {
+            return Err(Error::Inconsistent(format!(
+                "page size: chunk file {} vs index file {}",
+                header.page_size, page_size
+            )));
+        }
+        if header.n_chunks as usize != metas.len() {
+            return Err(Error::Inconsistent(format!(
+                "chunk count: chunk file {} vs index file {}",
+                header.n_chunks,
+                metas.len()
+            )));
+        }
+        let file_len = std::fs::metadata(chunk_path)?.len();
+        for (i, m) in metas.iter().enumerate() {
+            let end = m.offset + chunkfile::pad_to_page(u64::from(m.byte_len), u64::from(page_size));
+            if end > file_len {
+                return Err(Error::Inconsistent(format!(
+                    "chunk {i} extends to byte {end} beyond file of {file_len} bytes"
+                )));
+            }
+        }
+        Ok(ChunkStore {
+            chunk_path: chunk_path.to_path_buf(),
+            index_path: index_path.to_path_buf(),
+            total_descriptors: header.total_descriptors,
+            metas,
+            page_size,
+        })
+    }
+
+    /// The index entries (chunk order).
+    pub fn metas(&self) -> &[ChunkMeta] {
+        &self.metas
+    }
+
+    /// Number of chunks.
+    pub fn n_chunks(&self) -> usize {
+        self.metas.len()
+    }
+
+    /// Total descriptors across chunks.
+    pub fn total_descriptors(&self) -> u64 {
+        self.total_descriptors
+    }
+
+    /// The page size chunks are padded to.
+    pub fn page_size(&self) -> u32 {
+        self.page_size
+    }
+
+    /// Size of the index file in bytes (charged when the search reads and
+    /// ranks the index).
+    pub fn index_bytes(&self) -> u64 {
+        indexfile::index_file_bytes(self.metas.len())
+    }
+
+    /// Path of the chunk file.
+    pub fn chunk_path(&self) -> &Path {
+        &self.chunk_path
+    }
+
+    /// Path of the index file.
+    pub fn index_path(&self) -> &Path {
+        &self.index_path
+    }
+
+    /// Opens an independent reader over the chunk file. Each concurrent
+    /// query should hold its own reader (separate file handle and seek
+    /// position).
+    pub fn reader(&self) -> Result<ChunkReader<'_>> {
+        Ok(ChunkReader {
+            store: self,
+            file: BufReader::new(File::open(&self.chunk_path)?),
+        })
+    }
+}
+
+/// A sequential reader over a store's chunk file.
+#[derive(Debug)]
+pub struct ChunkReader<'a> {
+    store: &'a ChunkStore,
+    file: BufReader<File>,
+}
+
+impl ChunkReader<'_> {
+    /// Reads chunk `id` into `payload` (buffers reused); returns the number
+    /// of bytes transferred from disk (the padded page span).
+    pub fn read_chunk(&mut self, id: usize, payload: &mut ChunkPayload) -> Result<u64> {
+        let meta = self
+            .store
+            .metas
+            .get(id)
+            .ok_or(Error::NoSuchChunk {
+                id,
+                n_chunks: self.store.metas.len(),
+            })?;
+        chunkfile::read_chunk_at(&mut self.file, meta, self.store.page_size, payload)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eff2_descriptor::{Descriptor, DIM};
+
+    fn sample_set(n: usize) -> DescriptorSet {
+        (0..n)
+            .map(|i| Descriptor::new(i as u32, Vector::splat(i as f32)))
+            .collect()
+    }
+
+    fn defs(groups: &[&[u32]], set: &DescriptorSet) -> Vec<ChunkDef> {
+        groups
+            .iter()
+            .map(|g| {
+                let vecs: Vec<Vector> =
+                    g.iter().map(|&p| set.vector_owned(p as usize)).collect();
+                let centroid = Vector::mean(vecs.iter());
+                let radius = vecs
+                    .iter()
+                    .map(|v| centroid.dist(v))
+                    .fold(0.0f32, f32::max);
+                ChunkDef {
+                    positions: g.to_vec(),
+                    centroid,
+                    radius,
+                }
+            })
+            .collect()
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eff2_store_{tag}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn create_open_read_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let set = sample_set(12);
+        let chunks = defs(&[&[0, 1, 2, 3], &[4, 5], &[6, 7, 8, 9, 10, 11]], &set);
+        let store = ChunkStore::create(&dir, "t", &set, &chunks, 512).expect("create");
+        assert_eq!(store.n_chunks(), 3);
+        assert_eq!(store.total_descriptors(), 12);
+
+        let reopened =
+            ChunkStore::open(store.chunk_path(), store.index_path()).expect("open");
+        assert_eq!(reopened.metas(), store.metas());
+
+        let mut reader = reopened.reader().expect("reader");
+        let mut payload = ChunkPayload::default();
+        let bytes = reader.read_chunk(2, &mut payload).expect("read");
+        assert_eq!(bytes % 512, 0);
+        assert_eq!(payload.len(), 6);
+        assert_eq!(payload.ids, vec![6, 7, 8, 9, 10, 11]);
+        assert_eq!(&payload.packed[0..DIM], set.vector(6));
+    }
+
+    #[test]
+    fn metas_carry_summaries() {
+        let dir = tmp_dir("summaries");
+        let set = sample_set(6);
+        let chunks = defs(&[&[0, 1, 2], &[3, 4, 5]], &set);
+        let store = ChunkStore::create(&dir, "s", &set, &chunks, 256).expect("create");
+        for (m, c) in store.metas().iter().zip(chunks.iter()) {
+            assert_eq!(m.centroid, c.centroid);
+            assert_eq!(m.radius, c.radius);
+            assert_eq!(m.count as usize, c.positions.len());
+        }
+    }
+
+    #[test]
+    fn read_out_of_range_chunk() {
+        let dir = tmp_dir("range");
+        let set = sample_set(4);
+        let chunks = defs(&[&[0, 1, 2, 3]], &set);
+        let store = ChunkStore::create(&dir, "r", &set, &chunks, 256).expect("create");
+        let mut reader = store.reader().expect("reader");
+        let mut payload = ChunkPayload::default();
+        assert!(matches!(
+            reader.read_chunk(5, &mut payload),
+            Err(Error::NoSuchChunk { id: 5, n_chunks: 1 })
+        ));
+    }
+
+    #[test]
+    fn open_detects_page_size_mismatch() {
+        let dir = tmp_dir("pagemismatch");
+        let set = sample_set(4);
+        let chunks = defs(&[&[0, 1, 2, 3]], &set);
+        let a = ChunkStore::create(&dir, "a", &set, &chunks, 256).expect("create");
+        let b = ChunkStore::create(&dir, "b", &set, &chunks, 512).expect("create");
+        // Pair a's chunk file with b's index file.
+        assert!(matches!(
+            ChunkStore::open(a.chunk_path(), b.index_path()),
+            Err(Error::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn open_detects_truncated_chunk_file() {
+        let dir = tmp_dir("trunc");
+        let set = sample_set(20);
+        let chunks = defs(&[&[0, 1, 2, 3, 4], &[5, 6, 7, 8, 9], &[10, 11, 12, 13, 14, 15, 16, 17, 18, 19]], &set);
+        let store = ChunkStore::create(&dir, "t", &set, &chunks, 256).expect("create");
+        // Chop the tail off the chunk file.
+        let data = std::fs::read(store.chunk_path()).expect("read file");
+        std::fs::write(store.chunk_path(), &data[..data.len() - 300]).expect("rewrite");
+        assert!(matches!(
+            ChunkStore::open(store.chunk_path(), store.index_path()),
+            Err(Error::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn empty_store() {
+        let dir = tmp_dir("empty");
+        let set = sample_set(0);
+        let store = ChunkStore::create(&dir, "e", &set, &[], 256).expect("create");
+        assert_eq!(store.n_chunks(), 0);
+        assert_eq!(store.total_descriptors(), 0);
+        let reopened = ChunkStore::open(store.chunk_path(), store.index_path()).expect("open");
+        assert_eq!(reopened.n_chunks(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the collection")]
+    fn create_rejects_bad_positions() {
+        let dir = tmp_dir("badpos");
+        let set = sample_set(2);
+        let chunks = vec![ChunkDef {
+            positions: vec![0, 7],
+            centroid: Vector::ZERO,
+            radius: 0.0,
+        }];
+        let _ = ChunkStore::create(&dir, "x", &set, &chunks, 256);
+    }
+}

@@ -1,0 +1,17 @@
+//! Cross-crate integration tests live in `tests/tests/`; this library only
+//! hosts shared helpers.
+
+use eff2_descriptor::{DescriptorSet, SyntheticCollection};
+use std::path::PathBuf;
+
+/// A deterministic synthetic collection for integration tests.
+pub fn test_collection(n: usize, seed: u64) -> DescriptorSet {
+    SyntheticCollection::with_size(n, seed).set
+}
+
+/// A scratch directory unique to `tag`.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eff2_it_{tag}"));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
