@@ -69,21 +69,24 @@ impl BagConfig {
         let m = sample_size.clamp(2, n);
         let mut rng = StdRng::seed_from_u64(seed);
         let sample: Vec<usize> = (0..m).map(|_| rng.gen_range(0..n)).collect();
-        let mut nn_dists: Vec<f32> = Vec::with_capacity(m);
-        for (a, &i) in sample.iter().enumerate() {
-            let vi = set.vector_owned(i);
+        // Gather the sample into a dense row block once, then run the
+        // blocked distance kernel per sample point — each point's
+        // nearest-in-sample search is independent, so the m×m phase
+        // parallelises across sample points.
+        let rows = eff2_descriptor::as_rows(set.packed());
+        let sample_rows: Vec<[f32; eff2_descriptor::DIM]> =
+            sample.iter().map(|&i| rows[i]).collect();
+        let mut nn_dists: Vec<f32> = eff2_parallel::par_map(&sample_rows, |a, q| {
+            let mut dists = vec![0.0f32; m];
+            eff2_descriptor::kernels::l2_sq_rows(q, &sample_rows, &mut dists);
             let mut best = f32::INFINITY;
-            for (b, &j) in sample.iter().enumerate() {
-                if a == b {
-                    continue;
-                }
-                let d = vi.dist_sq(&set.vector_owned(j));
-                if d < best {
+            for (b, &d) in dists.iter().enumerate() {
+                if b != a && d < best {
                     best = d;
                 }
             }
-            nn_dists.push(best.sqrt());
-        }
+            best.sqrt()
+        });
         nn_dists.sort_by(f32::total_cmp);
         (nn_dists[m / 2] * 0.5).max(1e-6)
     }
@@ -477,10 +480,14 @@ impl<'a> Bag<'a> {
             .iter()
             .map(|c| (c.len() as f64) >= limit)
             .collect();
-        let mut best: Option<usize> = None;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let (a, b) = (&self.clusters[i], &self.clusters[j]);
+        // The pair scan is a pure min-reduction: every (i, j) contributes a
+        // k-value independently, so the outer rows parallelise and the
+        // global minimum is order-independent (identical to the sequential
+        // scan, including its early exit at 0 — zero is the global minimum).
+        let row_min = eff2_parallel::par_map(&self.clusters, |i, a| {
+            let mut best = usize::MAX;
+            for (dj, b) in self.clusters[(i + 1)..].iter().enumerate() {
+                let j = i + 1 + dj;
                 let d = f64::from(a.centroid.dist(&b.centroid));
                 let (na, nb) = (a.len() as f64, b.len() as f64);
                 let da = d * nb / (na + nb);
@@ -506,13 +513,17 @@ impl<'a> Bag<'a> {
                     }
                     k
                 };
-                best = Some(best.map_or(k_pair, |b: usize| b.min(k_pair)));
-                if best == Some(0) {
-                    return Some(0);
+                best = best.min(k_pair);
+                if best == 0 {
+                    break;
                 }
             }
-        }
-        best.filter(|&k| k != usize::MAX)
+            best
+        });
+        row_min
+            .into_iter()
+            .min()
+            .filter(|&k| k != usize::MAX)
     }
 
     /// Applies the stall skip: jumps over the provably idle passes in one

@@ -10,7 +10,7 @@
 //! prunes with the true metric: a subtree is visited only if
 //! `d(q, center) ≤ R + radius`.
 
-use eff2_descriptor::{Vector, DIM};
+use eff2_descriptor::{l2_sq_x4, Vector, DIM};
 
 /// Maximum points per leaf.
 const LEAF: usize = 24;
@@ -114,10 +114,31 @@ impl BallTree {
             if node.left == u32::MAX {
                 let start = node.start as usize;
                 let end = start + node.len as usize;
-                for i in start..end {
-                    if q.dist_sq(&self.points[i]) <= r * r * (1.0 + 1e-5) + 1e-6 {
+                let r_sq = r * r * (1.0 + 1e-5) + 1e-6;
+                // Blocked leaf filter: four distances per step.
+                let leaf = &self.points[start..end];
+                let mut blocks = leaf.chunks_exact(4);
+                let mut i = start;
+                for blk in &mut blocks {
+                    let d = l2_sq_x4(
+                        q.as_array(),
+                        blk[0].as_array(),
+                        blk[1].as_array(),
+                        blk[2].as_array(),
+                        blk[3].as_array(),
+                    );
+                    for &dj in &d {
+                        if dj <= r_sq {
+                            out.push(self.payloads[i] as usize);
+                        }
+                        i += 1;
+                    }
+                }
+                for p in blocks.remainder() {
+                    if q.dist_sq(p) <= r_sq {
                         out.push(self.payloads[i] as usize);
                     }
+                    i += 1;
                 }
             } else {
                 stack.push(node.left);

@@ -8,6 +8,7 @@
 //! against the maintained radius, while the merged cluster's new radius is
 //! recomputed exactly.
 
+use eff2_descriptor::kernels::{as_rows, max_dist_sq_gather};
 use eff2_descriptor::{DescriptorSet, Vector, DIM};
 
 /// One BAG cluster.
@@ -91,21 +92,19 @@ impl Cluster {
             .max(0.0)
     }
 
-    /// Exact merged minimum bounding radius — O(|a| + |b|) member scan.
+    /// Exact merged minimum bounding radius — O(|a| + |b|) member scan,
+    /// blocked gather over the collection's packed storage.
     pub fn merged_radius_exact(
         a: &Cluster,
         b: &Cluster,
         c_new: &Vector,
         set: &DescriptorSet,
     ) -> f32 {
-        let mut r = 0.0f32;
-        for &p in a.members.iter().chain(b.members.iter()) {
-            let d = c_new.dist_sq(&set.vector_owned(p as usize));
-            if d > r {
-                r = d;
-            }
-        }
-        r.sqrt()
+        let rows = as_rows(set.packed());
+        let q = c_new.as_array();
+        max_dist_sq_gather(q, rows, &a.members)
+            .max(max_dist_sq_gather(q, rows, &b.members))
+            .sqrt()
     }
 
     /// Merges `b` into `a`, consuming both, with the exact new centroid and
@@ -127,12 +126,9 @@ impl Cluster {
     /// Recomputes `tight_radius` from scratch (diagnostic; the incremental
     /// path maintains it exactly already).
     pub fn recompute_tight_radius(&mut self, set: &DescriptorSet) {
-        let c = self.centroid;
-        self.tight_radius = self
-            .members
-            .iter()
-            .map(|&p| c.dist(&set.vector_owned(p as usize)))
-            .fold(0.0f32, f32::max);
+        self.tight_radius =
+            max_dist_sq_gather(self.centroid.as_array(), as_rows(set.packed()), &self.members)
+                .sqrt();
     }
 }
 

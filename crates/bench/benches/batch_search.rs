@@ -1,0 +1,45 @@
+//! Multi-query batch search over a shared read-only chunk store.
+//!
+//! `sequential` runs the queries one at a time through [`search`];
+//! `threads/N` runs the same workload through [`search_batch_threads`]
+//! with N workers. The answers (and every per-query `ChunkEvent` trace)
+//! are identical by construction — see the determinism test — so this
+//! bench measures pure wall-clock scaling of the parallel driver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eff2_bench::fixtures;
+use eff2_core::search::{search, search_batch_threads};
+use eff2_core::SearchParams;
+use eff2_storage::diskmodel::DiskModel;
+use std::hint::black_box;
+
+fn batch_search(c: &mut Criterion) {
+    let store = fixtures::sr_index().store();
+    let model = DiskModel::ata_2005();
+    let queries = fixtures::queries(32);
+    let params = SearchParams::exact(30);
+
+    let mut g = c.benchmark_group("batch_search");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(queries.len() as u64));
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(search(store, &model, q, &params).expect("search"));
+            }
+        })
+    });
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
+            b.iter(|| {
+                black_box(
+                    search_batch_threads(store, &model, &queries, &params, t).expect("batch"),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, batch_search);
+criterion_main!(benches);

@@ -63,7 +63,7 @@ fn fig1_largest_chunks(c: &mut Criterion) {
                     (p.len(), r)
                 })
                 .collect();
-            sizes.sort_by(|a, b| b.0.cmp(&a.0));
+            sizes.sort_by_key(|s| std::cmp::Reverse(s.0));
             black_box(sizes)
         })
     });

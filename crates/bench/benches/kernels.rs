@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use eff2_bench::fixtures;
 use eff2_core::{scan_knn, NeighborSet};
-use eff2_descriptor::{codec, l2_sq, l2_sq_batch, DIM};
+use eff2_descriptor::{as_rows, codec, l2_sq, l2_sq_batch, l2_sq_serial, scan_block_into, DIM};
 use eff2_srtree::{bulk_build, BulkConfig};
 use std::hint::black_box;
 
@@ -14,24 +14,55 @@ fn distance_kernels(c: &mut Criterion) {
     let q = set.vector_owned(0);
     let n = set.len().min(4_096);
     let packed = &set.packed()[..n * DIM];
+    let ids = &set.raw_ids()[..n];
     let mut out = vec![0.0f32; n];
 
     let mut g = c.benchmark_group("distance_kernels");
     g.throughput(Throughput::Elements(n as u64));
+    // Scalar baseline: one row at a time through the original
+    // single-accumulator kernel (the seed's hot loop).
     g.bench_function("l2_sq_scalar_loop", |b| {
         b.iter(|| {
             let mut acc = 0.0f32;
-            for row in packed.chunks_exact(DIM) {
-                let row: &[f32; DIM] = row.try_into().expect("exact");
+            for row in as_rows(packed) {
+                acc += l2_sq_serial(q.as_array(), row);
+            }
+            black_box(acc)
+        })
+    });
+    // Lane kernel, still one row at a time.
+    g.bench_function("l2_sq_lane_loop", |b| {
+        b.iter(|| {
+            let mut acc = 0.0f32;
+            for row in as_rows(packed) {
                 acc += l2_sq(q.as_array(), row);
             }
             black_box(acc)
         })
     });
+    // Blocked: four rows per step, unrolled accumulators.
     g.bench_function("l2_sq_batch", |b| {
         b.iter(|| {
             l2_sq_batch(q.as_array(), packed, &mut out);
             black_box(out[0])
+        })
+    });
+    // Fused: blocked distances offered straight into the top-k set, with
+    // the kth-distance prune — versus the same scan done scalar.
+    g.bench_function("scan_scalar_topk30", |b| {
+        b.iter(|| {
+            let mut ns = NeighborSet::new(30);
+            for (i, row) in as_rows(packed).iter().enumerate() {
+                ns.offer(ids[i], l2_sq(q.as_array(), row));
+            }
+            black_box(ns.kth_dist())
+        })
+    });
+    g.bench_function("scan_fused_topk30", |b| {
+        b.iter(|| {
+            let mut ns = NeighborSet::new(30);
+            scan_block_into(q.as_array(), packed, ids, &mut ns);
+            black_box(ns.kth_dist())
         })
     });
     g.finish();

@@ -4,7 +4,6 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use eff2_bench::fixtures;
-use eff2_descriptor::DIM;
 use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
 use eff2_storage::prefetch::prefetch_chunks;
 use eff2_storage::ChunkData;
@@ -20,8 +19,7 @@ fn overlap_ablation_real_io(c: &mut Criterion) {
 
     let scan = |payload: &ChunkData| -> f32 {
         let mut acc = 0.0f32;
-        for row in payload.packed.chunks_exact(DIM) {
-            let row: &[f32; DIM] = row.try_into().expect("exact");
+        for row in eff2_descriptor::as_rows(&payload.packed) {
             acc += eff2_descriptor::l2_sq(q.as_array(), row);
         }
         acc

@@ -332,6 +332,8 @@ impl ChunkFormer for HybridChunker {
             ops += (l * l) as u64;
 
             let mut moved = 0usize;
+            // Indexed loop: the body reassigns `chunk_of[p]` on a move.
+            #[allow(clippy::needless_range_loop)]
             for p in 0..set.len() {
                 let from = chunk_of[p] as usize;
                 if membership[from].len() <= lo {
@@ -346,7 +348,7 @@ impl ChunkFormer for HybridChunker {
                         continue;
                     }
                     let d = v.dist_sq(&centroids[j]);
-                    if d < own_d && best.map_or(true, |(_, bd)| d < bd) {
+                    if d < own_d && best.is_none_or(|(_, bd)| d < bd) {
                         best = Some((j, d));
                     }
                 }

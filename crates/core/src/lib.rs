@@ -42,4 +42,7 @@ pub use chunkers::{
 pub use index::{BuiltIndex, ChunkIndex};
 pub use neighbors::{Neighbor, NeighborSet};
 pub use scan::{scan_knn, scan_store_knn};
-pub use search::{ChunkEvent, SearchLog, SearchParams, SearchResult, StopRule};
+pub use search::{
+    search_batch, search_batch_threads, ChunkEvent, SearchLog, SearchParams, SearchResult,
+    StopRule,
+};

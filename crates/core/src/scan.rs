@@ -7,16 +7,14 @@
 //! (the curse-of-dimensionality fallback every index degrades to).
 
 use crate::neighbors::{Neighbor, NeighborSet};
-use eff2_descriptor::{DescriptorSet, Vector, DIM};
+use eff2_descriptor::{scan_block_into, DescriptorSet, Vector};
 use eff2_storage::{ChunkStore, Result};
 
-/// Exact k-nearest neighbours of `query` by scanning `set`.
+/// Exact k-nearest neighbours of `query` by scanning `set` with the
+/// fused block kernel.
 pub fn scan_knn(set: &DescriptorSet, query: &Vector, k: usize) -> Vec<Neighbor> {
     let mut best = NeighborSet::new(k);
-    for (i, row) in set.packed().chunks_exact(DIM).enumerate() {
-        let row: &[f32; DIM] = row.try_into().expect("chunks_exact yields DIM rows");
-        best.offer(set.id(i).0, eff2_descriptor::l2_sq(query.as_array(), row));
-    }
+    scan_block_into(query.as_array(), set.packed(), set.raw_ids(), &mut best);
     best.sorted()
 }
 
@@ -28,10 +26,7 @@ pub fn scan_store_knn(store: &ChunkStore, query: &Vector, k: usize) -> Result<Ve
     let mut payload = eff2_storage::ChunkData::default();
     for id in 0..store.n_chunks() {
         reader.read_chunk(id, &mut payload)?;
-        for (row, &did) in payload.packed.chunks_exact(DIM).zip(payload.ids.iter()) {
-            let row: &[f32; DIM] = row.try_into().expect("chunks_exact yields DIM rows");
-            best.offer(did, eff2_descriptor::l2_sq(query.as_array(), row));
-        }
+        scan_block_into(query.as_array(), &payload.packed, &payload.ids, &mut best);
     }
     Ok(best.sorted())
 }

@@ -25,7 +25,7 @@
 //! for all of the paper's quality-vs-time figures.
 
 use crate::neighbors::{Neighbor, NeighborSet};
-use eff2_descriptor::{Vector, DIM};
+use eff2_descriptor::{scan_block_into, Vector};
 use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
 use eff2_storage::prefetch::prefetch_chunks;
 use eff2_storage::{ChunkStore, Result};
@@ -182,17 +182,14 @@ pub fn search(
         let iter = prefetch_chunks(store, order[..chunk_budget].to_vec(), params.prefetch_depth)?;
         for (rank, item) in iter.enumerate() {
             let chunk = item?;
-            // Step 2: scan the chunk against the query.
-            for (row, &id) in chunk
-                .payload
-                .packed
-                .chunks_exact(DIM)
-                .zip(chunk.payload.ids.iter())
-            {
-                let row: &[f32; DIM] = row.try_into().expect("chunks_exact yields DIM rows");
-                let d = eff2_descriptor::l2_sq(query.as_array(), row);
-                neighbors.offer(id, d);
-            }
+            // Step 2: scan the chunk against the query (fused block
+            // kernel: blocked distances offered straight into the set).
+            scan_block_into(
+                query.as_array(),
+                &chunk.payload.packed,
+                &chunk.payload.ids,
+                &mut neighbors,
+            );
 
             let io = model.io_time(chunk.bytes_read);
             let cpu = model.scan_time(chunk.payload.len());
@@ -259,6 +256,36 @@ pub fn search(
         neighbors: neighbors.sorted(),
         log,
     })
+}
+
+/// Executes a batch of queries in parallel over a shared read-only store.
+///
+/// Parallelism stops at the query boundary: each query runs the full
+/// sequential [`search`] with its own chunk reader and its own
+/// [`PipelineClock`], so the per-query virtual-time accounting — and with
+/// it every [`ChunkEvent`] field (rank, chunk id, count, bytes,
+/// `completed_at`, kth distance, top-k snapshot) — is bit-identical to a
+/// one-query-at-a-time run. The determinism test asserts exactly that.
+/// Results come back in query order.
+pub fn search_batch(
+    store: &ChunkStore,
+    model: &DiskModel,
+    queries: &[Vector],
+    params: &SearchParams,
+) -> Result<Vec<SearchResult>> {
+    eff2_parallel::try_par_map(queries, |_, q| search(store, model, q, params))
+}
+
+/// [`search_batch`] with an explicit worker-thread count (the batch bench
+/// sweeps this; `search_batch` itself uses [`eff2_parallel::max_threads`]).
+pub fn search_batch_threads(
+    store: &ChunkStore,
+    model: &DiskModel,
+    queries: &[Vector],
+    params: &SearchParams,
+    threads: usize,
+) -> Result<Vec<SearchResult>> {
+    eff2_parallel::try_par_map_threads(threads, queries, |_, q| search(store, model, q, params))
 }
 
 #[cfg(test)]

@@ -1,0 +1,148 @@
+//! `search_batch` must be observationally identical to running `search`
+//! once per query: parallelism stops at the query boundary, so every
+//! per-query `ChunkEvent` trace — rank, chunk id, count, bytes read,
+//! virtual completion time, kth distance, top-k snapshot — is required to
+//! be *bit-identical* to the sequential run, under every stop rule and
+//! regardless of worker-thread count.
+
+use eff2_core::chunkers::{ChunkFormer, RoundRobinChunker, SrTreeChunker};
+use eff2_core::search::search;
+use eff2_core::{search_batch, search_batch_threads, SearchParams, SearchResult, StopRule};
+use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
+use eff2_storage::ChunkStore;
+
+fn lumpy_set(n: usize) -> DescriptorSet {
+    (0..n)
+        .map(|i| {
+            let blob = (i % 5) as f32 * 20.0;
+            let mut v = Vector::splat(blob);
+            v[0] += ((i * 31) % 23) as f32 * 0.3;
+            v[3] -= ((i * 17) % 19) as f32 * 0.2;
+            Descriptor::new(i as u32, v)
+        })
+        .collect()
+}
+
+fn build_store(tag: &str, set: &DescriptorSet, former: &dyn ChunkFormer) -> ChunkStore {
+    let dir = std::env::temp_dir().join(format!("eff2_batch_det_{tag}"));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let formation = former.form(set);
+    ChunkStore::create(&dir, "ix", set, &formation.chunks, 512).expect("create")
+}
+
+fn queries(set: &DescriptorSet) -> Vec<Vector> {
+    let mut qs: Vec<Vector> = [0usize, 17, 123, 250, 444]
+        .iter()
+        .filter(|&&i| i < set.len())
+        .map(|&i| set.vector_owned(i))
+        .collect();
+    qs.push(Vector::splat(9.5)); // off-dataset
+    qs.push(Vector::ZERO);
+    qs
+}
+
+fn assert_bit_identical(seq: &SearchResult, par: &SearchResult, tag: &str) {
+    // Neighbours: same ids, same distances to the bit.
+    assert_eq!(seq.neighbors.len(), par.neighbors.len(), "{tag}: k");
+    for (s, p) in seq.neighbors.iter().zip(par.neighbors.iter()) {
+        assert_eq!(s.id, p.id, "{tag}: neighbor id");
+        assert_eq!(s.dist.to_bits(), p.dist.to_bits(), "{tag}: neighbor dist");
+    }
+    // Log scalars.
+    let (sl, pl) = (&seq.log, &par.log);
+    assert_eq!(vd_bits(sl.index_read_time), vd_bits(pl.index_read_time), "{tag}: index time");
+    assert_eq!(sl.chunks_read, pl.chunks_read, "{tag}: chunks_read");
+    assert_eq!(sl.descriptors_scanned, pl.descriptors_scanned, "{tag}: scanned");
+    assert_eq!(sl.bytes_read, pl.bytes_read, "{tag}: bytes");
+    assert_eq!(vd_bits(sl.total_virtual), vd_bits(pl.total_virtual), "{tag}: total virtual");
+    assert_eq!(sl.completed, pl.completed, "{tag}: completed");
+    // Full per-chunk event trace.
+    assert_eq!(sl.events.len(), pl.events.len(), "{tag}: event count");
+    for (s, p) in sl.events.iter().zip(pl.events.iter()) {
+        assert_eq!(s.rank, p.rank, "{tag}: rank");
+        assert_eq!(s.chunk_id, p.chunk_id, "{tag}: chunk_id");
+        assert_eq!(s.count, p.count, "{tag}: count");
+        assert_eq!(s.bytes_read, p.bytes_read, "{tag}: event bytes");
+        assert_eq!(vd_bits(s.completed_at), vd_bits(p.completed_at), "{tag}: completed_at");
+        assert_eq!(s.kth_dist.to_bits(), p.kth_dist.to_bits(), "{tag}: kth_dist");
+        assert_eq!(s.topk_ids, p.topk_ids, "{tag}: topk snapshot");
+    }
+}
+
+fn vd_bits(t: VirtualDuration) -> u64 {
+    t.as_secs().to_bits()
+}
+
+#[test]
+fn batch_traces_bit_identical_to_sequential_under_every_stop_rule() {
+    let set = lumpy_set(600);
+    let model = DiskModel::ata_2005();
+    let qs = queries(&set);
+    let budget = VirtualDuration::from_secs(0.05);
+    let rules: Vec<(&str, StopRule)> = vec![
+        ("completion", StopRule::ToCompletion),
+        ("chunks", StopRule::Chunks(4)),
+        ("vtime", StopRule::VirtualTime(budget)),
+        ("eps", StopRule::ToCompletionEps(0.5)),
+    ];
+    for (ftag, former) in [
+        ("sr", &SrTreeChunker { leaf_size: 40 } as &dyn ChunkFormer),
+        ("rr", &RoundRobinChunker { n_chunks: 11 } as &dyn ChunkFormer),
+    ] {
+        let store = build_store(ftag, &set, former);
+        for (rtag, stop) in &rules {
+            let params = SearchParams {
+                k: 10,
+                stop: *stop,
+                prefetch_depth: 2,
+                log_snapshots: true,
+            };
+            let seq: Vec<SearchResult> = qs
+                .iter()
+                .map(|q| search(&store, &model, q, &params).expect("sequential"))
+                .collect();
+            // More workers than cores and more queries than workers: the
+            // interleaving is maximally different from sequential.
+            let par = search_batch_threads(&store, &model, &qs, &params, 4).expect("batch");
+            assert_eq!(seq.len(), par.len());
+            for (i, (s, p)) in seq.iter().zip(par.iter()).enumerate() {
+                assert_bit_identical(s, p, &format!("{ftag}/{rtag}/q{i}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn default_batch_matches_sequential() {
+    let set = lumpy_set(400);
+    let store = build_store("default", &set, &SrTreeChunker { leaf_size: 30 });
+    let model = DiskModel::ata_2005();
+    let qs = queries(&set);
+    let params = SearchParams::exact(7);
+    let seq: Vec<SearchResult> = qs
+        .iter()
+        .map(|q| search(&store, &model, q, &params).expect("sequential"))
+        .collect();
+    let par = search_batch(&store, &model, &qs, &params).expect("batch");
+    for (i, (s, p)) in seq.iter().zip(par.iter()).enumerate() {
+        assert_bit_identical(s, p, &format!("default/q{i}"));
+    }
+}
+
+#[test]
+fn batch_of_one_and_empty_batch() {
+    let set = lumpy_set(100);
+    let store = build_store("edge", &set, &SrTreeChunker { leaf_size: 25 });
+    let model = DiskModel::ata_2005();
+    let params = SearchParams::exact(5);
+    let empty: Vec<Vector> = Vec::new();
+    assert!(search_batch(&store, &model, &empty, &params)
+        .expect("empty batch")
+        .is_empty());
+    let one = vec![set.vector_owned(3)];
+    let got = search_batch(&store, &model, &one, &params).expect("one");
+    assert_eq!(got.len(), 1);
+    let want = search(&store, &model, &one[0], &params).expect("seq");
+    assert_bit_identical(&want, &got[0], "single");
+}

@@ -266,7 +266,7 @@ mod tests {
 
     #[test]
     fn rejects_truncated_header() {
-        let buf = vec![0u8; 10];
+        let buf = [0u8; 10];
         assert!(matches!(
             read_collection(&buf[..]),
             Err(Error::Truncated { .. })

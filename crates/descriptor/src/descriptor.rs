@@ -13,10 +13,9 @@
 //! this association to aggregate descriptor hits into image-level answers.
 
 use crate::vector::{Vector, DIM};
-use serde::{Deserialize, Serialize};
 
 /// Identifier of a single descriptor, unique within a collection.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct DescriptorId(pub u32);
 
 impl std::fmt::Display for DescriptorId {
@@ -26,7 +25,7 @@ impl std::fmt::Display for DescriptorId {
 }
 
 /// Identifier of the image a descriptor was computed from.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
 pub struct ImageId(pub u32);
 
 impl std::fmt::Display for ImageId {

@@ -100,7 +100,7 @@ mod tests {
     #[test]
     fn io_error_preserves_source() {
         use std::error::Error as _;
-        let e = Error::from(std::io::Error::new(std::io::ErrorKind::Other, "boom"));
+        let e = Error::from(std::io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

@@ -1,0 +1,293 @@
+//! Blocked and fused distance kernels over packed row-major buffers.
+//!
+//! Chunk scans dominate query cost: every descriptor in every fetched
+//! chunk is one squared-distance evaluation against the query (§4.3). The
+//! canonical [`l2_sq`] kernel accumulates into lanes so LLVM vectorises
+//! *within* one row; the kernels here additionally process rows in blocks
+//! of [`BLOCK`], which
+//!
+//! * shares the query loads across the block and gives the CPU `BLOCK`
+//!   independent reductions to overlap, and
+//! * keeps each row's accumulation order identical to [`l2_sq`] (the same
+//!   lane scheme), so every distance is **bit-identical** to the
+//!   single-row kernel (property-tested in `tests/props.rs`) — the
+//!   blocked path is a pure speed-up, never a semantic change.
+//!
+//! [`scan_block_into`] additionally fuses the top-k offer loop into the
+//! block scan: distances stay in registers (no per-chunk distance buffer)
+//! and a whole block is skipped against the current kth distance before
+//! any heap traffic happens.
+
+use crate::neighbors::NeighborSet;
+use crate::vector::{l2_sq, DIM};
+
+/// Rows per block. Four rows keeps all accumulators in registers on
+/// every x86-64/aarch64 target while already saturating the gain; eight
+/// measured no better (see `EXPERIMENTS.md`).
+pub const BLOCK: usize = 4;
+
+/// Reinterprets a packed row-major buffer as `DIM`-sized rows.
+///
+/// This is the one safe choke point replacing the
+/// `try_into().expect(...)` pattern every `chunks_exact(DIM)` consumer
+/// used to carry.
+///
+/// # Panics
+///
+/// Panics if `packed.len()` is not a multiple of [`DIM`]; everywhere this
+/// is used that is an internal invariant violation.
+#[inline]
+pub fn as_rows(packed: &[f32]) -> &[[f32; DIM]] {
+    let (rows, rest) = packed.as_chunks::<DIM>();
+    assert!(
+        rest.is_empty(),
+        "packed vector data must be a multiple of DIM"
+    );
+    rows
+}
+
+/// Squared distances from `q` to four rows.
+///
+/// Each row runs the canonical lane kernel, so
+/// `l2_sq_x4(q, a, b, c, d)[0] == l2_sq(q, a)` exactly, bit for bit; the
+/// four inlined reductions are independent and overlap in the pipeline.
+#[inline]
+pub fn l2_sq_x4(
+    q: &[f32; DIM],
+    r0: &[f32; DIM],
+    r1: &[f32; DIM],
+    r2: &[f32; DIM],
+    r3: &[f32; DIM],
+) -> [f32; 4] {
+    [l2_sq(q, r0), l2_sq(q, r1), l2_sq(q, r2), l2_sq(q, r3)]
+}
+
+/// Blocked squared distances from `q` to every row, written to `out`.
+///
+/// # Panics
+///
+/// Panics if `out.len() != rows.len()`.
+pub fn l2_sq_rows(q: &[f32; DIM], rows: &[[f32; DIM]], out: &mut [f32]) {
+    assert_eq!(out.len(), rows.len(), "output length mismatch");
+    let mut i = 0;
+    while i + BLOCK <= rows.len() {
+        let d = l2_sq_x4(q, &rows[i], &rows[i + 1], &rows[i + 2], &rows[i + 3]);
+        out[i..i + BLOCK].copy_from_slice(&d);
+        i += BLOCK;
+    }
+    for j in i..rows.len() {
+        out[j] = l2_sq(q, &rows[j]);
+    }
+}
+
+/// Blocked squared distances from `q` to a packed buffer, reusing `out`'s
+/// capacity (`out` is cleared first).
+///
+/// # Panics
+///
+/// Panics if `packed.len()` is not a multiple of [`DIM`].
+pub fn l2_sq_batch(q: &[f32; DIM], packed: &[f32], out: &mut Vec<f32>) {
+    let rows = as_rows(packed);
+    out.clear();
+    out.resize(rows.len(), 0.0);
+    l2_sq_rows(q, rows, out);
+}
+
+/// Fused block scan: computes blocked distances to `packed` and offers
+/// each `(id, dist_sq)` to `best`, skipping candidates the current kth
+/// distance already prunes. Distances never touch memory.
+///
+/// Equivalent to offering `l2_sq(q, row)` row by row — the [`NeighborSet`]
+/// total order `(dist_sq, id)` makes the outcome independent of both the
+/// pruning and the offer order.
+///
+/// # Panics
+///
+/// Panics if `packed.len()` is not a multiple of [`DIM`] or if there is
+/// not exactly one id per row.
+pub fn scan_block_into(q: &[f32; DIM], packed: &[f32], ids: &[u32], best: &mut NeighborSet) {
+    let rows = as_rows(packed);
+    assert_eq!(rows.len(), ids.len(), "one id per packed row");
+    if best.k() == 0 {
+        return;
+    }
+    let mut i = 0;
+    while i + BLOCK <= rows.len() {
+        let d = l2_sq_x4(q, &rows[i], &rows[i + 1], &rows[i + 2], &rows[i + 3]);
+        // The kth distance only shrinks inside the block, so the value at
+        // block entry is a conservative prune: a skipped candidate could
+        // never be accepted, an admitted one is re-checked by `offer`.
+        let kth = best.kth_dist_sq();
+        for (j, &dj) in d.iter().enumerate() {
+            if dj <= kth {
+                best.offer(ids[i + j], dj);
+            }
+        }
+        i += BLOCK;
+    }
+    for j in i..rows.len() {
+        best.offer(ids[j], l2_sq(q, &rows[j]));
+    }
+}
+
+/// Max squared distance from `q` to the rows at `positions` (a scattered
+/// gather over a packed buffer); `0.0` for no positions.
+///
+/// This is the radius-recomputation kernel: BAG's exact merged radius is
+/// the max distance from a candidate centroid to every member of both
+/// clusters, gathered by position from the collection's packed storage.
+///
+/// # Panics
+///
+/// Panics if any position is out of range.
+pub fn max_dist_sq_gather(q: &[f32; DIM], rows: &[[f32; DIM]], positions: &[u32]) -> f32 {
+    let mut m0 = 0.0f32;
+    let mut m1 = 0.0f32;
+    let mut m2 = 0.0f32;
+    let mut m3 = 0.0f32;
+    let mut chunks = positions.chunks_exact(BLOCK);
+    for p in &mut chunks {
+        let d = l2_sq_x4(
+            q,
+            &rows[p[0] as usize],
+            &rows[p[1] as usize],
+            &rows[p[2] as usize],
+            &rows[p[3] as usize],
+        );
+        m0 = m0.max(d[0]);
+        m1 = m1.max(d[1]);
+        m2 = m2.max(d[2]);
+        m3 = m3.max(d[3]);
+    }
+    for &p in chunks.remainder() {
+        m0 = m0.max(l2_sq(q, &rows[p as usize]));
+    }
+    m0.max(m1).max(m2).max(m3)
+}
+
+/// Index of the nearest row to `q` among `rows`, with its squared
+/// distance; `None` for an empty slice. Ties resolve to the smallest
+/// index (same determinism rule as [`NeighborSet`]).
+pub fn nearest_row(q: &[f32; DIM], rows: &[[f32; DIM]]) -> Option<(usize, f32)> {
+    let mut best: Option<(usize, f32)> = None;
+    let mut i = 0;
+    while i + BLOCK <= rows.len() {
+        let d = l2_sq_x4(q, &rows[i], &rows[i + 1], &rows[i + 2], &rows[i + 3]);
+        for (j, &dj) in d.iter().enumerate() {
+            if best.is_none_or(|(_, bd)| dj < bd) {
+                best = Some((i + j, dj));
+            }
+        }
+        i += BLOCK;
+    }
+    for (j, row) in rows.iter().enumerate().skip(i) {
+        let dj = l2_sq(q, row);
+        if best.is_none_or(|(_, bd)| dj < bd) {
+            best = Some((j, dj));
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector::Vector;
+
+    fn rows_of(n: usize, f: impl Fn(usize, usize) -> f32) -> Vec<f32> {
+        let mut packed = Vec::with_capacity(n * DIM);
+        for r in 0..n {
+            for i in 0..DIM {
+                packed.push(f(r, i));
+            }
+        }
+        packed
+    }
+
+    #[test]
+    fn as_rows_splits_exactly() {
+        let packed = rows_of(5, |r, i| (r * DIM + i) as f32);
+        let rows = as_rows(&packed);
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[2][0], (2 * DIM) as f32);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of DIM")]
+    fn as_rows_rejects_ragged() {
+        as_rows(&[0.0f32; DIM + 3]);
+    }
+
+    #[test]
+    fn x4_matches_scalar_bitwise() {
+        let q: [f32; DIM] = std::array::from_fn(|i| (i as f32).sin() * 3.7);
+        let packed = rows_of(4, |r, i| ((r * 31 + i * 7) as f32).cos() * 11.1);
+        let rows = as_rows(&packed);
+        let d = l2_sq_x4(&q, &rows[0], &rows[1], &rows[2], &rows[3]);
+        for (j, &dj) in d.iter().enumerate() {
+            assert_eq!(dj.to_bits(), l2_sq(&q, &rows[j]).to_bits(), "row {j}");
+        }
+    }
+
+    #[test]
+    fn batch_handles_non_block_multiples() {
+        let q: [f32; DIM] = std::array::from_fn(|i| i as f32 * 0.25);
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 13] {
+            let packed = rows_of(n, |r, i| (r + i) as f32 * 0.5);
+            let mut out = Vec::new();
+            l2_sq_batch(&q, &packed, &mut out);
+            assert_eq!(out.len(), n);
+            for (j, row) in as_rows(&packed).iter().enumerate() {
+                assert_eq!(out[j].to_bits(), l2_sq(&q, row).to_bits(), "n={n} row {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scan_equals_rowwise_offers() {
+        let q: [f32; DIM] = std::array::from_fn(|i| ((i * i) % 13) as f32);
+        for n in [0usize, 1, 4, 6, 50] {
+            let packed = rows_of(n, |r, i| ((r * 17 + i * 3) % 23) as f32);
+            let ids: Vec<u32> = (0..n as u32).map(|x| x * 10 + 1).collect();
+            let mut fused = NeighborSet::new(5);
+            scan_block_into(&q, &packed, &ids, &mut fused);
+            let mut rowwise = NeighborSet::new(5);
+            for (row, &id) in as_rows(&packed).iter().zip(ids.iter()) {
+                rowwise.offer(id, l2_sq(&q, row));
+            }
+            assert_eq!(fused.sorted(), rowwise.sorted(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn fused_scan_k_zero_is_noop() {
+        let packed = rows_of(8, |r, i| (r + i) as f32);
+        let ids: Vec<u32> = (0..8).collect();
+        let mut set = NeighborSet::new(0);
+        scan_block_into(&[0.0; DIM], &packed, &ids, &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn gather_max_matches_scatter_loop() {
+        let q: [f32; DIM] = std::array::from_fn(|i| i as f32);
+        let packed = rows_of(20, |r, i| ((r * 7 + i) % 11) as f32);
+        let rows = as_rows(&packed);
+        for positions in [vec![], vec![3u32], vec![19, 0, 7], (0..20u32).rev().collect()] {
+            let want = positions
+                .iter()
+                .map(|&p| l2_sq(&q, &rows[p as usize]))
+                .fold(0.0f32, f32::max);
+            assert_eq!(max_dist_sq_gather(&q, rows, &positions), want);
+        }
+    }
+
+    #[test]
+    fn nearest_row_finds_exact_match_and_breaks_ties_low() {
+        let v = |x: f32| Vector::splat(x).0;
+        let rows = [v(5.0), v(1.0), v(3.0), v(1.0), v(9.0), v(2.0)];
+        let (idx, d) = nearest_row(&v(1.0), &rows).expect("non-empty");
+        assert_eq!((idx, d), (1, 0.0));
+        assert!(nearest_row(&v(0.0), &[]).is_none());
+    }
+}

@@ -30,11 +30,15 @@ pub mod codec;
 pub mod descriptor;
 pub mod error;
 pub mod gen;
+pub mod kernels;
+pub mod neighbors;
 pub mod stats;
 pub mod vector;
 
 pub use descriptor::{Descriptor, DescriptorId, DescriptorSet, ImageId};
 pub use error::{Error, Result};
 pub use gen::{CollectionSpec, SyntheticCollection};
+pub use kernels::{as_rows, l2_sq_x4, scan_block_into};
+pub use neighbors::{Neighbor, NeighborSet};
 pub use stats::{DimensionStats, TrimmedRanges};
-pub use vector::{l2, l2_sq, l2_sq_batch, Vector, DIM};
+pub use vector::{l2, l2_sq, l2_sq_batch, l2_sq_serial, Vector, DIM, LANES};

@@ -8,7 +8,6 @@
 //! they stay in the *squared* domain; callers take the square root only at
 //! API boundaries where a true metric is required.
 
-use serde::{Deserialize, Serialize};
 
 /// Dimensionality of the local image descriptors used throughout the paper.
 pub const DIM: usize = 24;
@@ -18,7 +17,7 @@ pub const DIM: usize = 24;
 /// `Vector` is a thin wrapper over `[f32; 24]` that carries the arithmetic
 /// needed by the index structures: component-wise accumulation for centroid
 /// maintenance, scaling, and distance kernels.
-#[derive(Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq)]
 pub struct Vector(pub [f32; DIM]);
 
 impl std::fmt::Debug for Vector {
@@ -177,12 +176,49 @@ impl std::ops::IndexMut<usize> for Vector {
     }
 }
 
+/// Accumulator lanes of the canonical distance kernel. [`DIM`] (24) is an
+/// exact multiple, so the lane loop has no remainder and LLVM maps the
+/// accumulator array straight onto one 8-wide SIMD register.
+pub const LANES: usize = 8;
+const _: () = assert!(DIM.is_multiple_of(LANES), "DIM must be a multiple of LANES");
+
 /// Squared Euclidean distance between two 24-dimensional points.
 ///
 /// This is *the* hot kernel: every chunk scan evaluates it once per stored
-/// descriptor. Fixed-size arrays let LLVM unroll the loop completely.
+/// descriptor. It accumulates into [`LANES`] independent partial sums
+/// (component `i` goes to lane `i % LANES`) and combines them in the fixed
+/// pairwise order of [`sum_lanes`]. The lane split is what lets the
+/// autovectorizer emit wide SIMD — a single running sum is a serial
+/// dependency chain LLVM must not reassociate (see [`l2_sq_serial`]). The
+/// lane order is part of the kernel's defined semantics: every distance
+/// path (single-row, blocked, fused, gathered) accumulates in this exact
+/// order, so equal inputs give bit-identical distances everywhere.
 #[inline]
 pub fn l2_sq(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
+    let mut acc = [0.0f32; LANES];
+    let mut i = 0;
+    while i < DIM {
+        for (l, s) in acc.iter_mut().enumerate() {
+            let d = a[i + l] - b[i + l];
+            *s += d * d;
+        }
+        i += LANES;
+    }
+    sum_lanes(&acc)
+}
+
+/// Fixed pairwise combine of the lane accumulators.
+#[inline]
+fn sum_lanes(acc: &[f32; LANES]) -> f32 {
+    ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))
+}
+
+/// The one-accumulator kernel the lane kernel replaced, kept as the
+/// reference baseline for the kernel microbench and the property tests.
+/// Equal to [`l2_sq`] up to f32 rounding (the lane kernel reassociates
+/// the sum); not used on any hot path.
+#[inline]
+pub fn l2_sq_serial(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
     let mut acc = 0.0f32;
     for i in 0..DIM {
         let d = a[i] - b[i];
@@ -201,17 +237,11 @@ pub fn l2(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
 /// vectors, writing one output per packed vector.
 ///
 /// `packed.len()` must be a multiple of [`DIM`]; `out` must hold
-/// `packed.len() / DIM` elements. Operating on the packed layout lets chunk
-/// scans avoid any per-descriptor indirection.
+/// `packed.len() / DIM` elements. Delegates to the blocked kernel in
+/// [`crate::kernels`]; every output is bit-identical to the scalar
+/// [`l2_sq`] of that row.
 pub fn l2_sq_batch(query: &[f32; DIM], packed: &[f32], out: &mut [f32]) {
-    assert_eq!(packed.len() % DIM, 0, "packed vector data must be a multiple of DIM");
-    assert_eq!(out.len(), packed.len() / DIM, "output length mismatch");
-    for (row, o) in packed.chunks_exact(DIM).zip(out.iter_mut()) {
-        // chunks_exact guarantees row.len() == DIM, so the array conversion
-        // cannot fail and the compiler removes the bounds checks.
-        let row: &[f32; DIM] = row.try_into().expect("chunks_exact yields DIM-sized rows");
-        *o = l2_sq(query, row);
-    }
+    crate::kernels::l2_sq_rows(query, crate::kernels::as_rows(packed), out);
 }
 
 #[cfg(test)]

@@ -1,12 +1,44 @@
 //! Property-based tests for the descriptor substrate: metric axioms,
-//! codec round-trips, and statistics invariants.
+//! codec round-trips, statistics invariants, and the blocked/fused
+//! distance kernels against the single-row kernel.
 
-use eff2_descriptor::{codec, Descriptor, DescriptorSet, DimensionStats, TrimmedRanges, Vector, DIM};
+use eff2_descriptor::kernels::max_dist_sq_gather;
+use eff2_descriptor::{
+    as_rows, codec, l2_sq, l2_sq_serial, scan_block_into, Descriptor, DescriptorSet,
+    DimensionStats, NeighborSet, TrimmedRanges, Vector, DIM,
+};
 use proptest::prelude::*;
 
 fn arb_vector() -> impl Strategy<Value = Vector> {
     proptest::collection::vec(-1000.0f32..1000.0, DIM)
         .prop_map(|v| Vector::from_slice(&v))
+}
+
+/// One adversarial component: mixes huge and tiny magnitudes (stressing
+/// rounding and cancellation in the lane reduction) with ordinary values.
+/// NaN-free by construction.
+fn arb_component() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1000.0f32..1000.0,
+        -1.0e18f32..1.0e18,
+        -1.0e-18f32..1.0e-18,
+        Just(0.0f32),
+        Just(-0.0f32),
+    ]
+}
+
+/// A packed row-major buffer of `0..=37` rows — deliberately covering
+/// row counts that are not multiples of the 4-row block.
+fn arb_packed() -> impl Strategy<Value = Vec<f32>> {
+    (0usize..=37).prop_flat_map(|n| proptest::collection::vec(arb_component(), n * DIM))
+}
+
+fn arb_query() -> impl Strategy<Value = [f32; DIM]> {
+    proptest::collection::vec(arb_component(), DIM).prop_map(|v| {
+        let mut q = [0.0f32; DIM];
+        q.copy_from_slice(&v);
+        q
+    })
 }
 
 fn arb_set(max: usize) -> impl Strategy<Value = DescriptorSet> {
@@ -102,5 +134,81 @@ proptest! {
         for i in 0..set.len() {
             prop_assert_eq!(sub.get(i), set.get(i));
         }
+    }
+
+    #[test]
+    fn blocked_batch_is_bitwise_scalar(q in arb_query(), packed in arb_packed()) {
+        // The blocked kernel must be a pure speed-up: every output is
+        // bit-identical to the single-row kernel on that row, for any row
+        // count (block remainders included) and adversarial values.
+        let mut out = Vec::new();
+        eff2_descriptor::kernels::l2_sq_batch(&q, &packed, &mut out);
+        let rows = as_rows(&packed);
+        prop_assert_eq!(out.len(), rows.len());
+        for (j, row) in rows.iter().enumerate() {
+            prop_assert_eq!(out[j].to_bits(), l2_sq(&q, row).to_bits(), "row {}", j);
+        }
+    }
+
+    #[test]
+    fn lane_kernel_tracks_serial_reference(q in arb_query(), packed in arb_packed()) {
+        // The lane kernel reassociates the serial sum; on finite results
+        // the two must agree to f32 rounding (relative).
+        for row in as_rows(&packed) {
+            let lane = l2_sq(&q, row);
+            let serial = l2_sq_serial(&q, row);
+            if lane.is_finite() && serial.is_finite() {
+                let tol = 1e-4f32 * serial.max(lane).max(1e-12);
+                prop_assert!((lane - serial).abs() <= tol, "{} vs {}", lane, serial);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scan_is_rowwise_offers(
+        q in arb_query(),
+        packed in arb_packed(),
+        k in 0usize..12,
+    ) {
+        let n = packed.len() / DIM;
+        let ids: Vec<u32> = (0..n as u32).map(|x| x.wrapping_mul(7919)).collect();
+        let mut fused = NeighborSet::new(k);
+        scan_block_into(&q, &packed, &ids, &mut fused);
+        let mut rowwise = NeighborSet::new(k);
+        for (row, &id) in as_rows(&packed).iter().zip(ids.iter()) {
+            rowwise.offer(id, l2_sq(&q, row));
+        }
+        prop_assert_eq!(fused.sorted(), rowwise.sorted());
+    }
+
+    #[test]
+    fn gather_max_is_scatter_max(
+        q in arb_query(),
+        packed in arb_packed(),
+        picks in proptest::collection::vec(0usize..1000, 0..40),
+    ) {
+        let rows = as_rows(&packed);
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let positions: Vec<u32> = picks.iter().map(|&p| (p % rows.len()) as u32).collect();
+        let want = positions
+            .iter()
+            .map(|&p| l2_sq(&q, &rows[p as usize]))
+            .fold(0.0f32, f32::max);
+        prop_assert_eq!(
+            max_dist_sq_gather(&q, rows, &positions).to_bits(),
+            want.to_bits()
+        );
+    }
+
+    #[test]
+    fn zero_capacity_set_never_accepts(q in arb_query(), packed in arb_packed()) {
+        let n = packed.len() / DIM;
+        let ids: Vec<u32> = (0..n as u32).collect();
+        let mut set = NeighborSet::new(0);
+        scan_block_into(&q, &packed, &ids, &mut set);
+        prop_assert!(set.is_empty());
+        prop_assert_eq!(set.kth_dist(), f32::INFINITY);
     }
 }

@@ -16,8 +16,8 @@ use eff2_descriptor::{codec, DescriptorSet, SyntheticCollection};
 use eff2_metrics::{quality_curve, GroundTruth, QualityCurve};
 use eff2_storage::diskmodel::DiskModel;
 use eff2_storage::{ChunkDef, ChunkStore};
+use eff2_json::Json;
 use eff2_workload::{dq_workload, sq_workload, Workload};
-use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 
 /// The three chunk-size classes of the paper's Table 1.
@@ -28,7 +28,7 @@ pub const SIZE_CLASSES: [&str; 3] = ["SMALL", "MEDIUM", "LARGE"];
 pub const CACHE_VERSION: u32 = 2;
 
 /// Metadata recorded for every built index (Table 1's raw material).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct IndexMeta {
     /// Display label, e.g. "BAG / SMALL".
     pub label: String,
@@ -52,6 +52,43 @@ pub struct IndexMeta {
     pub rounds: u64,
     /// Real wall-clock seconds spent forming chunks and writing files.
     pub build_wall_secs: f64,
+}
+
+impl IndexMeta {
+    fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("strategy", Json::Str(self.strategy.clone())),
+            ("total_input", Json::from_usize(self.total_input)),
+            ("retained", Json::from_usize(self.retained)),
+            ("discarded", Json::from_usize(self.discarded)),
+            ("n_chunks", Json::from_usize(self.n_chunks)),
+            ("mean_chunk_size", Json::num(self.mean_chunk_size)),
+            (
+                "largest_sizes",
+                Json::Arr(self.largest_sizes.iter().map(|&s| Json::from_usize(s)).collect()),
+            ),
+            ("distance_ops", Json::num(self.distance_ops as f64)),
+            ("rounds", Json::num(self.rounds as f64)),
+            ("build_wall_secs", Json::num(self.build_wall_secs)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> eff2_json::Result<IndexMeta> {
+        Ok(IndexMeta {
+            label: json.field("label")?.as_str()?.to_string(),
+            strategy: json.field("strategy")?.as_str()?.to_string(),
+            total_input: json.field("total_input")?.as_usize()?,
+            retained: json.field("retained")?.as_usize()?,
+            discarded: json.field("discarded")?.as_usize()?,
+            n_chunks: json.field("n_chunks")?.as_usize()?,
+            mean_chunk_size: json.field("mean_chunk_size")?.as_f64()?,
+            largest_sizes: json.field("largest_sizes")?.to_usize_vec()?,
+            distance_ops: json.field("distance_ops")?.as_u64()?,
+            rounds: json.field("rounds")?.as_u64()?,
+            build_wall_secs: json.field("build_wall_secs")?.as_f64()?,
+        })
+    }
 }
 
 /// A built index: its store plus metadata.
@@ -129,8 +166,9 @@ impl Lab {
     fn try_open(&self, label: &str) -> Option<IndexHandle> {
         let (chunks, index, meta) = self.index_paths(label);
         if chunks.exists() && index.exists() && meta.exists() {
-            let meta: IndexMeta =
-                serde_json::from_str(&std::fs::read_to_string(meta).ok()?).ok()?;
+            let meta =
+                IndexMeta::from_json(&Json::parse(&std::fs::read_to_string(meta).ok()?).ok()?)
+                    .ok()?;
             let store = ChunkStore::open(&chunks, &index).ok()?;
             Some(IndexHandle { meta, store })
         } else {
@@ -138,6 +176,7 @@ impl Lab {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn persist(
         &self,
         label: &str,
@@ -178,7 +217,7 @@ impl Lab {
             build_wall_secs,
         };
         let (_, _, meta_path) = self.index_paths(label);
-        std::fs::write(&meta_path, serde_json::to_string_pretty(&meta)?)?;
+        std::fs::write(&meta_path, meta.to_json().to_string())?;
         Ok(IndexHandle { meta, store })
     }
 
@@ -376,7 +415,8 @@ impl Lab {
             workload.len()
         ));
         if path.exists() {
-            return Ok(serde_json::from_str(&std::fs::read_to_string(&path)?)?);
+            let json = Json::parse(&std::fs::read_to_string(&path)?)?;
+            return Ok(QualityCurve::from_json(&json)?);
         }
         let truth = self.truth(handle, workload)?;
         let curve = quality_curve(
@@ -387,7 +427,7 @@ impl Lab {
             self.scale.k,
             &handle.meta.label,
         )?;
-        std::fs::write(&path, serde_json::to_string(&curve)?)?;
+        std::fs::write(&path, curve.to_json().to_string())?;
         Ok(curve)
     }
 

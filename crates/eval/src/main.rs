@@ -19,7 +19,7 @@
 
 use eff2_eval::experiments;
 use eff2_eval::{EvalResult, Lab, Scale};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
@@ -74,7 +74,7 @@ fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
         .unwrap_or_else(|| usage())
 }
 
-fn run(command: &str, scale: Scale, out: &PathBuf) -> EvalResult<()> {
+fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
     let started = std::time::Instant::now();
     let lab = Lab::prepare(scale, out)?;
     eprintln!(

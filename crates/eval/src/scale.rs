@@ -8,7 +8,6 @@
 //! regime where (a) a chunk holds far more than k = 30 descriptors and
 //! (b) there are enough chunks for ranking to matter.
 
-use serde::{Deserialize, Serialize};
 
 /// The paper's collection size.
 pub const PAPER_N: usize = 5_017_298;
@@ -20,7 +19,7 @@ pub const PAPER_K: usize = 30;
 pub const PAPER_SWEEP: (f64, f64) = (100.0, 100_000.0);
 
 /// Experiment scale parameters.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct Scale {
     /// Target collection size.
     pub n_descriptors: usize,

@@ -12,11 +12,10 @@
 
 use crate::truth::GroundTruth;
 use eff2_core::search::{search, SearchParams, StopRule};
+use eff2_json::Json;
 use eff2_storage::diskmodel::DiskModel;
 use eff2_storage::{ChunkStore, Result};
 use eff2_workload::Workload;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 
 /// Precision@k: the fraction of `truth` present in `result` (the paper
 /// notes that with a fixed answer size, precision and recall coincide).
@@ -34,7 +33,7 @@ pub fn precision_at(result: &[u32], truth: &[u32]) -> f64 {
 }
 
 /// Workload-averaged quality-vs-time series for one chunk index.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct QualityCurve {
     /// Index label (e.g. "BAG / SMALL").
     pub label: String,
@@ -129,15 +128,10 @@ pub fn quality_curve(
     assert_eq!(truth.ids.len(), workload.len(), "truth does not cover the workload");
     assert_eq!(truth.k, k, "truth was computed for k = {}", truth.k);
 
-    let per_query: Vec<PerQuery> = workload
-        .queries
-        .par_iter()
-        .enumerate()
-        .map(|(qi, q)| {
-            let truth_sorted = truth.sorted_set(qi);
-            reduce_query(store, model, q, &truth_sorted, k)
-        })
-        .collect::<Result<Vec<_>>>()?;
+    let per_query: Vec<PerQuery> = eff2_parallel::try_par_map(&workload.queries, |qi, q| {
+        let truth_sorted = truth.sorted_set(qi);
+        reduce_query(store, model, q, &truth_sorted, k)
+    })?;
 
     let nq = per_query.len();
     let mut curve = QualityCurve {
@@ -190,6 +184,42 @@ impl QualityCurve {
     /// Average virtual seconds until `m` neighbours were found.
     pub fn time_for(&self, m: usize) -> f64 {
         self.avg_time_for_m[m - 1]
+    }
+
+    /// Converts to JSON. Unreached `m` slots are NaN and serialise as
+    /// `null`; [`QualityCurve::from_json`] restores them to NaN.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("label", Json::Str(self.label.clone())),
+            ("workload", Json::Str(self.workload.clone())),
+            ("k", Json::from_usize(self.k)),
+            ("n_queries", Json::from_usize(self.n_queries)),
+            ("avg_chunks_for_m", Json::f64_array(&self.avg_chunks_for_m)),
+            ("avg_time_for_m", Json::f64_array(&self.avg_time_for_m)),
+            (
+                "reach_count",
+                Json::Arr(self.reach_count.iter().map(|&c| Json::from_usize(c)).collect()),
+            ),
+            ("avg_completion_secs", Json::num(self.avg_completion_secs)),
+            ("avg_completion_chunks", Json::num(self.avg_completion_chunks)),
+            ("avg_index_read_ms", Json::num(self.avg_index_read_ms)),
+        ])
+    }
+
+    /// Parses a curve previously written by [`QualityCurve::to_json`].
+    pub fn from_json(json: &Json) -> eff2_json::Result<QualityCurve> {
+        Ok(QualityCurve {
+            label: json.field("label")?.as_str()?.to_string(),
+            workload: json.field("workload")?.as_str()?.to_string(),
+            k: json.field("k")?.as_usize()?,
+            n_queries: json.field("n_queries")?.as_usize()?,
+            avg_chunks_for_m: json.field("avg_chunks_for_m")?.to_f64_vec()?,
+            avg_time_for_m: json.field("avg_time_for_m")?.to_f64_vec()?,
+            reach_count: json.field("reach_count")?.to_usize_vec()?,
+            avg_completion_secs: json.field("avg_completion_secs")?.as_f64()?,
+            avg_completion_chunks: json.field("avg_completion_chunks")?.as_f64()?,
+            avg_index_read_ms: json.field("avg_index_read_ms")?.as_f64()?,
+        })
     }
 }
 

@@ -9,15 +9,14 @@
 
 use eff2_core::scan::scan_store_knn;
 use eff2_descriptor::Vector;
+use eff2_json::Json;
 use eff2_storage::{ChunkStore, Result};
 use eff2_workload::Workload;
-use rayon::prelude::*;
-use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// Exact top-k identifiers for every query of a workload against one chunk
 /// store.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct GroundTruth {
     /// The k the truth was computed for.
     pub k: usize,
@@ -28,13 +27,11 @@ pub struct GroundTruth {
 
 impl GroundTruth {
     /// Computes ground truth for `workload` against `store` by sequential
-    /// scan, one query per rayon task.
+    /// scan, one query per parallel task.
     pub fn compute(store: &ChunkStore, workload: &Workload, k: usize) -> Result<GroundTruth> {
-        let ids = workload
-            .queries
-            .par_iter()
-            .map(|q| scan_store_knn(store, q, k).map(|nn| nn.into_iter().map(|n| n.id).collect()))
-            .collect::<Result<Vec<Vec<u32>>>>()?;
+        let ids = eff2_parallel::try_par_map(&workload.queries, |_, q| {
+            scan_store_knn(store, q, k).map(|nn| nn.into_iter().map(|n| n.id).collect())
+        })?;
         Ok(GroundTruth { k, ids })
     }
 
@@ -45,16 +42,12 @@ impl GroundTruth {
         workload: &Workload,
         k: usize,
     ) -> GroundTruth {
-        let ids = workload
-            .queries
-            .par_iter()
-            .map(|q| {
-                eff2_core::scan::scan_knn(set, q, k)
-                    .into_iter()
-                    .map(|n| n.id)
-                    .collect()
-            })
-            .collect();
+        let ids = eff2_parallel::par_map(&workload.queries, |_, q| {
+            eff2_core::scan::scan_knn(set, q, k)
+                .into_iter()
+                .map(|n| n.id)
+                .collect()
+        });
         GroundTruth { k, ids }
     }
 
@@ -68,15 +61,27 @@ impl GroundTruth {
 
     /// Serialises to JSON.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        std::fs::write(
-            path,
-            serde_json::to_string(self).map_err(std::io::Error::other)?,
-        )
+        let json = Json::obj(vec![
+            ("k", Json::from_usize(self.k)),
+            (
+                "ids",
+                Json::Arr(self.ids.iter().map(|v| Json::u32_array(v)).collect()),
+            ),
+        ]);
+        std::fs::write(path, json.to_string())
     }
 
     /// Loads a saved ground truth.
     pub fn load(path: &Path) -> std::io::Result<GroundTruth> {
-        serde_json::from_str(&std::fs::read_to_string(path)?).map_err(std::io::Error::other)
+        let json = Json::parse(&std::fs::read_to_string(path)?)?;
+        let k = json.field("k")?.as_usize()?;
+        let ids = json
+            .field("ids")?
+            .as_arr()?
+            .iter()
+            .map(Json::to_u32_vec)
+            .collect::<eff2_json::Result<Vec<Vec<u32>>>>()?;
+        Ok(GroundTruth { k, ids })
     }
 }
 

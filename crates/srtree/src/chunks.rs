@@ -72,18 +72,21 @@ fn collect_leaves(node: &Node, out: &mut Vec<LeafChunk>) {
 /// The experiments' fast path: partition `set` into uniform leaves of
 /// `leaf_size` and summarise each, without materialising the tree's upper
 /// levels (which would be thrown away anyway).
+///
+/// Leaf summaries are independent of one another, so the
+/// centroid-and-radius phase runs one task per leaf in parallel; the
+/// output order (and therefore every downstream chunk id) is identical to
+/// the sequential path.
 pub fn chunks_from_collection(set: &DescriptorSet, leaf_size: usize) -> Vec<LeafChunk> {
-    build_leaf_partitions(set, leaf_size)
-        .into_iter()
-        .map(|positions| {
-            let (centroid, radius) = centroid_and_radius(set, &positions);
-            LeafChunk {
-                positions,
-                centroid,
-                radius,
-            }
-        })
-        .collect()
+    let partitions = build_leaf_partitions(set, leaf_size);
+    eff2_parallel::par_map(&partitions, |_, positions| {
+        let (centroid, radius) = centroid_and_radius(set, positions);
+        LeafChunk {
+            positions: positions.clone(),
+            centroid,
+            radius,
+        }
+    })
 }
 
 #[cfg(test)]

@@ -9,7 +9,7 @@
 
 use crate::geometry::{region_min_dist_sq, Rect};
 use crate::node::{ChildRef, LeafEntry, Node};
-use eff2_descriptor::{Vector, DIM};
+use eff2_descriptor::{l2_sq_x4, Vector, DIM};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -173,20 +173,25 @@ impl SRTree {
             }
             match node {
                 Node::Leaf { entries } => {
-                    for e in entries {
-                        let d = query.dist_sq(&e.vector);
-                        if best.len() < k {
-                            best.push(HeapNeighbor(Neighbor {
-                                dist_sq: d,
-                                pos: e.pos,
-                            }));
-                        } else if d < best.peek().expect("best non-empty").0.dist_sq {
-                            best.pop();
-                            best.push(HeapNeighbor(Neighbor {
-                                dist_sq: d,
-                                pos: e.pos,
-                            }));
+                    // Blocked leaf scan: four distances per step, one
+                    // accumulator chain per entry (see
+                    // `eff2_descriptor::kernels`); same visit order as the
+                    // row-at-a-time loop it replaces.
+                    let mut blocks = entries.chunks_exact(4);
+                    for blk in &mut blocks {
+                        let d = l2_sq_x4(
+                            query.as_array(),
+                            blk[0].vector.as_array(),
+                            blk[1].vector.as_array(),
+                            blk[2].vector.as_array(),
+                            blk[3].vector.as_array(),
+                        );
+                        for (e, &dj) in blk.iter().zip(d.iter()) {
+                            offer_leaf(&mut best, k, e.pos, dj);
                         }
+                    }
+                    for e in blocks.remainder() {
+                        offer_leaf(&mut best, k, e.pos, query.dist_sq(&e.vector));
                     }
                 }
                 Node::Internal { children } => {
@@ -422,6 +427,18 @@ fn validate_rec(child: &ChildRef, cfg: &SRTreeConfig, is_root: bool) -> usize {
 }
 
 /// Max-heap adapter ordering neighbours by distance.
+/// The bounded top-k offer of the leaf scan (shared by the blocked and
+/// remainder paths of [`SRTree::knn`]).
+#[inline]
+fn offer_leaf(best: &mut BinaryHeap<HeapNeighbor>, k: usize, pos: u32, d: f32) {
+    if best.len() < k {
+        best.push(HeapNeighbor(Neighbor { dist_sq: d, pos }));
+    } else if d < best.peek().expect("best non-empty").0.dist_sq {
+        best.pop();
+        best.push(HeapNeighbor(Neighbor { dist_sq: d, pos }));
+    }
+}
+
 struct HeapNeighbor(Neighbor);
 
 impl PartialEq for HeapNeighbor {

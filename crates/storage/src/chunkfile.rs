@@ -303,7 +303,7 @@ mod tests {
             packed: Vec::with_capacity(100 * DIM),
         };
         p.ids.push(1);
-        p.packed.extend(std::iter::repeat(0.0).take(DIM));
+        p.packed.extend(std::iter::repeat_n(0.0, DIM));
         let cap = p.ids.capacity();
         p.clear();
         assert!(p.is_empty());

@@ -19,11 +19,10 @@
 //! the I/O–CPU overlap that makes uniform chunk sizes attractive: while the
 //! CPU scans chunk *i*, the disk fetches chunk *i + 1*.
 
-use serde::{Deserialize, Serialize};
 use std::ops::{Add, AddAssign, Sub};
 
 /// A span of virtual time, in seconds.
-#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, PartialOrd)]
 pub struct VirtualDuration(f64);
 
 impl VirtualDuration {
@@ -92,7 +91,7 @@ impl std::fmt::Display for VirtualDuration {
 }
 
 /// Cost constants of the simulated hardware.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct DiskModel {
     /// Average positioning time per random chunk access (seek + rotational
     /// latency), in milliseconds.
@@ -112,8 +111,8 @@ impl DiskModel {
     ///
     /// Calibration against §5.5: an SR-tree chunk of ~2.5 k descriptors
     /// (250 kB) costs `5 ms seek + 4.1 ms transfer ≈ 9 ms` of I/O and
-    /// `4.5 ms` of CPU → ≈10 ms per chunk with overlap; BAG's
-    /// >1 M-descriptor chunk costs `1.8 µs × 1 M = 1.8 s` of CPU; a
+    /// `4.5 ms` of CPU → ≈10 ms per chunk with overlap; BAG's chunks of
+    /// over 1 M descriptors cost `1.8 µs × 1 M = 1.8 s` of CPU; a
     /// 2,685-entry index costs `10 ms I/O + 2,685 × 15 µs ≈ 50 ms`.
     pub fn ata_2005() -> Self {
         DiskModel {

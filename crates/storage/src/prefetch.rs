@@ -11,7 +11,7 @@
 use crate::chunkfile::ChunkPayload;
 use crate::error::Result;
 use crate::store::ChunkStore;
-use crossbeam::channel::{bounded, Receiver};
+use std::sync::mpsc::{sync_channel, Receiver};
 use std::thread::JoinHandle;
 
 /// One prefetched chunk: its id, payload and on-disk (padded) byte span.
@@ -43,7 +43,7 @@ pub fn prefetch_chunks(store: &ChunkStore, order: Vec<usize>, depth: usize) -> R
     // The reader thread needs its own handle onto the files; re-open the
     // store so the thread owns everything it touches.
     let owned = ChunkStore::open(store.chunk_path(), store.index_path())?;
-    let (tx, rx) = bounded(depth);
+    let (tx, rx) = sync_channel(depth);
     let handle = std::thread::spawn(move || {
         let mut reader = match owned.reader() {
             Ok(r) => r,
@@ -88,7 +88,7 @@ impl Drop for PrefetchIter {
     fn drop(&mut self) {
         // Drain so the reader unblocks, then join it.
         while self.rx.try_recv().is_ok() {}
-        drop(std::mem::replace(&mut self.rx, bounded(1).1));
+        drop(std::mem::replace(&mut self.rx, sync_channel(1).1));
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }

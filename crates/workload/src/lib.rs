@@ -15,13 +15,13 @@
 //! container those experiments iterate over.
 
 use eff2_descriptor::{DescriptorSet, TrimmedRanges, Vector, DIM};
+use eff2_json::Json;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// A named list of query descriptors.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Workload {
     /// Workload name ("DQ", "SQ", …).
     pub name: String,
@@ -45,14 +45,40 @@ impl Workload {
 
     /// Serialises to JSON at `path`.
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
-        let json = serde_json::to_string(self).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        let json = Json::obj(vec![
+            ("name", Json::Str(self.name.clone())),
+            (
+                "queries",
+                Json::Arr(self.queries.iter().map(|q| Json::f32_array(&q.0)).collect()),
+            ),
+            ("source_positions", Json::u32_array(&self.source_positions)),
+        ]);
+        std::fs::write(path, json.to_string())
     }
 
     /// Loads a workload saved with [`Workload::save`].
     pub fn load(path: &Path) -> std::io::Result<Workload> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json).map_err(std::io::Error::other)
+        let json = Json::parse(&std::fs::read_to_string(path)?)?;
+        let queries = json
+            .field("queries")?
+            .as_arr()?
+            .iter()
+            .map(|q| {
+                let comps = q.to_f32_vec()?;
+                let arr: [f32; DIM] = comps.try_into().map_err(|v: Vec<f32>| {
+                    eff2_json::JsonError {
+                        message: format!("query has {} components, expected {DIM}", v.len()),
+                        offset: 0,
+                    }
+                })?;
+                Ok(Vector(arr))
+            })
+            .collect::<eff2_json::Result<Vec<Vector>>>()?;
+        Ok(Workload {
+            name: json.field("name")?.as_str()?.to_string(),
+            queries,
+            source_positions: json.field("source_positions")?.to_u32_vec()?,
+        })
     }
 }
 

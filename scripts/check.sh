@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full local gate: release build, tests, and clippy with warnings denied.
+# Run from anywhere; operates on the workspace containing this script.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> all checks passed"
