@@ -217,8 +217,10 @@ impl<'a> Bag<'a> {
             .map(|c| c.radius)
             .fold(0.0f32, f32::max);
 
-        let mut slots: Vec<Option<Cluster>> =
-            std::mem::take(&mut self.clusters).into_iter().map(Some).collect();
+        let mut slots: Vec<Option<Cluster>> = std::mem::take(&mut self.clusters)
+            .into_iter()
+            .map(Some)
+            .collect();
         let engine = CandidateEngine::build(self.cfg.engine, &slots, self.cfg.mpi);
 
         let mut merged: Vec<Cluster> = Vec::new();
@@ -250,7 +252,9 @@ impl<'a> Bag<'a> {
                     if j == i {
                         continue;
                     }
-                    let Some(cj) = slots[j].as_ref() else { continue };
+                    let Some(cj) = slots[j].as_ref() else {
+                        continue;
+                    };
                     let d = ci.centroid.dist(&cj.centroid);
                     let threshold = ci.radius.max(cj.radius) + self.cfg.mpi;
                     // Lower bound: merged radius ≥ d/2.
@@ -266,9 +270,7 @@ impl<'a> Bag<'a> {
             // sorting tens of thousands of low-contrast candidates would
             // dominate the pass. Batched selection with a total (d, id)
             // comparator visits exactly the full-sort order.
-            let cmp = |a: &(f32, usize), b: &(f32, usize)| {
-                a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
-            };
+            let cmp = |a: &(f32, usize), b: &(f32, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
             let mut partner: Option<usize> = None;
             let mut start = 0usize;
             while start < viable.len() && partner.is_none() {
@@ -363,8 +365,7 @@ impl<'a> Bag<'a> {
         if clusters.is_empty() {
             return 0;
         }
-        let avg =
-            clusters.iter().map(Cluster::len).sum::<usize>() as f64 / clusters.len() as f64;
+        let avg = clusters.iter().map(Cluster::len).sum::<usize>() as f64 / clusters.len() as f64;
         let limit = avg * f64::from(fraction);
         let mut destroyed = 0usize;
         let mut reborn: Vec<Cluster> = Vec::new();
@@ -393,7 +394,11 @@ impl<'a> Bag<'a> {
     pub fn snapshot(&self, target: usize, converged: bool) -> BagSnapshot {
         let mut clusters = self.clusters.clone();
         let mut outliers = Vec::new();
-        self.destroy_small(&mut clusters, self.cfg.outlier_fraction, Some(&mut outliers));
+        self.destroy_small(
+            &mut clusters,
+            self.cfg.outlier_fraction,
+            Some(&mut outliers),
+        );
         outliers.sort_unstable();
         BagSnapshot {
             target,
@@ -411,11 +416,7 @@ impl<'a> Bag<'a> {
     /// exhausted, then snapshots.
     pub fn run_to(&mut self, target: usize) -> BagSnapshot {
         let target = target.max(1);
-        if self
-            .history
-            .last()
-            .is_some_and(|s| s.survivors < target)
-        {
+        if self.history.last().is_some_and(|s| s.survivors < target) {
             // A previous checkpoint already drove the run past this target.
             return self.snapshot(target, true);
         }
@@ -520,10 +521,7 @@ impl<'a> Bag<'a> {
             }
             best
         });
-        row_min
-            .into_iter()
-            .min()
-            .filter(|&k| k != usize::MAX)
+        row_min.into_iter().min().filter(|&k| k != usize::MAX)
     }
 
     /// Applies the stall skip: jumps over the provably idle passes in one

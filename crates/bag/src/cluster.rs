@@ -126,9 +126,12 @@ impl Cluster {
     /// Recomputes `tight_radius` from scratch (diagnostic; the incremental
     /// path maintains it exactly already).
     pub fn recompute_tight_radius(&mut self, set: &DescriptorSet) {
-        self.tight_radius =
-            max_dist_sq_gather(self.centroid.as_array(), as_rows(set.packed()), &self.members)
-                .sqrt();
+        self.tight_radius = max_dist_sq_gather(
+            self.centroid.as_array(),
+            as_rows(set.packed()),
+            &self.members,
+        )
+        .sqrt();
     }
 }
 

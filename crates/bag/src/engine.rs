@@ -197,7 +197,10 @@ mod tests {
                 }
                 let cj = c.as_ref().unwrap();
                 if must_return(ci, cj, mpi) {
-                    assert!(out.contains(&j), "viable slot {j} missing from candidates of {i}");
+                    assert!(
+                        out.contains(&j),
+                        "viable slot {j} missing from candidates of {i}"
+                    );
                 }
             }
         }

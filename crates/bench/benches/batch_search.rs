@@ -32,9 +32,7 @@ fn batch_search(c: &mut Criterion) {
     for threads in [1usize, 2, 4, 8] {
         g.bench_with_input(BenchmarkId::new("threads", threads), &threads, |b, &t| {
             b.iter(|| {
-                black_box(
-                    search_batch_threads(store, &model, &queries, &params, t).expect("batch"),
-                )
+                black_box(search_batch_threads(store, &model, &queries, &params, t).expect("batch"))
             })
         });
     }

@@ -23,13 +23,37 @@ fn table1_chunk_formation(c: &mut Criterion) {
         b.iter(|| black_box(SrTreeChunker { leaf_size: 150 }.form(set)))
     });
     g.bench_function("round_robin", |b| {
-        b.iter(|| black_box(RoundRobinChunker { n_chunks: set.len() / 150 }.form(set)))
+        b.iter(|| {
+            black_box(
+                RoundRobinChunker {
+                    n_chunks: set.len() / 150,
+                }
+                .form(set),
+            )
+        })
     });
     g.bench_function("random", |b| {
-        b.iter(|| black_box(RandomChunker { n_chunks: set.len() / 150, seed: 1 }.form(set)))
+        b.iter(|| {
+            black_box(
+                RandomChunker {
+                    n_chunks: set.len() / 150,
+                    seed: 1,
+                }
+                .form(set),
+            )
+        })
     });
     g.bench_function("hybrid", |b| {
-        b.iter(|| black_box(HybridChunker { chunk_size: 150, sweeps: 2, ..HybridChunker::default() }.form(set)))
+        b.iter(|| {
+            black_box(
+                HybridChunker {
+                    chunk_size: 150,
+                    sweeps: 2,
+                    ..HybridChunker::default()
+                }
+                .form(set),
+            )
+        })
     });
 
     // BAG on a 2k sub-collection to keep the bench bounded.
@@ -38,7 +62,11 @@ fn table1_chunk_formation(c: &mut Criterion) {
     let mpi = BagConfig::estimate_mpi(&sub, 500, 1);
     g.bench_function("bag_grid_2k", |b| {
         b.iter(|| {
-            let cfg = BagConfig { mpi, max_passes: 300, ..BagConfig::default() };
+            let cfg = BagConfig {
+                mpi,
+                max_passes: 300,
+                ..BagConfig::default()
+            };
             black_box(Bag::new(&sub, cfg).run_to(sub.len() / 150))
         })
     });
@@ -87,7 +115,12 @@ fn bag_engine_ablation(c: &mut Criterion) {
             &engine,
             |b, &engine| {
                 b.iter(|| {
-                    let cfg = BagConfig { mpi, engine, max_passes: 300, ..BagConfig::default() };
+                    let cfg = BagConfig {
+                        mpi,
+                        engine,
+                        max_passes: 300,
+                        ..BagConfig::default()
+                    };
                     black_box(Bag::new(&sub, cfg).run_to(target))
                 })
             },

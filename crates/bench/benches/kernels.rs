@@ -143,5 +143,11 @@ fn srtree_knn_vs_scan(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, distance_kernels, neighbor_set, record_codec, srtree_knn_vs_scan);
+criterion_group!(
+    benches,
+    distance_kernels,
+    neighbor_set,
+    record_codec,
+    srtree_knn_vs_scan
+);
 criterion_main!(benches);

@@ -45,7 +45,11 @@ fn medrank_vs_chunk_query(c: &mut Criterion) {
     g.bench_function("chunk_index_5_chunks_knn30", |b| {
         b.iter(|| {
             for q in &queries {
-                black_box(chunked.search(q, &SearchParams::approximate(30, 5)).expect("search"));
+                black_box(
+                    chunked
+                        .search(q, &SearchParams::approximate(30, 5))
+                        .expect("search"),
+                );
             }
         })
     });

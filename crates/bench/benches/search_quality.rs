@@ -31,13 +31,23 @@ fn run_workload(
 /// Figure 2: chunks-read stop rule on dataset queries.
 fn fig2_chunks_read_dq(c: &mut Criterion) {
     let queries = fixtures::dq(8).queries;
-    run_workload(c, "fig2_chunks_read_dq", &queries, SearchParams::approximate(30, 5));
+    run_workload(
+        c,
+        "fig2_chunks_read_dq",
+        &queries,
+        SearchParams::approximate(30, 5),
+    );
 }
 
 /// Figure 3: chunks-read stop rule on space queries.
 fn fig3_chunks_read_sq(c: &mut Criterion) {
     let queries = fixtures::sq(8).queries;
-    run_workload(c, "fig3_chunks_read_sq", &queries, SearchParams::approximate(30, 5));
+    run_workload(
+        c,
+        "fig3_chunks_read_sq",
+        &queries,
+        SearchParams::approximate(30, 5),
+    );
 }
 
 /// Figure 4: a virtual-time budget on dataset queries.
@@ -72,17 +82,13 @@ fn table2_time_to_completion(c: &mut Criterion) {
     g.sample_size(10);
     for (wl_name, queries) in [("dq", &dq), ("sq", &sq)] {
         for (ix_name, index) in [("bag", fixtures::bag_index()), ("sr", fixtures::sr_index())] {
-            g.bench_with_input(
-                BenchmarkId::new(ix_name, wl_name),
-                &index,
-                |b, index| {
-                    b.iter(|| {
-                        for q in queries.iter() {
-                            black_box(index.search(q, &SearchParams::exact(30)).expect("search"));
-                        }
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(ix_name, wl_name), &index, |b, index| {
+                b.iter(|| {
+                    for q in queries.iter() {
+                        black_box(index.search(q, &SearchParams::exact(30)).expect("search"));
+                    }
+                })
+            });
         }
     }
     g.finish();

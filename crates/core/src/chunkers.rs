@@ -498,9 +498,21 @@ mod tests {
     #[test]
     fn random_chunker_is_seeded() {
         let set = blobby_set(100);
-        let a = RandomChunker { n_chunks: 5, seed: 1 }.form(&set);
-        let b = RandomChunker { n_chunks: 5, seed: 1 }.form(&set);
-        let c = RandomChunker { n_chunks: 5, seed: 2 }.form(&set);
+        let a = RandomChunker {
+            n_chunks: 5,
+            seed: 1,
+        }
+        .form(&set);
+        let b = RandomChunker {
+            n_chunks: 5,
+            seed: 1,
+        }
+        .form(&set);
+        let c = RandomChunker {
+            n_chunks: 5,
+            seed: 2,
+        }
+        .form(&set);
         check_partition(&set, &a);
         let ids = |f: &ChunkFormation| {
             f.chunks
@@ -565,8 +577,17 @@ mod tests {
     fn empty_collection_everywhere() {
         let set = DescriptorSet::new();
         assert!(SrTreeChunker { leaf_size: 10 }.form(&set).chunks.is_empty());
-        assert!(RoundRobinChunker { n_chunks: 3 }.form(&set).chunks.is_empty());
-        assert!(RandomChunker { n_chunks: 3, seed: 0 }.form(&set).chunks.is_empty());
+        assert!(RoundRobinChunker { n_chunks: 3 }
+            .form(&set)
+            .chunks
+            .is_empty());
+        assert!(RandomChunker {
+            n_chunks: 3,
+            seed: 0
+        }
+        .form(&set)
+        .chunks
+        .is_empty());
         assert!(HybridChunker::default().form(&set).chunks.is_empty());
     }
 }

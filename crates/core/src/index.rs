@@ -1,11 +1,14 @@
 //! Building and opening chunk indexes — the top-level user API.
 
 use crate::chunkers::{ChunkFormation, ChunkFormer};
-use crate::search::{search, SearchParams, SearchResult};
+use crate::search::{search, search_with_source, SearchParams, SearchResult, StopRule};
+use crate::session::SearchSession;
 use eff2_descriptor::{DescriptorSet, Vector};
 use eff2_storage::diskmodel::DiskModel;
+use eff2_storage::source::{ChunkSource, ResidentSource};
 use eff2_storage::{ChunkStore, Result};
 use std::path::Path;
+use std::sync::Arc;
 
 /// An openable, searchable chunk index: a [`ChunkStore`] paired with the
 /// cost model its timings are reported under.
@@ -74,6 +77,53 @@ impl ChunkIndex {
     pub fn search(&self, query: &Vector, params: &SearchParams) -> Result<SearchResult> {
         search(&self.store, &self.model, query, params)
     }
+
+    /// Executes one query drawing chunks from an explicit source (e.g. a
+    /// shared [`ResidentSource`] from [`resident_source`](Self::resident_source)).
+    pub fn search_with_source(
+        &self,
+        query: &Vector,
+        params: &SearchParams,
+        source: Arc<dyn ChunkSource>,
+    ) -> Result<SearchResult> {
+        search_with_source(&self.store, &self.model, query, params, source)
+    }
+
+    /// Opens a resumable [`SearchSession`] for one query: step it chunk by
+    /// chunk, inspect intermediate quality, stop when satisfied.
+    pub fn session(&self, query: &Vector, params: &SearchParams) -> SearchSession {
+        SearchSession::open(&self.store, &self.model, query, params)
+    }
+
+    /// [`session`](Self::session) over an explicit chunk source.
+    pub fn session_with_source(
+        &self,
+        query: &Vector,
+        params: &SearchParams,
+        source: Arc<dyn ChunkSource>,
+    ) -> SearchSession {
+        SearchSession::with_source(&self.store, &self.model, query, params, source)
+    }
+
+    /// Answers every stop rule in `rules` for one query from a single scan
+    /// of the collection — each entry identical to an individual
+    /// [`search`](Self::search) with that rule.
+    pub fn evaluate_stop_rules(
+        &self,
+        query: &Vector,
+        params: &SearchParams,
+        rules: &[StopRule],
+    ) -> Result<Vec<SearchResult>> {
+        self.session(query, params).evaluate_rules(rules)
+    }
+
+    /// A [`ResidentSource`] over this index's store pinning at most
+    /// `budget_bytes` of decoded chunks — share it (it clones cheaply)
+    /// across queries for hot serving. Figures are unchanged: cache hits
+    /// still charge the modelled I/O.
+    pub fn resident_source(&self, budget_bytes: u64) -> ResidentSource {
+        ResidentSource::new(&self.store, budget_bytes)
+    }
 }
 
 #[cfg(test)]
@@ -121,7 +171,10 @@ mod tests {
         );
 
         let q = set.vector_owned(42);
-        let got = built.index.search(&q, &SearchParams::exact(5)).expect("search");
+        let got = built
+            .index
+            .search(&q, &SearchParams::exact(5))
+            .expect("search");
         let want = scan_knn(&set, &q, 5);
         for (g, w) in got.neighbors.iter().zip(want.iter()) {
             assert_eq!(g.id, w.id);
@@ -134,7 +187,9 @@ mod tests {
             DiskModel::ata_2005(),
         )
         .expect("open");
-        let again = reopened.search(&q, &SearchParams::exact(5)).expect("search");
+        let again = reopened
+            .search(&q, &SearchParams::exact(5))
+            .expect("search");
         assert_eq!(
             again.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
             got.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()

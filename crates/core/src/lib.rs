@@ -34,6 +34,7 @@ pub mod index;
 pub mod neighbors;
 pub mod scan;
 pub mod search;
+pub mod session;
 
 pub use chunkers::{
     BagChunker, ChunkFormation, ChunkFormer, FormationCost, HybridChunker, RandomChunker,
@@ -43,6 +44,7 @@ pub use index::{BuiltIndex, ChunkIndex};
 pub use neighbors::{Neighbor, NeighborSet};
 pub use scan::{scan_knn, scan_store_knn};
 pub use search::{
-    search_batch, search_batch_threads, ChunkEvent, SearchLog, SearchParams, SearchResult,
-    StopRule,
+    search_batch, search_batch_threads, search_batch_with_source, search_with_source, ChunkEvent,
+    SearchLog, SearchParams, SearchResult, StopRule,
 };
+pub use session::{evaluate_stop_rules, ChunkRanking, SearchSession};

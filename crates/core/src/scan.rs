@@ -83,9 +83,8 @@ mod tests {
         let formation = SrTreeChunker { leaf_size: 32 }.form(&set);
         let dir = std::env::temp_dir().join("eff2_scan_store");
         std::fs::create_dir_all(&dir).expect("mkdir");
-        let store =
-            eff2_storage::ChunkStore::create(&dir, "scan", &set, &formation.chunks, 512)
-                .expect("create");
+        let store = eff2_storage::ChunkStore::create(&dir, "scan", &set, &formation.chunks, 512)
+            .expect("create");
         let q = Vector::splat(2.5);
         let want = scan_knn(&set, &q, 7);
         let got = scan_store_knn(&store, &q, 7).expect("scan");

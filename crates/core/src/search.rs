@@ -24,11 +24,13 @@
 //! completion time and a snapshot of the current top-k — the raw material
 //! for all of the paper's quality-vs-time figures.
 
-use crate::neighbors::{Neighbor, NeighborSet};
-use eff2_descriptor::{scan_block_into, Vector};
-use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
-use eff2_storage::prefetch::prefetch_chunks;
+use crate::neighbors::Neighbor;
+use crate::session::SearchSession;
+use eff2_descriptor::Vector;
+use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
+use eff2_storage::source::ChunkSource;
 use eff2_storage::{ChunkStore, Result};
+use std::sync::Arc;
 
 /// When to abandon the chunk scan.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -137,125 +139,33 @@ pub struct SearchResult {
 }
 
 /// Executes one query against a chunk store under the given cost model.
+///
+/// This is ranking + drive-to-stop over a [`SearchSession`] with the
+/// default prefetching source — see [`crate::session`] for the resumable
+/// form and for answering many stop rules from one scan.
 pub fn search(
     store: &ChunkStore,
     model: &DiskModel,
     query: &Vector,
     params: &SearchParams,
 ) -> Result<SearchResult> {
-    let wall_start = std::time::Instant::now();
-    let metas = store.metas();
-    let n_chunks = metas.len();
+    let mut session = SearchSession::open(store, model, query, params);
+    session.run_to_stop()?;
+    Ok(session.into_result())
+}
 
-    // Step 1: rank chunks by centroid distance (the index read).
-    let mut ranked: Vec<(f32, u32)> = metas
-        .iter()
-        .enumerate()
-        .map(|(i, m)| (m.centroid.dist(query), i as u32))
-        .collect();
-    ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-    let index_read_time = model.index_read_time(n_chunks, store.index_bytes());
-
-    // Suffix minimum of the chunk lower bounds along the ranked order,
-    // for the exact completion test.
-    let mut suffix_min_bound = vec![f32::INFINITY; n_chunks + 1];
-    for i in (0..n_chunks).rev() {
-        let m = &metas[ranked[i].1 as usize];
-        let lb = (ranked[i].0 - m.radius).max(0.0);
-        suffix_min_bound[i] = lb.min(suffix_min_bound[i + 1]);
-    }
-
-    let mut clock = PipelineClock::start_at(index_read_time);
-    let mut neighbors = NeighborSet::new(params.k);
-    let mut log = SearchLog {
-        index_read_time,
-        ..SearchLog::default()
-    };
-
-    let order: Vec<usize> = ranked.iter().map(|&(_, i)| i as usize).collect();
-    let chunk_budget = match params.stop {
-        StopRule::Chunks(n) => n.min(n_chunks),
-        _ => n_chunks,
-    };
-
-    if params.k > 0 && chunk_budget > 0 {
-        let iter = prefetch_chunks(store, order[..chunk_budget].to_vec(), params.prefetch_depth)?;
-        for (rank, item) in iter.enumerate() {
-            let chunk = item?;
-            // Step 2: scan the chunk against the query (fused block
-            // kernel: blocked distances offered straight into the set).
-            scan_block_into(
-                query.as_array(),
-                &chunk.payload.packed,
-                &chunk.payload.ids,
-                &mut neighbors,
-            );
-
-            let io = model.io_time(chunk.bytes_read);
-            let cpu = model.scan_time(chunk.payload.len());
-            let completed_at = clock.chunk_overlapped(io, cpu);
-
-            log.chunks_read += 1;
-            log.descriptors_scanned += chunk.payload.len() as u64;
-            log.bytes_read += chunk.bytes_read;
-            log.events.push(ChunkEvent {
-                rank,
-                chunk_id: chunk.id,
-                count: chunk.payload.len() as u32,
-                bytes_read: chunk.bytes_read,
-                completed_at,
-                kth_dist: neighbors.kth_dist(),
-                topk_ids: if params.log_snapshots {
-                    neighbors.sorted_ids()
-                } else {
-                    Vec::new()
-                },
-            });
-
-            // Step 3: stop rule.
-            match params.stop {
-                StopRule::Chunks(n) => {
-                    if rank + 1 >= n {
-                        break;
-                    }
-                }
-                StopRule::VirtualTime(t) => {
-                    if completed_at >= t {
-                        break;
-                    }
-                }
-                StopRule::ToCompletion => {
-                    if neighbors.is_full() && suffix_min_bound[rank + 1] > neighbors.kth_dist() {
-                        log.completed = true;
-                        break;
-                    }
-                }
-                StopRule::ToCompletionEps(eps) => {
-                    if neighbors.is_full()
-                        && suffix_min_bound[rank + 1] * (1.0 + eps) > neighbors.kth_dist()
-                    {
-                        // Every remaining descriptor is at least
-                        // kth/(1+ε) away: the answer is a certified
-                        // (1+ε)-approximation (exact when ε = 0).
-                        log.completed = eps <= 0.0;
-                        break;
-                    }
-                }
-            }
-        }
-    }
-    // Exhausting every chunk is also completion (covers k > N and the
-    // never-full cases).
-    if log.chunks_read == n_chunks {
-        log.completed = true;
-    }
-
-    log.total_virtual = clock.now().max(index_read_time);
-    log.wall = wall_start.elapsed();
-    Ok(SearchResult {
-        neighbors: neighbors.sorted(),
-        log,
-    })
+/// [`search`] drawing chunks from an explicit [`ChunkSource`] (e.g. a
+/// shared [`eff2_storage::source::ResidentSource`] for hot serving).
+pub fn search_with_source(
+    store: &ChunkStore,
+    model: &DiskModel,
+    query: &Vector,
+    params: &SearchParams,
+    source: Arc<dyn ChunkSource>,
+) -> Result<SearchResult> {
+    let mut session = SearchSession::with_source(store, model, query, params, source);
+    session.run_to_stop()?;
+    Ok(session.into_result())
 }
 
 /// Executes a batch of queries in parallel over a shared read-only store.
@@ -286,6 +196,25 @@ pub fn search_batch_threads(
     threads: usize,
 ) -> Result<Vec<SearchResult>> {
     eff2_parallel::try_par_map_threads(threads, queries, |_, q| search(store, model, q, params))
+}
+
+/// [`search_batch`] over a shared [`ChunkSource`]: every worker draws its
+/// chunks from the same source, so a [`ResidentSource`] cache warmed by one
+/// query serves the next — the hot-serving configuration. Per-query
+/// virtual-time accounting is unchanged (cache hits still charge the
+/// modelled I/O), so results are bit-identical to [`search_batch`].
+///
+/// [`ResidentSource`]: eff2_storage::source::ResidentSource
+pub fn search_batch_with_source(
+    store: &ChunkStore,
+    model: &DiskModel,
+    queries: &[Vector],
+    params: &SearchParams,
+    source: Arc<dyn ChunkSource>,
+) -> Result<Vec<SearchResult>> {
+    eff2_parallel::try_par_map(queries, |_, q| {
+        search_with_source(store, model, q, params, Arc::clone(&source))
+    })
 }
 
 #[cfg(test)]
@@ -324,7 +253,10 @@ mod tests {
         let set = lumpy_set(500);
         for (tag, former) in [
             ("sr", &SrTreeChunker { leaf_size: 40 } as &dyn ChunkFormer),
-            ("rr", &RoundRobinChunker { n_chunks: 12 } as &dyn ChunkFormer),
+            (
+                "rr",
+                &RoundRobinChunker { n_chunks: 12 } as &dyn ChunkFormer,
+            ),
         ] {
             let store = build_store(&format!("complete_{tag}"), &set, former);
             let model = DiskModel::ata_2005();
@@ -351,8 +283,8 @@ mod tests {
         let set = lumpy_set(1_000);
         let store = build_store("early", &set, &SrTreeChunker { leaf_size: 50 });
         let q = set.vector_owned(7);
-        let got = search(&store, &DiskModel::ata_2005(), &q, &SearchParams::exact(5))
-            .expect("search");
+        let got =
+            search(&store, &DiskModel::ata_2005(), &q, &SearchParams::exact(5)).expect("search");
         assert!(got.log.completed);
         assert!(
             got.log.chunks_read < store.n_chunks(),
@@ -400,9 +332,7 @@ mod tests {
         let store = build_store("vtime", &set, &SrTreeChunker { leaf_size: 20 });
         let model = DiskModel::ata_2005();
         // Budget: index read + ~3 chunks' worth of time.
-        let per_chunk = model
-            .io_time(20 * 100 + 512)
-            .max(model.scan_time(20));
+        let per_chunk = model.io_time(20 * 100 + 512).max(model.scan_time(20));
         let budget = model.index_read_time(store.n_chunks(), store.index_bytes())
             + VirtualDuration::from_secs(per_chunk.as_secs() * 3.5);
         let got = search(
@@ -450,8 +380,8 @@ mod tests {
         let set = lumpy_set(300);
         let store = build_store("rank", &set, &SrTreeChunker { leaf_size: 30 });
         let q = Vector::splat(40.0);
-        let got = search(&store, &DiskModel::ata_2005(), &q, &SearchParams::exact(5))
-            .expect("search");
+        let got =
+            search(&store, &DiskModel::ata_2005(), &q, &SearchParams::exact(5)).expect("search");
         let mut last = f32::NEG_INFINITY;
         for e in &got.log.events {
             let d = store.metas()[e.chunk_id].centroid.dist(&q);
@@ -478,6 +408,39 @@ mod tests {
         .expect("search");
         assert!(got.neighbors.is_empty());
         assert_eq!(got.log.chunks_read, 0);
+        assert!(
+            got.log.completed,
+            "an empty answer is trivially exact: no descriptor can enter the top-0"
+        );
+    }
+
+    #[test]
+    fn k_zero_is_completed_under_every_stop_rule() {
+        let set = lumpy_set(100);
+        let store = build_store("kzerorules", &set, &SrTreeChunker { leaf_size: 25 });
+        let model = DiskModel::ata_2005();
+        for stop in [
+            StopRule::Chunks(2),
+            StopRule::VirtualTime(VirtualDuration::from_ms(30.0)),
+            StopRule::ToCompletion,
+            StopRule::ToCompletionEps(0.5),
+        ] {
+            let got = search(
+                &store,
+                &model,
+                &Vector::ZERO,
+                &SearchParams {
+                    k: 0,
+                    stop,
+                    prefetch_depth: 1,
+                    log_snapshots: false,
+                },
+            )
+            .expect("search");
+            assert!(got.neighbors.is_empty());
+            assert_eq!(got.log.chunks_read, 0, "{stop:?} must read nothing");
+            assert!(got.log.completed, "{stop:?} must report completion");
+        }
     }
 
     #[test]
@@ -500,8 +463,8 @@ mod tests {
         let set = lumpy_set(200);
         let store = build_store("snap", &set, &SrTreeChunker { leaf_size: 20 });
         let q = set.vector_owned(3);
-        let got = search(&store, &DiskModel::ata_2005(), &q, &SearchParams::exact(5))
-            .expect("search");
+        let got =
+            search(&store, &DiskModel::ata_2005(), &q, &SearchParams::exact(5)).expect("search");
         let final_ids: Vec<u32> = got.neighbors.iter().map(|n| n.id).collect();
         let last = got.log.events.last().expect("events");
         assert_eq!(last.topk_ids, final_ids);
@@ -587,8 +550,7 @@ mod tests {
         let set = lumpy_set(100);
         let store = build_store("idx", &set, &SrTreeChunker { leaf_size: 25 });
         let model = DiskModel::ata_2005();
-        let got = search(&store, &model, &Vector::ZERO, &SearchParams::exact(5))
-            .expect("search");
+        let got = search(&store, &model, &Vector::ZERO, &SearchParams::exact(5)).expect("search");
         assert!(got.log.total_virtual > got.log.index_read_time);
         assert!(got.log.index_read_time.as_ms() > 0.0);
     }

@@ -1,0 +1,528 @@
+//! The resumable search engine: [`ChunkRanking`] + [`SearchSession`].
+//!
+//! [`crate::search::search`] used to be a one-shot monolith — ranking,
+//! prefetching, scanning, logging and stop-rule checks fused into a single
+//! loop over one concrete reader. This module decomposes it:
+//!
+//! * [`ChunkRanking`] is step 1 of §4.3 in isolation — centroid ranking
+//!   plus the suffix-minimum of chunk lower bounds — computed once and
+//!   reusable across any number of stop rules;
+//! * [`SearchSession`] is the resumable scan: [`SearchSession::step`]
+//!   advances exactly one chunk and returns its [`ChunkEvent`], so a
+//!   caller can pause, inspect intermediate quality, and resume — the
+//!   paper's *anytime* contribution surfaced as an API;
+//! * stop rules are **predicates on session state**
+//!   ([`SearchSession::evaluate_rule`]), not control flow baked into the
+//!   loop. `search()` is now ranking + drive-to-stop, and
+//!   [`evaluate_stop_rules`] answers every `Chunks(n)` / `VirtualTime(t)` /
+//!   `ToCompletionEps` variant from ONE scan of the collection instead of
+//!   re-searching per rule.
+//!
+//! Chunks arrive through a pluggable [`ChunkSource`] (file reads,
+//! prefetching, or a shared resident cache). Every source reports the same
+//! modelled `bytes_read` per chunk, and the session feeds the same
+//! [`PipelineClock`] the monolith did, so the virtual-time accounting —
+//! and with it every reported figure — is bit-identical regardless of
+//! backend (the `batch_determinism` and `session_equivalence` tests pin
+//! this down).
+
+use crate::neighbors::NeighborSet;
+use crate::search::{ChunkEvent, SearchLog, SearchParams, SearchResult, StopRule};
+use eff2_descriptor::{scan_block_into, Vector};
+use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
+use eff2_storage::source::{ChunkSource, ChunkStream, PrefetchSource};
+use eff2_storage::{ChunkStore, Result};
+use std::sync::Arc;
+
+/// Step 1 of the search (§4.3): every chunk ranked by the distance from
+/// the query to its centroid, plus the suffix-minimum of the chunk lower
+/// bounds `max(d(q, centroid) − radius, 0)` along that order.
+///
+/// The suffix minimum is what makes completion *exact*: ranking is by
+/// centroid distance while the bound subtracts the radius, so the bound is
+/// not monotone along the ranked order — the test must consider the best
+/// bound among **all** remaining chunks, not just the next one.
+#[derive(Clone, Debug)]
+pub struct ChunkRanking {
+    /// `(centroid distance, chunk id)`, sorted ascending (ties by id).
+    ranked: Vec<(f32, u32)>,
+    /// `suffix_min_bound[i]` = best lower bound among ranks `i..`; the
+    /// final entry is `+∞`.
+    suffix_min_bound: Vec<f32>,
+    /// Modelled cost of reading and ranking the chunk index.
+    index_read_time: VirtualDuration,
+}
+
+impl ChunkRanking {
+    /// Ranks every chunk of `store` for `query` and charges the index read
+    /// under `model`. Pure computation over the in-memory index — no I/O.
+    pub fn rank(store: &ChunkStore, model: &DiskModel, query: &Vector) -> ChunkRanking {
+        let metas = store.metas();
+        let n_chunks = metas.len();
+        let mut ranked: Vec<(f32, u32)> = metas
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.centroid.dist(query), i as u32))
+            .collect();
+        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let index_read_time = model.index_read_time(n_chunks, store.index_bytes());
+
+        let mut suffix_min_bound = vec![f32::INFINITY; n_chunks + 1];
+        for i in (0..n_chunks).rev() {
+            let m = &metas[ranked[i].1 as usize];
+            let lb = (ranked[i].0 - m.radius).max(0.0);
+            suffix_min_bound[i] = lb.min(suffix_min_bound[i + 1]);
+        }
+        ChunkRanking {
+            ranked,
+            suffix_min_bound,
+            index_read_time,
+        }
+    }
+
+    /// Number of ranked chunks.
+    pub fn len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Whether the store has no chunks.
+    pub fn is_empty(&self) -> bool {
+        self.ranked.is_empty()
+    }
+
+    /// Chunk ids in ranked (scan) order.
+    pub fn order(&self) -> Vec<usize> {
+        self.ranked.iter().map(|&(_, i)| i as usize).collect()
+    }
+
+    /// The chunk id at `rank`.
+    pub fn chunk_at(&self, rank: usize) -> usize {
+        self.ranked[rank].1 as usize
+    }
+
+    /// The query-to-centroid distance of the chunk at `rank`.
+    pub fn centroid_dist(&self, rank: usize) -> f32 {
+        self.ranked[rank].0
+    }
+
+    /// Best lower bound on any descriptor in the chunks still unread after
+    /// `processed` chunks (`+∞` once every chunk has been read).
+    pub fn remaining_bound(&self, processed: usize) -> f32 {
+        self.suffix_min_bound[processed]
+    }
+
+    /// Modelled cost of reading and ranking the chunk index.
+    pub fn index_read_time(&self) -> VirtualDuration {
+        self.index_read_time
+    }
+}
+
+/// A resumable query execution: step 2 of §4.3, one chunk at a time.
+///
+/// A session owns everything it needs — ranking, neighbour set, virtual
+/// clock, log, and a handle to its [`ChunkSource`] — so it can be driven
+/// incrementally ([`step`](Self::step)), to its own stop rule
+/// ([`run_to_stop`](Self::run_to_stop)), or past rule after rule
+/// ([`evaluate_rules`](Self::evaluate_rules)). The underlying stream is
+/// opened lazily at the first `step`, so a store whose files vanish
+/// between session construction and stepping surfaces a clean `Err`.
+pub struct SearchSession {
+    source: Arc<dyn ChunkSource>,
+    /// Opened at the first [`step`](Self::step).
+    stream: Option<Box<dyn ChunkStream>>,
+    ranking: ChunkRanking,
+    model: DiskModel,
+    query: Vector,
+    params: SearchParams,
+    clock: PipelineClock,
+    neighbors: NeighborSet,
+    log: SearchLog,
+    wall_start: std::time::Instant,
+    exhausted: bool,
+}
+
+impl SearchSession {
+    /// A session over the default source — a [`PrefetchSource`] with the
+    /// window depth from `params`, the same pipelined reader the one-shot
+    /// search always used.
+    pub fn open(
+        store: &ChunkStore,
+        model: &DiskModel,
+        query: &Vector,
+        params: &SearchParams,
+    ) -> SearchSession {
+        let source = Arc::new(PrefetchSource::new(store, params.prefetch_depth));
+        SearchSession::with_source(store, model, query, params, source)
+    }
+
+    /// A session drawing chunks from an explicit source (shared resident
+    /// cache, plain file reader, …). Ranking happens here; no chunk I/O
+    /// until the first [`step`](Self::step).
+    pub fn with_source(
+        store: &ChunkStore,
+        model: &DiskModel,
+        query: &Vector,
+        params: &SearchParams,
+        source: Arc<dyn ChunkSource>,
+    ) -> SearchSession {
+        let ranking = ChunkRanking::rank(store, model, query);
+        let clock = PipelineClock::start_at(ranking.index_read_time());
+        let log = SearchLog {
+            index_read_time: ranking.index_read_time(),
+            ..SearchLog::default()
+        };
+        SearchSession {
+            source,
+            stream: None,
+            ranking,
+            model: *model,
+            query: *query,
+            params: *params,
+            clock,
+            neighbors: NeighborSet::new(params.k),
+            log,
+            wall_start: std::time::Instant::now(),
+            exhausted: false,
+        }
+    }
+
+    /// The ranking this session scans in.
+    pub fn ranking(&self) -> &ChunkRanking {
+        &self.ranking
+    }
+
+    /// The parameters the session was opened with.
+    pub fn params(&self) -> &SearchParams {
+        &self.params
+    }
+
+    /// The log so far (events, counters; `completed`/`total_virtual` are
+    /// only finalised by [`result_for_rule`](Self::result_for_rule) /
+    /// [`into_result`](Self::into_result)).
+    pub fn log(&self) -> &SearchLog {
+        &self.log
+    }
+
+    /// Chunks processed so far.
+    pub fn chunks_read(&self) -> usize {
+        self.log.chunks_read
+    }
+
+    /// Current kth-best distance (∞ until `k` neighbours are held).
+    pub fn kth_dist(&self) -> f32 {
+        self.neighbors.kth_dist()
+    }
+
+    /// Whether every ranked chunk has been processed.
+    pub fn is_exhausted(&self) -> bool {
+        self.exhausted || self.log.chunks_read == self.ranking.len()
+    }
+
+    /// Advances the scan by exactly one chunk and returns its event, or
+    /// `None` once every ranked chunk has been processed.
+    ///
+    /// Stepping is mechanical: it does **not** consult the stop rule, so
+    /// callers can read past a satisfied rule (that is what
+    /// [`evaluate_rules`](Self::evaluate_rules) does). Use
+    /// [`stop_satisfied`](Self::stop_satisfied) to drive a rule-respecting
+    /// loop, or [`run_to_stop`](Self::run_to_stop) to do both at once.
+    pub fn step(&mut self) -> Result<Option<&ChunkEvent>> {
+        if self.is_exhausted() {
+            self.exhausted = true;
+            return Ok(None);
+        }
+        if self.stream.is_none() {
+            self.stream = Some(self.source.open_stream(self.ranking.order())?);
+        }
+        let stream = self.stream.as_mut().expect("stream just opened");
+        let Some(item) = stream.next_chunk() else {
+            self.exhausted = true;
+            return Ok(None);
+        };
+        let chunk = item?;
+
+        // Scan the chunk against the query (fused block kernel: blocked
+        // distances offered straight into the set).
+        scan_block_into(
+            self.query.as_array(),
+            &chunk.payload.packed,
+            &chunk.payload.ids,
+            &mut self.neighbors,
+        );
+
+        let io = self.model.io_time(chunk.bytes_read);
+        let cpu = self.model.scan_time(chunk.payload.len());
+        let completed_at = self.clock.chunk_overlapped(io, cpu);
+
+        let rank = self.log.chunks_read;
+        self.log.chunks_read += 1;
+        self.log.descriptors_scanned += chunk.payload.len() as u64;
+        self.log.bytes_read += chunk.bytes_read;
+        self.log.events.push(ChunkEvent {
+            rank,
+            chunk_id: chunk.id,
+            count: chunk.payload.len() as u32,
+            bytes_read: chunk.bytes_read,
+            completed_at,
+            kth_dist: self.neighbors.kth_dist(),
+            topk_ids: if self.params.log_snapshots {
+                self.neighbors.sorted_ids()
+            } else {
+                Vec::new()
+            },
+        });
+        Ok(self.log.events.last())
+    }
+
+    /// Evaluates `rule` against the current session state: `Some(proves)`
+    /// if the rule is satisfied (where `proves` says whether satisfying it
+    /// certifies the result — only the completion rules ever do), `None`
+    /// if the scan should continue.
+    ///
+    /// The predicates are monotone: once a rule fires it stays fired as
+    /// further chunks are processed (the remaining bound never decreases,
+    /// the kth distance never increases), which is what lets
+    /// [`evaluate_rules`](Self::evaluate_rules) serve many rules from one
+    /// scan.
+    pub fn evaluate_rule(&self, rule: StopRule) -> Option<bool> {
+        let read = self.log.chunks_read;
+        match rule {
+            StopRule::Chunks(n) => (read >= n).then_some(false),
+            StopRule::VirtualTime(t) => self
+                .log
+                .events
+                .last()
+                .and_then(|e| (e.completed_at >= t).then_some(false)),
+            StopRule::ToCompletion => (self.neighbors.is_full()
+                && self.ranking.remaining_bound(read) > self.neighbors.kth_dist())
+            .then_some(true),
+            StopRule::ToCompletionEps(eps) => (self.neighbors.is_full()
+                && self.ranking.remaining_bound(read) * (1.0 + eps) > self.neighbors.kth_dist())
+            .then_some(eps <= 0.0),
+        }
+    }
+
+    /// Whether this session's own stop rule says to stop scanning. A
+    /// `k = 0` query stops before reading anything — its empty answer is
+    /// trivially exact.
+    pub fn stop_satisfied(&self) -> bool {
+        self.params.k == 0 || self.is_exhausted() || self.evaluate_rule(self.params.stop).is_some()
+    }
+
+    /// Drives [`step`](Self::step) until
+    /// [`stop_satisfied`](Self::stop_satisfied) or exhaustion.
+    pub fn run_to_stop(&mut self) -> Result<()> {
+        while !self.stop_satisfied() {
+            if self.step()?.is_none() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// The `completed` flag the log should carry if the search stopped
+    /// *now* under `rule`: a `k = 0` answer is trivially exact, exhausting
+    /// every chunk is completion, and the completion rules certify their
+    /// own stop.
+    fn completed_for(&self, rule: StopRule) -> bool {
+        self.params.k == 0
+            || self.log.chunks_read == self.ranking.len()
+            || self.evaluate_rule(rule) == Some(true)
+    }
+
+    /// A [`SearchResult`] snapshot of the current state, finalised as if
+    /// the search had stopped here under `rule`. Cheap relative to the
+    /// scan (clones the log); the session remains usable.
+    pub fn result_for_rule(&self, rule: StopRule) -> SearchResult {
+        let mut log = self.log.clone();
+        log.completed = self.completed_for(rule);
+        log.total_virtual = self.clock.now().max(self.ranking.index_read_time());
+        log.wall = self.wall_start.elapsed();
+        SearchResult {
+            neighbors: self.neighbors.sorted(),
+            log,
+        }
+    }
+
+    /// Consumes the session into its final result under its own stop rule.
+    pub fn into_result(mut self) -> SearchResult {
+        self.log.completed = self.completed_for(self.params.stop);
+        self.log.total_virtual = self.clock.now().max(self.ranking.index_read_time());
+        self.log.wall = self.wall_start.elapsed();
+        SearchResult {
+            neighbors: self.neighbors.sorted(),
+            log: self.log,
+        }
+    }
+
+    /// Answers every rule in `rules` from this one session — the
+    /// collection is scanned **once**, and each rule's result is
+    /// snapshotted the moment its predicate first fires, so every entry is
+    /// identical to an individual [`crate::search::search`] run with that
+    /// rule (the session's own `params.stop` is not consulted).
+    ///
+    /// Rules the scan exhausts without firing (e.g. `Chunks(n)` beyond the
+    /// store, an unreachable `VirtualTime`) receive the full-scan result,
+    /// exactly as their individual searches would.
+    pub fn evaluate_rules(mut self, rules: &[StopRule]) -> Result<Vec<SearchResult>> {
+        let mut results: Vec<Option<SearchResult>> = (0..rules.len()).map(|_| None).collect();
+        loop {
+            for (slot, &rule) in results.iter_mut().zip(rules) {
+                if slot.is_none() && (self.params.k == 0 || self.evaluate_rule(rule).is_some()) {
+                    *slot = Some(self.result_for_rule(rule));
+                }
+            }
+            if results.iter().all(Option::is_some) {
+                break;
+            }
+            if self.step()?.is_none() {
+                break;
+            }
+        }
+        Ok(results
+            .into_iter()
+            .zip(rules)
+            .map(|(slot, &rule)| slot.unwrap_or_else(|| self.result_for_rule(rule)))
+            .collect())
+    }
+}
+
+impl std::fmt::Debug for SearchSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchSession")
+            .field("chunks_read", &self.log.chunks_read)
+            .field("n_chunks", &self.ranking.len())
+            .field("kth_dist", &self.neighbors.kth_dist())
+            .field("exhausted", &self.exhausted)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Evaluates many stop rules for one query in a single scan of the
+/// collection (see [`SearchSession::evaluate_rules`]). `params.stop` is
+/// ignored — `rules` says what to answer.
+pub fn evaluate_stop_rules(
+    store: &ChunkStore,
+    model: &DiskModel,
+    query: &Vector,
+    params: &SearchParams,
+    rules: &[StopRule],
+) -> Result<Vec<SearchResult>> {
+    SearchSession::open(store, model, query, params).evaluate_rules(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunkers::{ChunkFormer, SrTreeChunker};
+    use eff2_descriptor::{Descriptor, DescriptorSet};
+    use eff2_storage::source::FileSource;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eff2_session_{tag}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn lumpy_set(n: usize) -> DescriptorSet {
+        (0..n)
+            .map(|i| {
+                let blob = (i % 5) as f32 * 20.0;
+                let mut v = Vector::splat(blob);
+                v[0] += ((i * 31) % 23) as f32 * 0.3;
+                v[3] -= ((i * 17) % 19) as f32 * 0.2;
+                Descriptor::new(i as u32, v)
+            })
+            .collect()
+    }
+
+    fn build_store(tag: &str, set: &DescriptorSet, leaf: usize) -> ChunkStore {
+        let formation = SrTreeChunker { leaf_size: leaf }.form(set);
+        ChunkStore::create(&tmp_dir(tag), "ix", set, &formation.chunks, 512).expect("create")
+    }
+
+    #[test]
+    fn ranking_matches_event_order() {
+        let set = lumpy_set(300);
+        let store = build_store("rankorder", &set, 30);
+        let model = DiskModel::ata_2005();
+        let q = Vector::splat(40.0);
+        let ranking = ChunkRanking::rank(&store, &model, &q);
+        assert_eq!(ranking.len(), store.n_chunks());
+        for rank in 1..ranking.len() {
+            assert!(ranking.centroid_dist(rank) >= ranking.centroid_dist(rank - 1));
+        }
+        // The remaining bound is non-decreasing as chunks are consumed.
+        for processed in 1..=ranking.len() {
+            assert!(ranking.remaining_bound(processed) >= ranking.remaining_bound(processed - 1));
+        }
+        assert_eq!(ranking.remaining_bound(ranking.len()), f32::INFINITY);
+        let order = ranking.order();
+        assert_eq!(order[0], ranking.chunk_at(0));
+    }
+
+    #[test]
+    fn step_yields_one_event_per_chunk_then_none() {
+        let set = lumpy_set(200);
+        let store = build_store("steps", &set, 25);
+        let model = DiskModel::ata_2005();
+        let q = set.vector_owned(11);
+        let params = SearchParams::exact(5);
+        let mut session = SearchSession::with_source(
+            &store,
+            &model,
+            &q,
+            &params,
+            Arc::new(FileSource::new(&store)),
+        );
+        let n = store.n_chunks();
+        for i in 0..n {
+            let event = session.step().expect("step").expect("event").clone();
+            assert_eq!(event.rank, i);
+            assert_eq!(session.chunks_read(), i + 1);
+        }
+        assert!(session.step().expect("step").is_none());
+        assert!(session.is_exhausted());
+        let result = session.into_result();
+        assert_eq!(result.log.events.len(), n);
+        assert!(result.log.completed, "full scan is completion");
+    }
+
+    #[test]
+    fn session_survives_reading_past_its_stop_rule() {
+        let set = lumpy_set(400);
+        let store = build_store("past", &set, 25);
+        let model = DiskModel::ata_2005();
+        let q = set.vector_owned(3);
+        let params = SearchParams {
+            k: 5,
+            stop: StopRule::Chunks(2),
+            prefetch_depth: 2,
+            log_snapshots: true,
+        };
+        let mut session = SearchSession::open(&store, &model, &q, &params);
+        session.run_to_stop().expect("run");
+        assert_eq!(session.chunks_read(), 2);
+        let at_stop = session.result_for_rule(StopRule::Chunks(2));
+        assert_eq!(at_stop.log.chunks_read, 2);
+        // Keep stepping past the satisfied rule: the snapshot taken above
+        // must be unaffected, and the session keeps producing events.
+        session.step().expect("step").expect("event");
+        assert_eq!(session.chunks_read(), 3);
+        assert_eq!(at_stop.log.chunks_read, 2);
+    }
+
+    #[test]
+    fn missing_chunk_file_errors_cleanly_at_first_step() {
+        let set = lumpy_set(120);
+        let store = build_store("missing", &set, 20);
+        let model = DiskModel::ata_2005();
+        let q = Vector::ZERO;
+        let params = SearchParams::exact(4);
+        let mut session = SearchSession::open(&store, &model, &q, &params);
+        std::fs::remove_file(store.chunk_path()).expect("delete chunk file");
+        let got = session.step();
+        assert!(got.is_err(), "deleted file must surface as Err, not panic");
+    }
+}

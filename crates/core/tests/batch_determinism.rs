@@ -51,11 +51,22 @@ fn assert_bit_identical(seq: &SearchResult, par: &SearchResult, tag: &str) {
     }
     // Log scalars.
     let (sl, pl) = (&seq.log, &par.log);
-    assert_eq!(vd_bits(sl.index_read_time), vd_bits(pl.index_read_time), "{tag}: index time");
+    assert_eq!(
+        vd_bits(sl.index_read_time),
+        vd_bits(pl.index_read_time),
+        "{tag}: index time"
+    );
     assert_eq!(sl.chunks_read, pl.chunks_read, "{tag}: chunks_read");
-    assert_eq!(sl.descriptors_scanned, pl.descriptors_scanned, "{tag}: scanned");
+    assert_eq!(
+        sl.descriptors_scanned, pl.descriptors_scanned,
+        "{tag}: scanned"
+    );
     assert_eq!(sl.bytes_read, pl.bytes_read, "{tag}: bytes");
-    assert_eq!(vd_bits(sl.total_virtual), vd_bits(pl.total_virtual), "{tag}: total virtual");
+    assert_eq!(
+        vd_bits(sl.total_virtual),
+        vd_bits(pl.total_virtual),
+        "{tag}: total virtual"
+    );
     assert_eq!(sl.completed, pl.completed, "{tag}: completed");
     // Full per-chunk event trace.
     assert_eq!(sl.events.len(), pl.events.len(), "{tag}: event count");
@@ -64,8 +75,16 @@ fn assert_bit_identical(seq: &SearchResult, par: &SearchResult, tag: &str) {
         assert_eq!(s.chunk_id, p.chunk_id, "{tag}: chunk_id");
         assert_eq!(s.count, p.count, "{tag}: count");
         assert_eq!(s.bytes_read, p.bytes_read, "{tag}: event bytes");
-        assert_eq!(vd_bits(s.completed_at), vd_bits(p.completed_at), "{tag}: completed_at");
-        assert_eq!(s.kth_dist.to_bits(), p.kth_dist.to_bits(), "{tag}: kth_dist");
+        assert_eq!(
+            vd_bits(s.completed_at),
+            vd_bits(p.completed_at),
+            "{tag}: completed_at"
+        );
+        assert_eq!(
+            s.kth_dist.to_bits(),
+            p.kth_dist.to_bits(),
+            "{tag}: kth_dist"
+        );
         assert_eq!(s.topk_ids, p.topk_ids, "{tag}: topk snapshot");
     }
 }
@@ -88,7 +107,10 @@ fn batch_traces_bit_identical_to_sequential_under_every_stop_rule() {
     ];
     for (ftag, former) in [
         ("sr", &SrTreeChunker { leaf_size: 40 } as &dyn ChunkFormer),
-        ("rr", &RoundRobinChunker { n_chunks: 11 } as &dyn ChunkFormer),
+        (
+            "rr",
+            &RoundRobinChunker { n_chunks: 11 } as &dyn ChunkFormer,
+        ),
     ] {
         let store = build_store(ftag, &set, former);
         for (rtag, stop) in &rules {

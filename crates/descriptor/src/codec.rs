@@ -100,7 +100,9 @@ pub fn read_collection<R: Read>(reader: R) -> Result<DescriptorSet> {
     let mut record = vec![0u8; RECORD_BYTES];
     for rec in 0..count {
         read_exact_or_truncated(&mut r, &mut record, count, rec)?;
-        ids.push(u32::from_le_bytes(record[0..4].try_into().expect("fixed slice")));
+        ids.push(u32::from_le_bytes(
+            record[0..4].try_into().expect("fixed slice"),
+        ));
         for d in 0..DIM {
             let off = 4 + d * 4;
             let c = f32::from_le_bytes(record[off..off + 4].try_into().expect("fixed slice"));

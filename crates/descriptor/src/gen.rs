@@ -194,7 +194,9 @@ impl ZipfSampler {
 
     fn sample<R: Rng>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 
@@ -259,8 +261,15 @@ mod tests {
         assert!(c.set.has_images());
         let mut last = 0u32;
         for i in 0..c.set.len() {
-            let img = c.set.image(i).expect("generator attributes every descriptor").0;
-            assert!(img >= last, "image ids must be non-decreasing in storage order");
+            let img = c
+                .set
+                .image(i)
+                .expect("generator attributes every descriptor")
+                .0;
+            assert!(
+                img >= last,
+                "image ids must be non-decreasing in storage order"
+            );
             last = img;
         }
         assert!((last as usize) < c.spec.n_images);
@@ -269,8 +278,8 @@ mod tests {
     #[test]
     fn points_stay_in_plausible_box() {
         let c = SyntheticCollection::with_size(5_000, 11);
-        let ext = c.spec.space_half_extent * c.spec.noise_extent_factor
-            + 8.0 * c.spec.element_sigma;
+        let ext =
+            c.spec.space_half_extent * c.spec.noise_extent_factor + 8.0 * c.spec.element_sigma;
         for i in 0..c.set.len() {
             for &x in c.set.vector(i) {
                 assert!(x.abs() <= ext, "component {x} escapes the space box");
@@ -337,6 +346,9 @@ mod tests {
     #[test]
     fn expected_len_matches_shape() {
         let spec = CollectionSpec::sized(50_000, 0);
-        assert_eq!(spec.expected_len(), spec.n_images * spec.mean_descriptors_per_image);
+        assert_eq!(
+            spec.expected_len(),
+            spec.n_images * spec.mean_descriptors_per_image
+        );
     }
 }

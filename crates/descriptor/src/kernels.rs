@@ -273,7 +273,12 @@ mod tests {
         let q: [f32; DIM] = std::array::from_fn(|i| i as f32);
         let packed = rows_of(20, |r, i| ((r * 7 + i) % 11) as f32);
         let rows = as_rows(&packed);
-        for positions in [vec![], vec![3u32], vec![19, 0, 7], (0..20u32).rev().collect()] {
+        for positions in [
+            vec![],
+            vec![3u32],
+            vec![19, 0, 7],
+            (0..20u32).rev().collect(),
+        ] {
             let want = positions
                 .iter()
                 .map(|&p| l2_sq(&q, &rows[p as usize]))

@@ -8,7 +8,6 @@
 //! they stay in the *squared* domain; callers take the square root only at
 //! API boundaries where a true metric is required.
 
-
 /// Dimensionality of the local image descriptors used throughout the paper.
 pub const DIM: usize = 24;
 
@@ -67,7 +66,9 @@ impl Vector {
     /// violation everywhere it is used.
     #[inline]
     pub fn from_slice(slice: &[f32]) -> Self {
-        let arr: [f32; DIM] = slice.try_into().expect("descriptor slice must have 24 dims");
+        let arr: [f32; DIM] = slice
+            .try_into()
+            .expect("descriptor slice must have 24 dims");
         Vector(arr)
     }
 

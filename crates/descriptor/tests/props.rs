@@ -10,8 +10,7 @@ use eff2_descriptor::{
 use proptest::prelude::*;
 
 fn arb_vector() -> impl Strategy<Value = Vector> {
-    proptest::collection::vec(-1000.0f32..1000.0, DIM)
-        .prop_map(|v| Vector::from_slice(&v))
+    proptest::collection::vec(-1000.0f32..1000.0, DIM).prop_map(|v| Vector::from_slice(&v))
 }
 
 /// One adversarial component: mixes huge and tiny magnitudes (stressing

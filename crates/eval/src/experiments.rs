@@ -4,7 +4,10 @@
 
 use crate::lab::Lab;
 use crate::EvalResult;
-use eff2_metrics::{Table, QualityCurve};
+use eff2_core::search::{SearchParams, StopRule};
+use eff2_core::session::evaluate_stop_rules;
+use eff2_metrics::{precision_at, QualityCurve, Table};
+use eff2_storage::diskmodel::VirtualDuration;
 
 /// The neighbour counts Figures 6/7 trace (scaled to the configured k).
 pub fn sweep_neighbor_marks(k: usize) -> Vec<usize> {
@@ -53,7 +56,10 @@ pub fn table1(lab: &Lab) -> EvalResult<String> {
             class.to_string(),
             bag.retained.to_string(),
             bag.discarded.to_string(),
-            format!("{:.1}%", 100.0 * bag.discarded as f64 / bag.total_input.max(1) as f64),
+            format!(
+                "{:.1}%",
+                100.0 * bag.discarded as f64 / bag.total_input.max(1) as f64
+            ),
             bag.n_chunks.to_string(),
             fmt_f(bag.mean_chunk_size, 0),
             sr.n_chunks.to_string(),
@@ -67,7 +73,12 @@ pub fn table1(lab: &Lab) -> EvalResult<String> {
     // Formation-cost side table (the §5.2 "12 days vs 3 hours" discussion).
     let mut cost = Table::new(
         "Chunk formation cost",
-        &["Index", "Distance-op equivalents", "Rounds", "Wall secs (this run)"],
+        &[
+            "Index",
+            "Distance-op equivalents",
+            "Rounds",
+            "Wall secs (this run)",
+        ],
     );
     for h in &six {
         cost.row(vec![
@@ -157,7 +168,10 @@ fn curve_figure(
     let headers: Vec<String> = std::iter::once("Neighbors".to_string())
         .chain(curves.per_index.iter().map(|(l, _, _)| l.clone()))
         .collect();
-    let mut t = Table::new(title, &headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut t = Table::new(
+        title,
+        &headers.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
     for m in 1..=curves.k {
         let mut row = vec![m.to_string()];
         for entry in &curves.per_index {
@@ -308,6 +322,110 @@ pub fn exp2(lab: &Lab) -> EvalResult<String> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 3: the stop-rule sweep (one scan per query)
+// ---------------------------------------------------------------------------
+
+/// The ladder of stop rules experiment 3 sweeps: chunk budgets, virtual
+/// time budgets, relaxed-completion factors and exact completion — the
+/// quality/time trade-off knobs of §4.3, all answered from a single scan
+/// per query.
+pub fn exp3_rules() -> Vec<StopRule> {
+    vec![
+        StopRule::Chunks(1),
+        StopRule::Chunks(2),
+        StopRule::Chunks(4),
+        StopRule::Chunks(8),
+        StopRule::VirtualTime(VirtualDuration::from_ms(60.0)),
+        StopRule::VirtualTime(VirtualDuration::from_ms(250.0)),
+        StopRule::ToCompletionEps(0.5),
+        StopRule::ToCompletionEps(0.1),
+        StopRule::ToCompletion,
+    ]
+}
+
+fn rule_label(rule: &StopRule) -> String {
+    match rule {
+        StopRule::Chunks(n) => format!("{n} chunks"),
+        StopRule::VirtualTime(t) => format!("{:.0} ms", t.as_secs() * 1e3),
+        StopRule::ToCompletionEps(eps) => format!("completion ×{:.1}", 1.0 + eps),
+        StopRule::ToCompletion => "completion".to_string(),
+    }
+}
+
+/// Regenerates **Experiment 3**: the quality/time trade-off across the
+/// whole stop-rule ladder, for every index of Table 1, on the DQ workload.
+///
+/// Where experiments 1 and 2 re-ran queries per setting, this sweep
+/// answers *all* rules from one scan per query
+/// ([`evaluate_stop_rules`]) — each row is still bit-identical to an
+/// individual run with that rule, but the collection is read once.
+pub fn exp3(lab: &Lab) -> EvalResult<String> {
+    let six = lab.six_indexes()?;
+    let dq = lab.dq()?;
+    let rules = exp3_rules();
+    let params = SearchParams {
+        k: lab.scale.k,
+        stop: StopRule::ToCompletion, // ignored: the ladder drives the scan
+        prefetch_depth: 2,
+        log_snapshots: false,
+    };
+
+    let mut t = Table::new(
+        "Experiment 3. Stop-rule sweep (DQ, one scan per query)",
+        &[
+            "Index",
+            "Stop rule",
+            "Avg precision",
+            "Avg chunks",
+            "Avg virtual s",
+            "Exact %",
+        ],
+    );
+    let (mut shared_reads, mut per_rule_reads) = (0usize, 0usize);
+    for h in &six {
+        eprintln!("[exp3] sweeping {} …", h.meta.label);
+        let truth = lab.truth(h, &dq)?;
+        // Accumulators over the workload, one slot per rule.
+        let mut precision = vec![0.0f64; rules.len()];
+        let mut chunks = vec![0.0f64; rules.len()];
+        let mut secs = vec![0.0f64; rules.len()];
+        let mut exact = vec![0usize; rules.len()];
+        for (qi, query) in dq.queries.iter().enumerate() {
+            let results = evaluate_stop_rules(&h.store, &lab.model, query, &params, &rules)?;
+            shared_reads += results.iter().map(|r| r.log.chunks_read).max().unwrap_or(0);
+            for (ri, result) in results.iter().enumerate() {
+                let ids: Vec<u32> = result.neighbors.iter().map(|n| n.id).collect();
+                precision[ri] += precision_at(&ids, &truth.ids[qi]);
+                chunks[ri] += result.log.chunks_read as f64;
+                secs[ri] += result.log.total_virtual.as_secs();
+                exact[ri] += result.log.completed as usize;
+                per_rule_reads += result.log.chunks_read;
+            }
+        }
+        let nq = dq.len() as f64;
+        for (ri, rule) in rules.iter().enumerate() {
+            t.row(vec![
+                h.meta.label.clone(),
+                rule_label(rule),
+                fmt_f(precision[ri] / nq, 3),
+                fmt_f(chunks[ri] / nq, 1),
+                fmt_f(secs[ri] / nq, 3),
+                format!("{:.0}%", 100.0 * exact[ri] as f64 / nq),
+            ]);
+        }
+    }
+    let rendered = t.render();
+    t.save_csv(&lab.results_dir()?.join("exp3.csv"))?;
+    Ok(format!(
+        "{rendered}\nOne scan per query answered all {} rules: {} chunk reads \
+         (individual runs would have read {}).\n",
+        rules.len(),
+        shared_reads,
+        per_rule_reads
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +456,34 @@ mod tests {
         assert!(f1.lines().count() > 30);
         assert!(lab.results_dir().unwrap().join("table1.csv").exists());
         assert!(lab.results_dir().unwrap().join("fig1.csv").exists());
+    }
+
+    #[test]
+    fn exp3_smoke() {
+        let lab = tiny_lab("e3");
+        let report = exp3(&lab).expect("exp3");
+        assert!(report.contains("Experiment 3"));
+        assert!(report.contains("completion"), "missing the exact rule row");
+        assert!(
+            report.contains("One scan per query answered all 9 rules"),
+            "missing the shared-scan summary"
+        );
+        assert!(lab.results_dir().unwrap().join("exp3.csv").exists());
+        // The single scan must be strictly cheaper than per-rule re-runs:
+        // the ladder contains rules of different depths.
+        let summary = report
+            .lines()
+            .rev()
+            .find(|l| l.contains("One scan"))
+            .expect("summary line");
+        let nums: Vec<usize> = summary
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        // nums = [9, shared, individual] from the summary sentence.
+        assert_eq!(nums[0], 9);
+        assert!(nums[1] < nums[2], "shared scan should read fewer chunks");
     }
 
     #[test]

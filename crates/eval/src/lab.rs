@@ -13,10 +13,10 @@ use crate::EvalResult;
 use eff2_bag::{Bag, BagConfig, BagSnapshot};
 use eff2_core::chunkers::{ChunkFormer, SrTreeChunker};
 use eff2_descriptor::{codec, DescriptorSet, SyntheticCollection};
+use eff2_json::Json;
 use eff2_metrics::{quality_curve, GroundTruth, QualityCurve};
 use eff2_storage::diskmodel::DiskModel;
 use eff2_storage::{ChunkDef, ChunkStore};
-use eff2_json::Json;
 use eff2_workload::{dq_workload, sq_workload, Workload};
 use std::path::{Path, PathBuf};
 
@@ -66,7 +66,12 @@ impl IndexMeta {
             ("mean_chunk_size", Json::num(self.mean_chunk_size)),
             (
                 "largest_sizes",
-                Json::Arr(self.largest_sizes.iter().map(|&s| Json::from_usize(s)).collect()),
+                Json::Arr(
+                    self.largest_sizes
+                        .iter()
+                        .map(|&s| Json::from_usize(s))
+                        .collect(),
+                ),
             ),
             ("distance_ops", Json::num(self.distance_ops as f64)),
             ("rounds", Json::num(self.rounds as f64)),
@@ -110,7 +115,13 @@ impl IndexHandle {
 fn file_name_of(label: &str) -> String {
     label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect()
 }
 
@@ -368,7 +379,9 @@ impl Lab {
 
     /// The DQ workload (cached).
     pub fn dq(&self) -> EvalResult<Workload> {
-        let path = self.cache_dir.join(format!("dq-{}.json", self.scale.n_queries));
+        let path = self
+            .cache_dir
+            .join(format!("dq-{}.json", self.scale.n_queries));
         if path.exists() {
             return Ok(Workload::load(&path)?);
         }
@@ -379,11 +392,18 @@ impl Lab {
 
     /// The SQ workload (cached).
     pub fn sq(&self) -> EvalResult<Workload> {
-        let path = self.cache_dir.join(format!("sq-{}.json", self.scale.n_queries));
+        let path = self
+            .cache_dir
+            .join(format!("sq-{}.json", self.scale.n_queries));
         if path.exists() {
             return Ok(Workload::load(&path)?);
         }
-        let w = sq_workload(&self.set, self.scale.n_queries, 0.05, self.scale.seed ^ 0x50);
+        let w = sq_workload(
+            &self.set,
+            self.scale.n_queries,
+            0.05,
+            self.scale.seed ^ 0x50,
+        );
         w.save(&path)?;
         Ok(w)
     }

@@ -11,6 +11,7 @@
 //!   exp1     Figures 2–5 and Table 2 — quality vs time, six indexes
 //!   table2   Table 2 only (runs/loads exp1 curves)
 //!   exp2     Figures 6–7 — the chunk-size sweep
+//!   exp3     the stop-rule sweep — every rule answered from one scan
 //!   all      everything above, in order
 //! ```
 //!
@@ -23,7 +24,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|all> \
+        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|all> \
          [--scale N] [--queries N] [--seed S] [--out DIR]"
     );
     std::process::exit(2);
@@ -112,14 +113,19 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
             print!("{}", experiments::table2(&lab, &curves)?);
         }
         "exp2" => print!("{}", experiments::exp2(&lab)?),
+        "exp3" => print!("{}", experiments::exp3(&lab)?),
         "all" => {
             print!("{}", experiments::table1(&lab)?);
             print!("{}", experiments::fig1(&lab)?);
             print!("{}", experiments::exp1(&lab)?);
             print!("{}", experiments::exp2(&lab)?);
+            print!("{}", experiments::exp3(&lab)?);
         }
         _ => usage(),
     }
-    eprintln!("[done] {command} in {:.1}s", started.elapsed().as_secs_f64());
+    eprintln!(
+        "[done] {command} in {:.1}s",
+        started.elapsed().as_secs_f64()
+    );
     Ok(())
 }

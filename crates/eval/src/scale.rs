@@ -8,7 +8,6 @@
 //! regime where (a) a chunk holds far more than k = 30 descriptors and
 //! (b) there are enough chunks for ranking to matter.
 
-
 /// The paper's collection size.
 pub const PAPER_N: usize = 5_017_298;
 /// The paper's mean BAG chunk sizes for SMALL / MEDIUM / LARGE (Table 1).
@@ -55,7 +54,10 @@ impl Scale {
             .and_then(|v| v.parse().ok())
             .unwrap_or(100_000);
         let mut s = Scale::new(n);
-        if let Some(q) = std::env::var("EFF2_QUERIES").ok().and_then(|v| v.parse().ok()) {
+        if let Some(q) = std::env::var("EFF2_QUERIES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+        {
             s.n_queries = q;
         }
         if let Some(seed) = std::env::var("EFF2_SEED").ok().and_then(|v| v.parse().ok()) {

@@ -395,8 +395,10 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json> {
     {
         *pos += 1;
     }
-    let text = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|_| JsonError { message: "invalid utf-8 in number".into(), offset: start })?;
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|_| JsonError {
+        message: "invalid utf-8 in number".into(),
+        offset: start,
+    })?;
     match text.parse::<f64>() {
         Ok(v) => Ok(Json::Num(v)),
         Err(_) => parse_err(format!("invalid number `{text}`"), start),
@@ -477,8 +479,10 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
             _ => {
                 // Consume one UTF-8 character (the input is a &str, so the
                 // bytes are valid UTF-8).
-                let rest = std::str::from_utf8(&bytes[*pos..])
-                    .map_err(|_| JsonError { message: "invalid utf-8".into(), offset: *pos })?;
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|_| JsonError {
+                    message: "invalid utf-8".into(),
+                    offset: *pos,
+                })?;
                 let c = rest.chars().next().expect("non-empty");
                 out.push(c);
                 *pos += c.len_utf8();
@@ -569,12 +573,24 @@ mod tests {
     #[test]
     fn whitespace_tolerant() {
         let v = Json::parse(" { \"k\" : [ 1 , 2 ] , \"s\" : null } ").expect("parse");
-        assert_eq!(v.field("k").expect("k").to_u32_vec().expect("ids"), vec![1, 2]);
+        assert_eq!(
+            v.field("k").expect("k").to_u32_vec().expect("ids"),
+            vec![1, 2]
+        );
     }
 
     #[test]
     fn rejects_malformed() {
-        for bad in ["", "{", "[1,", "{\"a\" 1}", "tru", "1.2.3", "[1] extra", "\"unterminated"] {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "tru",
+            "1.2.3",
+            "[1] extra",
+            "\"unterminated",
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad} should fail");
         }
     }
@@ -584,6 +600,12 @@ mod tests {
         assert!(Json::parse("1.5").expect("parse").as_u64().is_err());
         assert!(Json::parse("-2").expect("parse").as_u64().is_err());
         assert!(Json::parse("4294967296").expect("parse").as_u32().is_err());
-        assert_eq!(Json::parse("4294967295").expect("parse").as_u32().expect("u32"), u32::MAX);
+        assert_eq!(
+            Json::parse("4294967295")
+                .expect("parse")
+                .as_u32()
+                .expect("u32"),
+            u32::MAX
+        );
     }
 }

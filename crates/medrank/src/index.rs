@@ -142,7 +142,8 @@ impl MedrankIndex {
         if k == 0 || self.n == 0 {
             return (Vec::new(), 0);
         }
-        let needed_votes = ((self.lines.len() as f64) * self.params.vote_fraction).floor() as u32 + 1;
+        let needed_votes =
+            ((self.lines.len() as f64) * self.params.vote_fraction).floor() as u32 + 1;
         let mut cursors: Vec<Cursor<'_>> = self
             .lines
             .iter()
@@ -281,7 +282,13 @@ mod tests {
         // Query at lump 2 (splat(50)); all emitted ids should belong to
         // that lump (i % 6 == 2) — median-rank aggregation is a real ANN.
         let set = lumpy_set(600);
-        let ix = MedrankIndex::build(&set, MedrankParams { lines: 15, ..Default::default() });
+        let ix = MedrankIndex::build(
+            &set,
+            MedrankParams {
+                lines: 15,
+                ..Default::default()
+            },
+        );
         let (res, _) = ix.knn(&Vector::splat(50.0), 10);
         assert_eq!(res.len(), 10);
         let correct = res.iter().filter(|r| r.id % 6 == 2).count();

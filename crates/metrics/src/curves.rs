@@ -11,7 +11,8 @@
 //! one chunk store and produces exactly those series.
 
 use crate::truth::GroundTruth;
-use eff2_core::search::{search, SearchParams, StopRule};
+use eff2_core::search::{SearchParams, StopRule};
+use eff2_core::session::SearchSession;
 use eff2_json::Json;
 use eff2_storage::diskmodel::DiskModel;
 use eff2_storage::{ChunkStore, Result};
@@ -81,10 +82,14 @@ fn reduce_query(
         prefetch_depth: 2,
         log_snapshots: true,
     };
-    let result = search(store, model, query, &params)?;
+    // Step the session chunk by chunk and fold each event as it appears —
+    // the anytime consumption pattern, rather than post-processing a
+    // finished log. The figures are identical either way.
+    let mut session = SearchSession::open(store, model, query, &params);
     let mut chunks_for_m = vec![None; k];
     let mut time_for_m = vec![None; k];
-    for event in &result.log.events {
+    while !session.stop_satisfied() {
+        let Some(event) = session.step()? else { break };
         let found = event
             .topk_ids
             .iter()
@@ -100,6 +105,7 @@ fn reduce_query(
             }
         }
     }
+    let result = session.into_result();
     Ok(PerQuery {
         chunks_for_m,
         time_for_m,
@@ -125,7 +131,11 @@ pub fn quality_curve(
     k: usize,
     label: &str,
 ) -> Result<QualityCurve> {
-    assert_eq!(truth.ids.len(), workload.len(), "truth does not cover the workload");
+    assert_eq!(
+        truth.ids.len(),
+        workload.len(),
+        "truth does not cover the workload"
+    );
     assert_eq!(truth.k, k, "truth was computed for k = {}", truth.k);
 
     let per_query: Vec<PerQuery> = eff2_parallel::try_par_map(&workload.queries, |qi, q| {
@@ -198,10 +208,18 @@ impl QualityCurve {
             ("avg_time_for_m", Json::f64_array(&self.avg_time_for_m)),
             (
                 "reach_count",
-                Json::Arr(self.reach_count.iter().map(|&c| Json::from_usize(c)).collect()),
+                Json::Arr(
+                    self.reach_count
+                        .iter()
+                        .map(|&c| Json::from_usize(c))
+                        .collect(),
+                ),
             ),
             ("avg_completion_secs", Json::num(self.avg_completion_secs)),
-            ("avg_completion_chunks", Json::num(self.avg_completion_chunks)),
+            (
+                "avg_completion_chunks",
+                Json::num(self.avg_completion_chunks),
+            ),
             ("avg_index_read_ms", Json::num(self.avg_index_read_ms)),
         ])
     }
@@ -259,8 +277,8 @@ mod tests {
         let w = dq_workload(&set, 15, 3);
         let k = 10;
         let truth = GroundTruth::compute(&store, &w, k).expect("truth");
-        let curve = quality_curve(&store, &DiskModel::ata_2005(), &w, &truth, k, "SR")
-            .expect("curve");
+        let curve =
+            quality_curve(&store, &DiskModel::ata_2005(), &w, &truth, k, "SR").expect("curve");
         assert_eq!(curve.n_queries, 15);
         // Every query ran to completion, so every m must be reached.
         for m in 0..k {
@@ -283,8 +301,8 @@ mod tests {
         let w = dq_workload(&set, 10, 7);
         let k = 5;
         let truth = GroundTruth::compute(&store, &w, k).expect("truth");
-        let curve = quality_curve(&store, &DiskModel::ata_2005(), &w, &truth, k, "SR")
-            .expect("curve");
+        let curve =
+            quality_curve(&store, &DiskModel::ata_2005(), &w, &truth, k, "SR").expect("curve");
         // A dataset query's own chunk is ranked first and contains it.
         assert!(
             curve.chunks_for(1) < 1.5,
@@ -312,8 +330,8 @@ mod tests {
         };
         let _ = set;
         let truth = GroundTruth { k: 3, ids: vec![] };
-        let curve = quality_curve(&store, &DiskModel::ata_2005(), &w, &truth, 3, "e")
-            .expect("curve");
+        let curve =
+            quality_curve(&store, &DiskModel::ata_2005(), &w, &truth, 3, "e").expect("curve");
         assert_eq!(curve.n_queries, 0);
         assert!(curve.avg_chunks_for_m[0].is_nan());
     }

@@ -95,7 +95,15 @@ where
     R: IntoIterator<Item = &'a [String]>,
 {
     let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
-    writeln!(f, "{}", headers.iter().map(|h| quote(h)).collect::<Vec<_>>().join(","))?;
+    writeln!(
+        f,
+        "{}",
+        headers
+            .iter()
+            .map(|h| quote(h))
+            .collect::<Vec<_>>()
+            .join(",")
+    )?;
     for row in rows {
         writeln!(
             f,

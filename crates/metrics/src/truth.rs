@@ -131,7 +131,10 @@ mod tests {
         let t = GroundTruth::compute(&store, &w, 5).expect("truth");
         for (qi, &pos) in w.source_positions.iter().enumerate() {
             let qid = set.id(pos as usize).0;
-            assert_eq!(t.ids[qi][0], qid, "nearest neighbour of a dataset point is itself");
+            assert_eq!(
+                t.ids[qi][0], qid,
+                "nearest neighbour of a dataset point is itself"
+            );
         }
     }
 

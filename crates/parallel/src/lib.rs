@@ -185,13 +185,18 @@ mod tests {
     fn error_reported_is_lowest_index() {
         let items: Vec<usize> = (0..500).collect();
         for threads in [1, 4, 16] {
-            let got: Result<Vec<usize>, usize> = try_par_map_threads(threads, &items, |i, &x| {
-                if x % 100 == 37 {
-                    Err(i)
-                } else {
-                    Ok(x)
-                }
-            });
+            let got: Result<Vec<usize>, usize> =
+                try_par_map_threads(
+                    threads,
+                    &items,
+                    |i, &x| {
+                        if x % 100 == 37 {
+                            Err(i)
+                        } else {
+                            Ok(x)
+                        }
+                    },
+                );
             // Workers race, but the reported error must always be the
             // smallest failing index that any worker reached; with the
             // cursor starting at 0 every failing run sees index 37 fail

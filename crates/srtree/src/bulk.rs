@@ -46,7 +46,10 @@ impl Default for BulkConfig {
 /// Panics if `leaf_size == 0` or `internal_fanout < 2`.
 pub fn bulk_build(set: &DescriptorSet, cfg: BulkConfig) -> SRTree {
     assert!(cfg.leaf_size > 0, "leaf size must be positive");
-    assert!(cfg.internal_fanout >= 2, "internal fan-out must be at least 2");
+    assert!(
+        cfg.internal_fanout >= 2,
+        "internal fan-out must be at least 2"
+    );
 
     let tree_cfg = SRTreeConfig {
         // The dynamic invariants must admit what the static build produces.
@@ -112,7 +115,12 @@ pub fn build_leaf_partitions(set: &DescriptorSet, leaf_size: usize) -> Vec<Vec<u
     out
 }
 
-fn partition_rec(set: &DescriptorSet, positions: &mut [u32], n_leaves: usize, out: &mut Vec<Vec<u32>>) {
+fn partition_rec(
+    set: &DescriptorSet,
+    positions: &mut [u32],
+    n_leaves: usize,
+    out: &mut Vec<Vec<u32>>,
+) {
     if n_leaves <= 1 {
         out.push(positions.to_vec());
         return;
@@ -211,7 +219,13 @@ mod tests {
 
     #[test]
     fn leaf_sizes_are_uniform_within_one() {
-        for (n, leaf_size) in [(1_000usize, 64usize), (997, 100), (5_000, 7), (64, 64), (65, 64)] {
+        for (n, leaf_size) in [
+            (1_000usize, 64usize),
+            (997, 100),
+            (5_000, 7),
+            (64, 64),
+            (65, 64),
+        ] {
             let set = spread_set(n);
             let leaves = build_leaf_partitions(&set, leaf_size);
             let l = n.div_ceil(leaf_size);
@@ -314,7 +328,10 @@ mod tests {
         let (c, r) = centroid_and_radius(&set, &positions);
         for &p in &positions {
             let d = c.dist(&set.vector_owned(p as usize));
-            assert!(d <= r * (1.0 + 1e-5) + 1e-4, "point {p} at {d} > radius {r}");
+            assert!(
+                d <= r * (1.0 + 1e-5) + 1e-4,
+                "point {p} at {d} > radius {r}"
+            );
         }
     }
 

@@ -122,14 +122,7 @@ pub fn summary_of(node: &Node) -> (Rect, Sphere, usize) {
             // The rectangle-corner bound can only be looser for a leaf, but
             // take the min anyway for symmetry with internal nodes.
             let radius = max_point.min(rect.max_dist_from(&center));
-            (
-                rect,
-                Sphere {
-                    center,
-                    radius,
-                },
-                count,
-            )
+            (rect, Sphere { center, radius }, count)
         }
         Node::Internal { children } => {
             let mut rect = Rect::empty();

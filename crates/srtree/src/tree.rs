@@ -137,9 +137,13 @@ impl SRTree {
         let mut pending = vec![LeafEntry { pos, vector }];
         let mut reinserted = false;
         while let Some(entry) = pending.pop() {
-            if let Some(sibling) =
-                insert_rec(&mut self.root, entry, &self.config, &mut pending, &mut reinserted)
-            {
+            if let Some(sibling) = insert_rec(
+                &mut self.root,
+                entry,
+                &self.config,
+                &mut pending,
+                &mut reinserted,
+            ) {
                 // Root split: grow the tree by one level.
                 let old_root = std::mem::replace(
                     &mut self.root,
@@ -216,7 +220,11 @@ impl SRTree {
     /// the first violation. Test/diagnostic helper — O(n log n).
     pub fn validate(&self) {
         let counted = validate_rec(&self.root, &self.config, true);
-        assert_eq!(counted, self.len, "stored count {} != len {}", counted, self.len);
+        assert_eq!(
+            counted, self.len,
+            "stored count {} != len {}",
+            counted, self.len
+        );
     }
 }
 
@@ -313,11 +321,7 @@ fn split_internal(children: &mut Vec<ChildRef>, cfg: &SRTreeConfig) -> Vec<Child
 /// two groups' rectangle margins, over candidates satisfying the minimum
 /// fill. `point_at` yields the representative point of element `i` in the
 /// already-sorted order.
-fn best_split_point(
-    n: usize,
-    cfg: &SRTreeConfig,
-    point_at: impl Fn(usize) -> Vector,
-) -> usize {
+fn best_split_point(n: usize, cfg: &SRTreeConfig, point_at: impl Fn(usize) -> Vector) -> usize {
     let m = (((n as f32) * cfg.min_fill).floor() as usize).max(1);
     let lo = m;
     let hi = n - m;
@@ -391,7 +395,10 @@ fn validate_rec(child: &ChildRef, cfg: &SRTreeConfig, is_root: bool) -> usize {
                 cfg.leaf_capacity
             );
             for e in entries {
-                assert!(child.rect.contains(&e.vector), "rect must contain leaf point");
+                assert!(
+                    child.rect.contains(&e.vector),
+                    "rect must contain leaf point"
+                );
                 assert!(
                     child.sphere.contains(&e.vector),
                     "sphere must contain leaf point"
@@ -401,10 +408,7 @@ fn validate_rec(child: &ChildRef, cfg: &SRTreeConfig, is_root: bool) -> usize {
             entries.len()
         }
         Node::Internal { children } => {
-            assert!(
-                children.len() <= cfg.internal_capacity,
-                "internal overflow"
-            );
+            assert!(children.len() <= cfg.internal_capacity, "internal overflow");
             // A 1-child internal is legal (an internal at capacity 2
             // overflowing with 3 children can only split 1+2); it must
             // simply be non-empty. Later inserts fill such nodes back up.

@@ -16,14 +16,14 @@ fn arb_points(max: usize) -> impl Strategy<Value = Vec<Vector>> {
 }
 
 fn arb_config() -> impl Strategy<Value = SRTreeConfig> {
-    (2usize..20, 2usize..10, 0.0f32..0.45, 0.05f32..0.5).prop_map(
-        |(leaf, fan, reinsert, fill)| SRTreeConfig {
+    (2usize..20, 2usize..10, 0.0f32..0.45, 0.05f32..0.5).prop_map(|(leaf, fan, reinsert, fill)| {
+        SRTreeConfig {
             leaf_capacity: leaf,
             internal_capacity: fan,
             reinsert_fraction: reinsert,
             min_fill: fill,
-        },
-    )
+        }
+    })
 }
 
 fn brute_knn(points: &[Vector], q: &Vector, k: usize) -> Vec<f32> {

@@ -171,14 +171,14 @@ pub fn decode_records(raw: &[u8], count: u32, payload: &mut ChunkPayload) -> Res
     payload.ids.reserve(count as usize);
     payload.packed.reserve(count as usize * DIM);
     for rec in raw.chunks_exact(RECORD_BYTES) {
-        payload
-            .ids
-            .push(u32::from_le_bytes(rec[0..4].try_into().expect("fixed slice")));
+        payload.ids.push(u32::from_le_bytes(
+            rec[0..4].try_into().expect("fixed slice"),
+        ));
         for d in 0..DIM {
             let at = 4 + d * 4;
-            payload
-                .packed
-                .push(f32::from_le_bytes(rec[at..at + 4].try_into().expect("fixed slice")));
+            payload.packed.push(f32::from_le_bytes(
+                rec[at..at + 4].try_into().expect("fixed slice"),
+            ));
         }
     }
     Ok(())
@@ -260,7 +260,10 @@ mod tests {
         buf[0..4].copy_from_slice(b"XXXX");
         assert!(matches!(
             read_header(&mut Cursor::new(&buf)),
-            Err(Error::BadMagic { file: "chunk file", .. })
+            Err(Error::BadMagic {
+                file: "chunk file",
+                ..
+            })
         ));
     }
 

@@ -182,7 +182,11 @@ impl PipelineClock {
     /// Accounts one chunk with I/O overlapped against the previous chunk's
     /// CPU; returns the virtual time at which this chunk's results are
     /// available.
-    pub fn chunk_overlapped(&mut self, io: VirtualDuration, cpu: VirtualDuration) -> VirtualDuration {
+    pub fn chunk_overlapped(
+        &mut self,
+        io: VirtualDuration,
+        cpu: VirtualDuration,
+    ) -> VirtualDuration {
         let io_done = self.io_free_at + io.as_secs();
         self.io_free_at = io_done;
         let cpu_start = self.cpu_free_at.max(io_done);

@@ -75,6 +75,8 @@ mod tests {
         assert!(Error::Inconsistent("page size".into())
             .to_string()
             .contains("page size"));
-        assert!(Error::Truncated("index file").to_string().contains("index file"));
+        assert!(Error::Truncated("index file")
+            .to_string()
+            .contains("index file"));
     }
 }

@@ -110,8 +110,7 @@ pub fn read_index<R: Read>(reader: R) -> Result<(Vec<ChunkMeta>, u32)> {
         let at = DIM * 4;
         let radius = f32::from_le_bytes(buf[at..at + 4].try_into().expect("fixed slice"));
         let offset = u64::from_le_bytes(buf[at + 4..at + 12].try_into().expect("fixed slice"));
-        let byte_len =
-            u32::from_le_bytes(buf[at + 12..at + 16].try_into().expect("fixed slice"));
+        let byte_len = u32::from_le_bytes(buf[at + 12..at + 16].try_into().expect("fixed slice"));
         let count = u32::from_le_bytes(buf[at + 16..at + 20].try_into().expect("fixed slice"));
         metas.push(ChunkMeta {
             centroid,
@@ -172,7 +171,10 @@ mod tests {
         buf[0] = b'Z';
         assert!(matches!(
             read_index(&buf[..]),
-            Err(Error::BadMagic { file: "index file", .. })
+            Err(Error::BadMagic {
+                file: "index file",
+                ..
+            })
         ));
     }
 

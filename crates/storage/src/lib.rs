@@ -20,6 +20,9 @@
 //! * [`store::ChunkStore`] — create/open a chunk index, read chunks;
 //! * [`prefetch`] — a pipelined reader that overlaps chunk I/O with
 //!   processing (the overlap that motivates uniform chunk sizes);
+//! * [`source`] — the [`ChunkSource`]/[`ChunkStream`] abstraction over chunk
+//!   delivery: plain file reads, prefetching, or a byte-budgeted resident
+//!   cache shared across queries — all charging identical modelled I/O;
 //! * [`diskmodel`] — the simulated 2005 testbed (Dell 2.8 GHz P4, 40 GB ATA
 //!   disk): a deterministic virtual clock calibrated so that reading and
 //!   processing an SR-tree chunk of ≈2.5 k descriptors costs ≈10 ms,
@@ -31,9 +34,14 @@ pub mod diskmodel;
 pub mod error;
 pub mod indexfile;
 pub mod prefetch;
+pub mod source;
 pub mod store;
 
 pub use diskmodel::{DiskModel, PipelineClock, VirtualDuration};
 pub use error::{Error, Result};
 pub use indexfile::ChunkMeta;
+pub use source::{
+    ChunkSource, ChunkStream, FileSource, PrefetchSource, ResidentSource, ResidentStats,
+    SourcedChunk,
+};
 pub use store::{ChunkData, ChunkDef, ChunkStore};

@@ -38,11 +38,16 @@ pub struct PrefetchIter {
 /// # Panics
 ///
 /// Panics if `depth == 0`.
-pub fn prefetch_chunks(store: &ChunkStore, order: Vec<usize>, depth: usize) -> Result<PrefetchIter> {
+pub fn prefetch_chunks(
+    store: &ChunkStore,
+    order: Vec<usize>,
+    depth: usize,
+) -> Result<PrefetchIter> {
     assert!(depth > 0, "prefetch depth must be positive");
-    // The reader thread needs its own handle onto the files; re-open the
-    // store so the thread owns everything it touches.
-    let owned = ChunkStore::open(store.chunk_path(), store.index_path())?;
+    // The reader thread needs its own handle; the store is a cheap
+    // `Arc`-backed clone, and the file itself is opened by `reader()`
+    // inside the thread.
+    let owned = store.clone();
     let (tx, rx) = sync_channel(depth);
     let handle = std::thread::spawn(move || {
         let mut reader = match owned.reader() {
@@ -124,8 +129,7 @@ mod tests {
                 radius: 1e9,
             });
         }
-        let store =
-            ChunkStore::create(&tmp_dir(tag), "p", &set, &chunks, 512).expect("create");
+        let store = ChunkStore::create(&tmp_dir(tag), "p", &set, &chunks, 512).expect("create");
         (store, set)
     }
 

@@ -1,0 +1,561 @@
+//! Pluggable chunk delivery: the `ChunkSource` / `ChunkStream` trait pair.
+//!
+//! A search session asks a [`ChunkSource`] for a stream over a *ranked*
+//! sequence of chunk ids and consumes one [`SourcedChunk`] per step. The
+//! source decides **how** the bytes arrive — a plain file reader
+//! ([`FileSource`]), a pipelined background reader ([`PrefetchSource`]), or
+//! a shared in-memory cache ([`ResidentSource`]) — while the search core
+//! stays oblivious. Crucially, every source reports the same
+//! `bytes_read` for a given chunk (the padded on-disk page span), so the
+//! virtual disk model charges identical I/O no matter which backend served
+//! the payload: the paper's reported figures do not depend on the source.
+
+use crate::chunkfile::ChunkPayload;
+use crate::error::Result;
+use crate::prefetch::{prefetch_chunks, PrefetchIter};
+use crate::store::{ChunkReader, ChunkStore};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// One delivered chunk: its id, shared payload and on-disk byte span.
+///
+/// The payload is behind an `Arc` so cache-backed sources can hand the same
+/// decoded chunk to many concurrent queries without copying.
+#[derive(Clone, Debug)]
+pub struct SourcedChunk {
+    /// Chunk id within the store.
+    pub id: usize,
+    /// Decoded payload (ids + packed vectors).
+    pub payload: Arc<ChunkPayload>,
+    /// Bytes the disk model charges for this chunk (padded page span) —
+    /// identical across sources, including cache hits.
+    pub bytes_read: u64,
+}
+
+/// A stream of chunks in the order requested from [`ChunkSource::open_stream`].
+///
+/// Streams own all their state (`'static`), so a session holding one can
+/// outlive the scope that opened the store. After yielding an `Err` a
+/// stream is exhausted: subsequent calls return `None`.
+pub trait ChunkStream: Send {
+    /// Delivers the next chunk of the requested order, `None` when done.
+    fn next_chunk(&mut self) -> Option<Result<SourcedChunk>>;
+}
+
+/// A backend that can deliver chunk payloads for a ranked id sequence.
+pub trait ChunkSource: Send + Sync {
+    /// Opens a stream that yields the chunks in `order`, in order.
+    ///
+    /// Opening is where file handles are acquired, so a missing or
+    /// truncated chunk file surfaces here (or on the first
+    /// [`ChunkStream::next_chunk`]) as a clean `Err`.
+    fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>>;
+}
+
+// ---------------------------------------------------------------------------
+// FileSource — one synchronous reader per stream.
+// ---------------------------------------------------------------------------
+
+/// Reads chunks synchronously through a [`ChunkReader`] — the behaviour of
+/// the original in-loop reader, expressed as a source.
+#[derive(Clone, Debug)]
+pub struct FileSource {
+    store: ChunkStore,
+}
+
+impl FileSource {
+    /// A file-backed source over `store`.
+    pub fn new(store: &ChunkStore) -> FileSource {
+        FileSource {
+            store: store.clone(),
+        }
+    }
+}
+
+impl ChunkSource for FileSource {
+    fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+        Ok(Box::new(FileStream {
+            reader: self.store.reader()?,
+            order,
+            pos: 0,
+            failed: false,
+        }))
+    }
+}
+
+struct FileStream {
+    reader: ChunkReader,
+    order: Vec<usize>,
+    pos: usize,
+    failed: bool,
+}
+
+impl ChunkStream for FileStream {
+    fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
+        if self.failed || self.pos == self.order.len() {
+            return None;
+        }
+        let id = self.order[self.pos];
+        self.pos += 1;
+        let mut payload = ChunkPayload::default();
+        match self.reader.read_chunk(id, &mut payload) {
+            Ok(bytes_read) => Some(Ok(SourcedChunk {
+                id,
+                payload: Arc::new(payload),
+                bytes_read,
+            })),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PrefetchSource — background reader thread per stream.
+// ---------------------------------------------------------------------------
+
+/// Delivers chunks through [`prefetch_chunks`]: a reader thread stays up to
+/// `depth` chunks ahead of the consumer, overlapping real file I/O with
+/// processing (the overlap §1.1 of the paper argues for).
+#[derive(Clone, Debug)]
+pub struct PrefetchSource {
+    store: ChunkStore,
+    depth: usize,
+}
+
+impl PrefetchSource {
+    /// A prefetching source over `store` with the given window depth.
+    ///
+    /// A zero depth is rejected by [`prefetch_chunks`] when the first
+    /// stream is opened (a search that never opens a stream — `k = 0`, an
+    /// empty budget — tolerates it, matching the in-loop reader it
+    /// replaced).
+    pub fn new(store: &ChunkStore, depth: usize) -> PrefetchSource {
+        PrefetchSource {
+            store: store.clone(),
+            depth,
+        }
+    }
+}
+
+impl ChunkSource for PrefetchSource {
+    fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+        Ok(Box::new(PrefetchStream {
+            iter: prefetch_chunks(&self.store, order, self.depth)?,
+            failed: false,
+        }))
+    }
+}
+
+struct PrefetchStream {
+    iter: PrefetchIter,
+    failed: bool,
+}
+
+impl ChunkStream for PrefetchStream {
+    fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
+        if self.failed {
+            return None;
+        }
+        match self.iter.next()? {
+            Ok(chunk) => Some(Ok(SourcedChunk {
+                id: chunk.id,
+                payload: Arc::new(chunk.payload),
+                bytes_read: chunk.bytes_read,
+            })),
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ResidentSource — byte-budgeted LRU cache shared across queries.
+// ---------------------------------------------------------------------------
+
+/// Counters describing a [`ResidentSource`]'s cache behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResidentStats {
+    /// Chunk requests served from memory.
+    pub hits: u64,
+    /// Chunk requests that went to disk.
+    pub misses: u64,
+    /// Chunks evicted to respect the byte budget.
+    pub evictions: u64,
+    /// Decoded bytes currently pinned.
+    pub resident_bytes: u64,
+    /// Chunks currently pinned.
+    pub resident_chunks: usize,
+}
+
+#[derive(Debug)]
+struct ResidentEntry {
+    payload: Arc<ChunkPayload>,
+    bytes_read: u64,
+    cost: u64,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct ResidentCache {
+    entries: HashMap<usize, ResidentEntry>,
+    budget: u64,
+    used: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl ResidentCache {
+    fn lookup(&mut self, id: usize) -> Option<(Arc<ChunkPayload>, u64)> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&id) {
+            Some(e) => {
+                e.last_used = tick;
+                self.hits += 1;
+                Some((Arc::clone(&e.payload), e.bytes_read))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, id: usize, payload: Arc<ChunkPayload>, bytes_read: u64) {
+        let cost = payload_bytes(&payload);
+        if cost > self.budget {
+            return; // a chunk larger than the whole budget stays uncached
+        }
+        if let Some(old) = self.entries.remove(&id) {
+            self.used -= old.cost; // racing streams: replace, don't double-count
+        }
+        while self.used + cost > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(&vid, _)| vid)
+                .expect("used > 0 implies a resident entry");
+            let evicted = self.entries.remove(&victim).expect("victim resident");
+            self.used -= evicted.cost;
+            self.evictions += 1;
+        }
+        self.tick += 1;
+        self.used += cost;
+        self.entries.insert(
+            id,
+            ResidentEntry {
+                payload,
+                bytes_read,
+                cost,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+/// Decoded in-memory footprint of a payload (ids + packed floats).
+fn payload_bytes(p: &ChunkPayload) -> u64 {
+    (p.ids.len() * std::mem::size_of::<u32>() + p.packed.len() * std::mem::size_of::<f32>()) as u64
+}
+
+/// Pins decoded chunks in a byte-budgeted LRU shared across queries — the
+/// hot-serving backend.
+///
+/// Cache hits skip the disk but still report the chunk's on-disk
+/// `bytes_read`, so the virtual clock charges exactly the modelled I/O a
+/// [`FileSource`] would: reported quality-vs-time figures are unchanged.
+/// The budget bounds the *decoded* footprint (ids + packed floats); a
+/// single chunk larger than the whole budget is served but never pinned.
+#[derive(Clone, Debug)]
+pub struct ResidentSource {
+    store: ChunkStore,
+    cache: Arc<Mutex<ResidentCache>>,
+}
+
+impl ResidentSource {
+    /// A resident source over `store` pinning at most `budget_bytes` of
+    /// decoded chunk data. Clones share the same cache.
+    pub fn new(store: &ChunkStore, budget_bytes: u64) -> ResidentSource {
+        ResidentSource {
+            store: store.clone(),
+            cache: Arc::new(Mutex::new(ResidentCache {
+                entries: HashMap::new(),
+                budget: budget_bytes,
+                used: 0,
+                tick: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            })),
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> ResidentStats {
+        let cache = self.cache.lock().expect("resident cache poisoned");
+        ResidentStats {
+            hits: cache.hits,
+            misses: cache.misses,
+            evictions: cache.evictions,
+            resident_bytes: cache.used,
+            resident_chunks: cache.entries.len(),
+        }
+    }
+}
+
+impl ChunkSource for ResidentSource {
+    fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+        Ok(Box::new(ResidentStream {
+            store: self.store.clone(),
+            cache: Arc::clone(&self.cache),
+            reader: None,
+            order,
+            pos: 0,
+            failed: false,
+        }))
+    }
+}
+
+struct ResidentStream {
+    store: ChunkStore,
+    cache: Arc<Mutex<ResidentCache>>,
+    /// Opened on the first cache miss — an all-hit stream never touches disk.
+    reader: Option<ChunkReader>,
+    order: Vec<usize>,
+    pos: usize,
+    failed: bool,
+}
+
+impl ChunkStream for ResidentStream {
+    fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
+        if self.failed || self.pos == self.order.len() {
+            return None;
+        }
+        let id = self.order[self.pos];
+        self.pos += 1;
+
+        let cached = self
+            .cache
+            .lock()
+            .expect("resident cache poisoned")
+            .lookup(id);
+        if let Some((payload, bytes_read)) = cached {
+            return Some(Ok(SourcedChunk {
+                id,
+                payload,
+                bytes_read,
+            }));
+        }
+
+        // Miss: read outside the lock, then pin.
+        if self.reader.is_none() {
+            match self.store.reader() {
+                Ok(r) => self.reader = Some(r),
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+        let reader = self.reader.as_mut().expect("reader just opened");
+        let mut payload = ChunkPayload::default();
+        match reader.read_chunk(id, &mut payload) {
+            Ok(bytes_read) => {
+                let payload = Arc::new(payload);
+                self.cache.lock().expect("resident cache poisoned").insert(
+                    id,
+                    Arc::clone(&payload),
+                    bytes_read,
+                );
+                Some(Ok(SourcedChunk {
+                    id,
+                    payload,
+                    bytes_read,
+                }))
+            }
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::ChunkDef;
+    use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eff2_source_{tag}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn store_with_chunks(tag: &str, sizes: &[usize]) -> ChunkStore {
+        let n: usize = sizes.iter().sum();
+        let set: DescriptorSet = (0..n)
+            .map(|i| Descriptor::new(i as u32, Vector::splat(i as f32)))
+            .collect();
+        let mut chunks = Vec::new();
+        let mut next = 0u32;
+        for &s in sizes {
+            let positions: Vec<u32> = (next..next + s as u32).collect();
+            next += s as u32;
+            chunks.push(ChunkDef {
+                positions,
+                centroid: Vector::ZERO,
+                radius: 1e9,
+            });
+        }
+        ChunkStore::create(&tmp_dir(tag), "s", &set, &chunks, 512).expect("create")
+    }
+
+    fn drain(source: &dyn ChunkSource, order: Vec<usize>) -> Vec<SourcedChunk> {
+        let mut stream = source.open_stream(order).expect("open stream");
+        let mut out = Vec::new();
+        while let Some(item) = stream.next_chunk() {
+            out.push(item.expect("chunk"));
+        }
+        out
+    }
+
+    #[test]
+    fn file_source_matches_direct_reads() {
+        let store = store_with_chunks("file", &[3, 5, 2, 4]);
+        let order = vec![2usize, 0, 3, 1];
+        let got = drain(&FileSource::new(&store), order.clone());
+        let mut reader = store.reader().expect("reader");
+        assert_eq!(got.len(), order.len());
+        for (chunk, &id) in got.iter().zip(order.iter()) {
+            let mut direct = ChunkPayload::default();
+            let bytes = reader.read_chunk(id, &mut direct).expect("direct");
+            assert_eq!(chunk.id, id);
+            assert_eq!(*chunk.payload, direct);
+            assert_eq!(chunk.bytes_read, bytes);
+        }
+    }
+
+    #[test]
+    fn prefetch_source_matches_file_source() {
+        let store = store_with_chunks("prefetch", &[4, 1, 6, 3, 2]);
+        let order = vec![4usize, 1, 3, 0, 2];
+        let from_file = drain(&FileSource::new(&store), order.clone());
+        let from_prefetch = drain(&PrefetchSource::new(&store, 2), order);
+        assert_eq!(from_file.len(), from_prefetch.len());
+        for (a, b) in from_file.iter().zip(from_prefetch.iter()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.payload, b.payload);
+            assert_eq!(a.bytes_read, b.bytes_read);
+        }
+    }
+
+    #[test]
+    fn resident_source_is_byte_identical_to_file_source() {
+        let store = store_with_chunks("resident_eq", &[3, 5, 2, 4]);
+        let order: Vec<usize> = vec![1, 3, 0, 2];
+        let resident = ResidentSource::new(&store, u64::MAX);
+        let from_file = drain(&FileSource::new(&store), order.clone());
+        // Two passes: the second is served entirely from memory and must
+        // still be byte-identical, including the modelled bytes_read.
+        for pass in 0..2 {
+            let from_cache = drain(&resident, order.clone());
+            for (a, b) in from_file.iter().zip(from_cache.iter()) {
+                assert_eq!(a.id, b.id, "pass {pass}");
+                assert_eq!(a.payload, b.payload, "pass {pass}");
+                assert_eq!(a.bytes_read, b.bytes_read, "pass {pass}");
+            }
+        }
+        let stats = resident.stats();
+        assert_eq!(stats.misses, order.len() as u64);
+        assert_eq!(stats.hits, order.len() as u64);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.resident_chunks, order.len());
+    }
+
+    #[test]
+    fn resident_lru_respects_byte_budget() {
+        let store = store_with_chunks("resident_lru", &[4, 4, 4, 4]);
+        let per_chunk = {
+            let probe = ResidentSource::new(&store, u64::MAX);
+            drain(&probe, vec![0]);
+            probe.stats().resident_bytes
+        };
+        // Room for exactly two chunks.
+        let budget = 2 * per_chunk;
+        let resident = ResidentSource::new(&store, budget);
+        let mut stream = resident.open_stream(vec![0, 1, 2, 3, 0]).expect("open");
+        while let Some(item) = stream.next_chunk() {
+            item.expect("chunk");
+            let stats = resident.stats();
+            assert!(
+                stats.resident_bytes <= budget,
+                "resident {} exceeds budget {budget}",
+                stats.resident_bytes
+            );
+        }
+        let stats = resident.stats();
+        // 0,1 cached; 2 evicts 0; 3 evicts 1; re-reading 0 evicts 2.
+        assert_eq!(stats.misses, 5);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.evictions, 3);
+        assert_eq!(stats.resident_chunks, 2);
+        assert_eq!(stats.resident_bytes, budget);
+        // LRU order: 3 and 0 are resident now, so they hit.
+        drain(&resident, vec![3, 0]);
+        let stats = resident.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 5);
+    }
+
+    #[test]
+    fn resident_oversized_chunk_is_served_uncached() {
+        let store = store_with_chunks("resident_big", &[8, 2]);
+        let resident = ResidentSource::new(&store, 64); // smaller than chunk 0
+        let got = drain(&resident, vec![0, 0]);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].payload, got[1].payload);
+        let stats = resident.stats();
+        assert_eq!(stats.misses, 2, "oversized chunk never hits");
+        assert_eq!(stats.resident_chunks, 0);
+        assert_eq!(stats.resident_bytes, 0);
+    }
+
+    #[test]
+    fn streams_fuse_after_an_error() {
+        let store = store_with_chunks("fuse", &[2, 2]);
+        for source in [
+            Box::new(FileSource::new(&store)) as Box<dyn ChunkSource>,
+            Box::new(PrefetchSource::new(&store, 2)),
+            Box::new(ResidentSource::new(&store, u64::MAX)),
+        ] {
+            let mut stream = source.open_stream(vec![0, 9, 1]).expect("open");
+            assert!(stream.next_chunk().expect("first").is_ok());
+            assert!(stream.next_chunk().expect("second").is_err());
+            assert!(stream.next_chunk().is_none(), "stream must fuse");
+        }
+    }
+
+    #[test]
+    fn clones_share_the_cache() {
+        let store = store_with_chunks("share", &[3, 3]);
+        let a = ResidentSource::new(&store, u64::MAX);
+        let b = a.clone();
+        drain(&a, vec![0, 1]);
+        drain(&b, vec![0, 1]);
+        let stats = a.stats();
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(b.stats(), stats);
+    }
+}

@@ -7,6 +7,7 @@ use eff2_descriptor::{DescriptorSet, Vector};
 use std::fs::File;
 use std::io::BufReader;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Re-export: the decoded contents of one chunk.
 pub use crate::chunkfile::ChunkPayload as ChunkData;
@@ -24,8 +25,19 @@ pub struct ChunkDef {
 }
 
 /// An opened (or freshly created) chunk index.
-#[derive(Debug)]
+///
+/// The store is a cheap `Arc`-backed handle: cloning it shares the parsed
+/// index (metas, paths, page size) without touching disk, which is what
+/// lets readers, prefetchers and [chunk sources](crate::source) own their
+/// handle instead of borrowing one — a search session can therefore outlive
+/// the scope that opened the store.
+#[derive(Clone, Debug)]
 pub struct ChunkStore {
+    inner: Arc<StoreInner>,
+}
+
+#[derive(Debug)]
+struct StoreInner {
     chunk_path: PathBuf,
     index_path: PathBuf,
     metas: Vec<ChunkMeta>,
@@ -38,10 +50,10 @@ impl ChunkStore {
     /// `dir/name.chunks` and `dir/name.index`, then returns the opened
     /// store.
     ///
-    /// # Panics
-    ///
-    /// Panics if a chunk references a position outside `set` — chunk
-    /// formers produce positions from the same collection by construction.
+    /// Returns [`Error::Inconsistent`] if a chunk references a position
+    /// outside `set` — chunk formers produce positions from the same
+    /// collection by construction, so such a definition cannot be written
+    /// as a coherent pair of files.
     pub fn create(
         dir: &Path,
         name: &str,
@@ -51,10 +63,12 @@ impl ChunkStore {
     ) -> Result<ChunkStore> {
         for (ci, c) in chunks.iter().enumerate() {
             for &p in &c.positions {
-                assert!(
-                    (p as usize) < set.len(),
-                    "chunk {ci} references position {p} outside the collection"
-                );
+                if p as usize >= set.len() {
+                    return Err(Error::Inconsistent(format!(
+                        "chunk {ci} references position {p} outside the collection of {} descriptors",
+                        set.len()
+                    )));
+                }
             }
         }
         std::fs::create_dir_all(dir)?;
@@ -81,11 +95,13 @@ impl ChunkStore {
 
         let total_descriptors = metas.iter().map(|m| u64::from(m.count)).sum();
         Ok(ChunkStore {
-            chunk_path,
-            index_path,
-            metas,
-            page_size,
-            total_descriptors,
+            inner: Arc::new(StoreInner {
+                chunk_path,
+                index_path,
+                metas,
+                page_size,
+                total_descriptors,
+            }),
         })
     }
 
@@ -109,7 +125,8 @@ impl ChunkStore {
         }
         let file_len = std::fs::metadata(chunk_path)?.len();
         for (i, m) in metas.iter().enumerate() {
-            let end = m.offset + chunkfile::pad_to_page(u64::from(m.byte_len), u64::from(page_size));
+            let end =
+                m.offset + chunkfile::pad_to_page(u64::from(m.byte_len), u64::from(page_size));
             if end > file_len {
                 return Err(Error::Inconsistent(format!(
                     "chunk {i} extends to byte {end} beyond file of {file_len} bytes"
@@ -117,81 +134,80 @@ impl ChunkStore {
             }
         }
         Ok(ChunkStore {
-            chunk_path: chunk_path.to_path_buf(),
-            index_path: index_path.to_path_buf(),
-            total_descriptors: header.total_descriptors,
-            metas,
-            page_size,
+            inner: Arc::new(StoreInner {
+                chunk_path: chunk_path.to_path_buf(),
+                index_path: index_path.to_path_buf(),
+                total_descriptors: header.total_descriptors,
+                metas,
+                page_size,
+            }),
         })
     }
 
     /// The index entries (chunk order).
     pub fn metas(&self) -> &[ChunkMeta] {
-        &self.metas
+        &self.inner.metas
     }
 
     /// Number of chunks.
     pub fn n_chunks(&self) -> usize {
-        self.metas.len()
+        self.inner.metas.len()
     }
 
     /// Total descriptors across chunks.
     pub fn total_descriptors(&self) -> u64 {
-        self.total_descriptors
+        self.inner.total_descriptors
     }
 
     /// The page size chunks are padded to.
     pub fn page_size(&self) -> u32 {
-        self.page_size
+        self.inner.page_size
     }
 
     /// Size of the index file in bytes (charged when the search reads and
     /// ranks the index).
     pub fn index_bytes(&self) -> u64 {
-        indexfile::index_file_bytes(self.metas.len())
+        indexfile::index_file_bytes(self.inner.metas.len())
     }
 
     /// Path of the chunk file.
     pub fn chunk_path(&self) -> &Path {
-        &self.chunk_path
+        &self.inner.chunk_path
     }
 
     /// Path of the index file.
     pub fn index_path(&self) -> &Path {
-        &self.index_path
+        &self.inner.index_path
     }
 
     /// Opens an independent reader over the chunk file. Each concurrent
     /// query should hold its own reader (separate file handle and seek
-    /// position).
-    pub fn reader(&self) -> Result<ChunkReader<'_>> {
+    /// position). The reader owns a store handle, so it may outlive the
+    /// `ChunkStore` value it was created from.
+    pub fn reader(&self) -> Result<ChunkReader> {
         Ok(ChunkReader {
-            store: self,
-            file: BufReader::new(File::open(&self.chunk_path)?),
+            file: BufReader::new(File::open(&self.inner.chunk_path)?),
+            store: self.clone(),
         })
     }
 }
 
 /// A sequential reader over a store's chunk file.
 #[derive(Debug)]
-pub struct ChunkReader<'a> {
-    store: &'a ChunkStore,
+pub struct ChunkReader {
+    store: ChunkStore,
     file: BufReader<File>,
 }
 
-impl ChunkReader<'_> {
+impl ChunkReader {
     /// Reads chunk `id` into `payload` (buffers reused); returns the number
     /// of bytes transferred from disk (the padded page span).
     pub fn read_chunk(&mut self, id: usize, payload: &mut ChunkPayload) -> Result<u64> {
-        let meta = self
-            .store
-            .metas
-            .get(id)
-            .ok_or(Error::NoSuchChunk {
-                id,
-                n_chunks: self.store.metas.len(),
-            })?;
-        chunkfile::read_chunk_at(&mut self.file, meta, self.store.page_size, payload)
+        let meta = self.store.inner.metas.get(id).ok_or(Error::NoSuchChunk {
+            id,
+            n_chunks: self.store.inner.metas.len(),
+        })?;
+        chunkfile::read_chunk_at(&mut self.file, meta, self.store.inner.page_size, payload)
     }
 }
 
@@ -210,13 +226,9 @@ mod tests {
         groups
             .iter()
             .map(|g| {
-                let vecs: Vec<Vector> =
-                    g.iter().map(|&p| set.vector_owned(p as usize)).collect();
+                let vecs: Vec<Vector> = g.iter().map(|&p| set.vector_owned(p as usize)).collect();
                 let centroid = Vector::mean(vecs.iter());
-                let radius = vecs
-                    .iter()
-                    .map(|v| centroid.dist(v))
-                    .fold(0.0f32, f32::max);
+                let radius = vecs.iter().map(|v| centroid.dist(v)).fold(0.0f32, f32::max);
                 ChunkDef {
                     positions: g.to_vec(),
                     centroid,
@@ -241,8 +253,7 @@ mod tests {
         assert_eq!(store.n_chunks(), 3);
         assert_eq!(store.total_descriptors(), 12);
 
-        let reopened =
-            ChunkStore::open(store.chunk_path(), store.index_path()).expect("open");
+        let reopened = ChunkStore::open(store.chunk_path(), store.index_path()).expect("open");
         assert_eq!(reopened.metas(), store.metas());
 
         let mut reader = reopened.reader().expect("reader");
@@ -299,7 +310,14 @@ mod tests {
     fn open_detects_truncated_chunk_file() {
         let dir = tmp_dir("trunc");
         let set = sample_set(20);
-        let chunks = defs(&[&[0, 1, 2, 3, 4], &[5, 6, 7, 8, 9], &[10, 11, 12, 13, 14, 15, 16, 17, 18, 19]], &set);
+        let chunks = defs(
+            &[
+                &[0, 1, 2, 3, 4],
+                &[5, 6, 7, 8, 9],
+                &[10, 11, 12, 13, 14, 15, 16, 17, 18, 19],
+            ],
+            &set,
+        );
         let store = ChunkStore::create(&dir, "t", &set, &chunks, 256).expect("create");
         // Chop the tail off the chunk file.
         let data = std::fs::read(store.chunk_path()).expect("read file");
@@ -322,15 +340,43 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside the collection")]
     fn create_rejects_bad_positions() {
         let dir = tmp_dir("badpos");
+        let _ = std::fs::remove_file(dir.join("x.chunks"));
+        let _ = std::fs::remove_file(dir.join("x.index"));
         let set = sample_set(2);
         let chunks = vec![ChunkDef {
             positions: vec![0, 7],
             centroid: Vector::ZERO,
             radius: 0.0,
         }];
-        let _ = ChunkStore::create(&dir, "x", &set, &chunks, 256);
+        let err = ChunkStore::create(&dir, "x", &set, &chunks, 256)
+            .expect_err("out-of-range position must be rejected");
+        match err {
+            Error::Inconsistent(why) => {
+                assert!(why.contains('7'), "message should name the position: {why}");
+            }
+            other => panic!("expected Error::Inconsistent, got {other:?}"),
+        }
+        // Nothing was written: the files must not exist.
+        assert!(!dir.join("x.chunks").exists());
+        assert!(!dir.join("x.index").exists());
+    }
+
+    #[test]
+    fn clones_share_the_parsed_index() {
+        let dir = tmp_dir("clone");
+        let set = sample_set(8);
+        let chunks = defs(&[&[0, 1, 2, 3], &[4, 5, 6, 7]], &set);
+        let store = ChunkStore::create(&dir, "c", &set, &chunks, 256).expect("create");
+        let clone = store.clone();
+        assert_eq!(clone.metas(), store.metas());
+        assert_eq!(clone.chunk_path(), store.chunk_path());
+        // A clone's reader works independently of the original handle.
+        drop(store);
+        let mut reader = clone.reader().expect("reader");
+        let mut payload = ChunkPayload::default();
+        reader.read_chunk(1, &mut payload).expect("read");
+        assert_eq!(payload.ids, vec![4, 5, 6, 7]);
     }
 }

@@ -38,13 +38,14 @@ fn arb_partition(n: usize) -> impl Strategy<Value = Vec<Vec<u32>>> {
 }
 
 fn arb_set(n: usize) -> impl Strategy<Value = DescriptorSet> {
-    proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, DIM), n..n + 1)
-        .prop_map(|rows| {
+    proptest::collection::vec(proptest::collection::vec(-100.0f32..100.0, DIM), n..n + 1).prop_map(
+        |rows| {
             rows.into_iter()
                 .enumerate()
                 .map(|(i, r)| Descriptor::new(i as u32 * 2 + 1, Vector::from_slice(&r)))
                 .collect()
-        })
+        },
+    )
 }
 
 proptest! {

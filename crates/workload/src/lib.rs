@@ -65,12 +65,13 @@ impl Workload {
             .iter()
             .map(|q| {
                 let comps = q.to_f32_vec()?;
-                let arr: [f32; DIM] = comps.try_into().map_err(|v: Vec<f32>| {
-                    eff2_json::JsonError {
-                        message: format!("query has {} components, expected {DIM}", v.len()),
-                        offset: 0,
-                    }
-                })?;
+                let arr: [f32; DIM] =
+                    comps
+                        .try_into()
+                        .map_err(|v: Vec<f32>| eff2_json::JsonError {
+                            message: format!("query has {} components, expected {DIM}", v.len()),
+                            offset: 0,
+                        })?;
                 Ok(Vector(arr))
             })
             .collect::<eff2_json::Result<Vec<Vector>>>()?;
@@ -89,7 +90,10 @@ impl Workload {
 ///
 /// Panics if `set` is empty.
 pub fn dq_workload(set: &DescriptorSet, n_queries: usize, seed: u64) -> Workload {
-    assert!(!set.is_empty(), "cannot sample dataset queries from an empty collection");
+    assert!(
+        !set.is_empty(),
+        "cannot sample dataset queries from an empty collection"
+    );
     let mut rng = StdRng::seed_from_u64(seed);
     let mut queries = Vec::with_capacity(n_queries);
     let mut source_positions = Vec::with_capacity(n_queries);

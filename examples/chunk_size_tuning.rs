@@ -11,11 +11,11 @@
 //! cargo run --release -p eff2-examples --bin chunk_size_tuning
 //! ```
 
+use eff2_core::StopRule;
 use eff2_core::{ChunkIndex, SearchParams, SrTreeChunker};
 use eff2_descriptor::SyntheticCollection;
 use eff2_metrics::precision_at;
 use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
-use eff2_core::StopRule;
 
 fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let set = SyntheticCollection::with_size(40_000, 3).set;
@@ -27,16 +27,26 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let queries: Vec<_> = (0..10).map(|i| set.vector_owned(i * 3_777)).collect();
     let truths: Vec<Vec<u32>> = queries
         .iter()
-        .map(|q| eff2_core::scan_knn(&set, q, k).into_iter().map(|n| n.id).collect())
+        .map(|q| {
+            eff2_core::scan_knn(&set, q, k)
+                .into_iter()
+                .map(|n| n.id)
+                .collect()
+        })
         .collect();
 
-    println!("{:>10} {:>8} {:>14} {:>16} {:>18}", "chunk size", "chunks", "index read", "t(precision=1)", "precision@200ms");
+    println!(
+        "{:>10} {:>8} {:>14} {:>16} {:>18}",
+        "chunk size", "chunks", "index read", "t(precision=1)", "precision@200ms"
+    );
     for chunk_size in [50usize, 150, 400, 1_000, 2_500, 6_000, 15_000] {
         let built = ChunkIndex::build(
             &dir,
             &format!("tune{chunk_size}"),
             &set,
-            &SrTreeChunker { leaf_size: chunk_size },
+            &SrTreeChunker {
+                leaf_size: chunk_size,
+            },
             8192,
             model,
         )?;

@@ -50,11 +50,17 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             v
         })
         .collect();
-    println!("suspect image: {} local descriptors (perturbed copy of img{pirated_image})\n", suspect.len());
+    println!(
+        "suspect image: {} local descriptors (perturbed copy of img{pirated_image})\n",
+        suspect.len()
+    );
 
     for (label, params) in [
         ("exact (to completion)", SearchParams::exact(5)),
-        ("approximate (2 chunks/descriptor)", SearchParams::approximate(5, 2)),
+        (
+            "approximate (2 chunks/descriptor)",
+            SearchParams::approximate(5, 2),
+        ),
     ] {
         let mut votes: HashMap<u32, usize> = HashMap::new();
         let mut virtual_total = 0.0;
@@ -73,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         println!("{label}: total virtual time {virtual_total:.1}s");
         for (img, v) in ranked.iter().take(3) {
-            let marker = if *img == pirated_image { "  <-- the pirated source" } else { "" };
+            let marker = if *img == pirated_image {
+                "  <-- the pirated source"
+            } else {
+                ""
+            };
             println!("  img{img:<6} {v:>5} votes{marker}");
         }
         assert_eq!(

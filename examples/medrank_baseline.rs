@@ -23,7 +23,14 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     let model = DiskModel::ata_2005();
     let dir = std::env::temp_dir().join("eff2_medrank_example");
 
-    let chunked = ChunkIndex::build(&dir, "mr", &set, &SrTreeChunker { leaf_size: 500 }, 8192, model)?;
+    let chunked = ChunkIndex::build(
+        &dir,
+        "mr",
+        &set,
+        &SrTreeChunker { leaf_size: 500 },
+        8192,
+        model,
+    )?;
     let medrank = MedrankIndex::build(
         &set,
         MedrankParams {
@@ -50,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
             time += r.log.total_virtual.as_secs();
             exact_truths.push(r.neighbors.iter().map(|n| n.id).collect::<Vec<u32>>());
         }
-        stats.push(("chunk index (to completion)", 1.0, time / queries.len() as f64));
+        stats.push((
+            "chunk index (to completion)",
+            1.0,
+            time / queries.len() as f64,
+        ));
     }
     {
         let mut time = 0.0;
@@ -77,7 +88,10 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
         stats.push(("medrank (11 lines)", prec / n, time / n));
     }
 
-    println!("{:<30} {:>12} {:>14}", "method", "precision@10", "virtual time");
+    println!(
+        "{:<30} {:>12} {:>14}",
+        "method", "precision@10", "virtual time"
+    );
     for (name, prec, time) in stats {
         println!("{name:<30} {:>11.0}% {:>13.3}s", prec * 100.0, time);
     }

@@ -1,5 +1,5 @@
 //! Quickstart: build a chunk index over a synthetic descriptor collection
-//! and run exact and approximate nearest-neighbour queries.
+//! and run a resumable anytime search session plus an approximate query.
 //!
 //! ```sh
 //! cargo run --release -p eff2-examples --bin quickstart
@@ -14,7 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     //    simulating a few hundred images' worth of TV footage.
     let collection = SyntheticCollection::with_size(20_000, 7);
     let set = collection.set;
-    println!("collection: {} descriptors from ~{} images", set.len(), collection.spec.n_images);
+    println!(
+        "collection: {} descriptors from ~{} images",
+        set.len(),
+        collection.spec.n_images
+    );
 
     // 2. Build a chunk index: uniform 500-descriptor chunks from SR-tree
     //    leaves, stored as a page-padded chunk file + centroid/radius index.
@@ -36,22 +40,39 @@ fn main() -> Result<(), Box<dyn std::error::Error + Send + Sync>> {
     // 3. Query with a descriptor from the collection (a "dataset query").
     let query = set.vector_owned(1234);
 
-    // Exact search: run to completion; the centroid−radius bound proves
-    // the result is the true top-10.
-    let exact = built.index.search(&query, &SearchParams::exact(10))?;
+    // Exact search as a resumable session: chunks arrive one step() at a
+    // time in centroid-distance order, and the current answer is
+    // inspectable between steps — the anytime behaviour the paper studies.
+    let mut session = built.index.session(&query, &SearchParams::exact(10));
     println!(
-        "\nexact top-10: read {} of {} chunks, virtual time {}",
+        "\nstepping the session ({} chunks ranked):",
+        session.ranking().len()
+    );
+    while !session.stop_satisfied() {
+        let Some(event) = session.step()? else { break };
+        println!(
+            "  chunk #{:<2} (id {:>2}): kth dist {:.4} at virtual {}",
+            event.rank, event.chunk_id, event.kth_dist, event.completed_at,
+        );
+    }
+    let exact = session.into_result();
+    println!(
+        "exact top-10: read {} of {} chunks, virtual time {}, proven exact: {}",
         exact.log.chunks_read,
         built.index.store().n_chunks(),
         exact.log.total_virtual,
+        exact.log.completed,
     );
     for n in exact.neighbors.iter().take(3) {
         println!("  id {:>6}  dist {:.4}", n.id, n.dist);
     }
 
     // Approximate search: stop after the 3 nearest chunks — the paper's
-    // aggressive stop rule.
-    let approx = built.index.search(&query, &SearchParams::approximate(10, 3))?;
+    // aggressive stop rule. (One-shot `search` drives the same session
+    // machinery to its stop rule.)
+    let approx = built
+        .index
+        .search(&query, &SearchParams::approximate(10, 3))?;
     let exact_ids: Vec<u32> = exact.neighbors.iter().map(|n| n.id).collect();
     let approx_ids: Vec<u32> = approx.neighbors.iter().map(|n| n.id).collect();
     let precision = eff2_metrics::precision_at(&approx_ids, &exact_ids);

@@ -1,12 +1,19 @@
 #!/usr/bin/env bash
-# Full local gate: release build, tests, and clippy with warnings denied.
+# Full local gate: formatting, release build (incl. examples), tests, and
+# clippy with warnings denied.
 # Run from anywhere; operates on the workspace containing this script.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
+
+echo "==> cargo build --release -p eff2-examples (all example binaries)"
+cargo build --release -p eff2-examples
 
 echo "==> cargo test -q"
 cargo test -q

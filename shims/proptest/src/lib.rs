@@ -415,7 +415,10 @@ mod tests {
             }
             always_fails();
         });
-        let msg = *caught.expect_err("must fail").downcast::<String>().expect("string panic");
+        let msg = *caught
+            .expect_err("must fail")
+            .downcast::<String>()
+            .expect("string panic");
         assert!(msg.contains("case 1/4"), "got: {msg}");
     }
 }

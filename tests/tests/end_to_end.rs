@@ -24,8 +24,19 @@ fn formers(set_len: usize, mpi: f32) -> Vec<(&'static str, Box<dyn ChunkFormer>)
                 target_clusters: (set_len / 200).max(2),
             }),
         ),
-        ("roundrobin", Box::new(RoundRobinChunker { n_chunks: set_len / 200 })),
-        ("random", Box::new(RandomChunker { n_chunks: set_len / 200, seed: 5 })),
+        (
+            "roundrobin",
+            Box::new(RoundRobinChunker {
+                n_chunks: set_len / 200,
+            }),
+        ),
+        (
+            "random",
+            Box::new(RandomChunker {
+                n_chunks: set_len / 200,
+                seed: 5,
+            }),
+        ),
         (
             "hybrid",
             Box::new(HybridChunker {
@@ -43,8 +54,15 @@ fn every_strategy_roundtrips_and_completion_is_exact() {
     let mpi = BagConfig::estimate_mpi(&set, 500, 3);
     for (name, former) in formers(set.len(), mpi) {
         let dir = scratch_dir(&format!("e2e_{name}"));
-        let built = ChunkIndex::build(&dir, name, &set, former.as_ref(), 4_096, DiskModel::ata_2005())
-            .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
+        let built = ChunkIndex::build(
+            &dir,
+            name,
+            &set,
+            former.as_ref(),
+            4_096,
+            DiskModel::ata_2005(),
+        )
+        .unwrap_or_else(|e| panic!("{name}: build failed: {e}"));
 
         // Membership invariant: retained + outliers == collection.
         assert_eq!(
@@ -64,15 +82,14 @@ fn every_strategy_roundtrips_and_completion_is_exact() {
         // Completion must equal the sequential scan of the same store, for
         // dataset points and off-dataset points alike.
         for q in [set.vector_owned(17), eff2_descriptor::Vector::splat(3.0)] {
-            let got = reopened.search(&q, &SearchParams::exact(10)).expect("search");
+            let got = reopened
+                .search(&q, &SearchParams::exact(10))
+                .expect("search");
             assert!(got.log.completed, "{name}: completion not proven");
             let want = scan_store_knn(reopened.store(), &q, 10).expect("scan");
             assert_eq!(got.neighbors.len(), want.len(), "{name}");
             for (g, w) in got.neighbors.iter().zip(want.iter()) {
-                assert!(
-                    (g.dist - w.dist).abs() < 1e-4,
-                    "{name}: {g:?} vs {w:?}"
-                );
+                assert!((g.dist - w.dist).abs() < 1e-4, "{name}: {g:?} vs {w:?}");
             }
         }
     }
@@ -100,7 +117,10 @@ fn approximate_search_trades_quality_for_time() {
         let mut t_sum = 0.0;
         for qi in 0..10 {
             let q = set.vector_owned(qi * 531);
-            let exact = built.index.search(&q, &SearchParams::exact(20)).expect("exact");
+            let exact = built
+                .index
+                .search(&q, &SearchParams::exact(20))
+                .expect("exact");
             let truth: Vec<u32> = exact.neighbors.iter().map(|n| n.id).collect();
             let params = if n_chunks == usize::MAX {
                 SearchParams::exact(20)
@@ -117,11 +137,17 @@ fn approximate_search_trades_quality_for_time() {
     }
     // Quality is monotone in budget and reaches 1; time is monotone too.
     for w in avg_precision.windows(2) {
-        assert!(w[1] >= w[0] - 1e-9, "precision must not degrade with budget: {avg_precision:?}");
+        assert!(
+            w[1] >= w[0] - 1e-9,
+            "precision must not degrade with budget: {avg_precision:?}"
+        );
     }
     assert!((avg_precision.last().unwrap() - 1.0).abs() < 1e-9);
     for w in avg_time.windows(2) {
-        assert!(w[1] >= w[0] - 1e-9, "time must grow with budget: {avg_time:?}");
+        assert!(
+            w[1] >= w[0] - 1e-9,
+            "time must grow with budget: {avg_time:?}"
+        );
     }
     // And the first-chunk answer is already substantially right for
     // dataset queries (the paper's core observation): far above what a
@@ -152,7 +178,11 @@ fn bag_and_sr_indexes_agree_on_retained_descriptors() {
     .form(&set);
 
     let retained: Vec<usize> = {
-        let mut p: Vec<u32> = bag.chunks.iter().flat_map(|c| c.positions.clone()).collect();
+        let mut p: Vec<u32> = bag
+            .chunks
+            .iter()
+            .flat_map(|c| c.positions.clone())
+            .collect();
         p.sort_unstable();
         p.into_iter().map(|x| x as usize).collect()
     };

@@ -9,16 +9,14 @@ use eff2_storage::diskmodel::DiskModel;
 use proptest::prelude::*;
 
 fn arb_set(max: usize) -> impl Strategy<Value = DescriptorSet> {
-    proptest::collection::vec(
-        proptest::collection::vec(-50.0f32..50.0, DIM),
-        8..max,
+    proptest::collection::vec(proptest::collection::vec(-50.0f32..50.0, DIM), 8..max).prop_map(
+        |rows| {
+            rows.into_iter()
+                .enumerate()
+                .map(|(i, row)| Descriptor::new(i as u32, Vector::from_slice(&row)))
+                .collect()
+        },
     )
-    .prop_map(|rows| {
-        rows.into_iter()
-            .enumerate()
-            .map(|(i, row)| Descriptor::new(i as u32, Vector::from_slice(&row)))
-            .collect()
-    })
 }
 
 /// Clustered sets (a few Gaussian-ish lumps) exercise the interesting
@@ -26,7 +24,9 @@ fn arb_set(max: usize) -> impl Strategy<Value = DescriptorSet> {
 fn arb_lumpy_set() -> impl Strategy<Value = DescriptorSet> {
     (
         proptest::collection::vec(-40.0f32..40.0, 2..5),
-        proptest::collection::vec((0usize..4, proptest::collection::vec(-2.0f32..2.0, DIM)), 10..80,
+        proptest::collection::vec(
+            (0usize..4, proptest::collection::vec(-2.0f32..2.0, DIM)),
+            10..80,
         ),
     )
         .prop_map(|(centers, points)| {

@@ -30,7 +30,10 @@ fn table1_shapes() {
         .map(|h| h.meta.discarded as f64 / h.meta.total_input as f64)
         .collect();
     for &p in &outlier_pct {
-        assert!(p > 0.01 && p < 0.30, "outlier share {p} out of the paper's regime");
+        assert!(
+            p > 0.01 && p < 0.30,
+            "outlier share {p} out of the paper's regime"
+        );
     }
     assert!(
         outlier_pct[0] >= outlier_pct[1] && outlier_pct[1] >= outlier_pct[2],
@@ -40,7 +43,10 @@ fn table1_shapes() {
     // size is set to BAG's average).
     for pair in six.chunks(2) {
         let (b, s) = (pair[0].meta.n_chunks as f64, pair[1].meta.n_chunks as f64);
-        assert!((s / b - 1.0).abs() < 0.15, "chunk counts diverge: {b} vs {s}");
+        assert!(
+            (s / b - 1.0).abs() < 0.15,
+            "chunk counts diverge: {b} vs {s}"
+        );
     }
 }
 
@@ -121,7 +127,11 @@ fn exp1_shapes() {
                 .iter()
                 .map(|c| {
                     let e = get(&format!("{prefix} / {c}"));
-                    if pick == 0 { e.1.avg_completion_secs } else { e.2.avg_completion_secs }
+                    if pick == 0 {
+                        e.1.avg_completion_secs
+                    } else {
+                        e.2.avg_completion_secs
+                    }
                 })
                 .collect();
             assert!(
@@ -166,5 +176,8 @@ fn exp2_shapes() {
     let near = times.iter().filter(|&&t| t <= best * 3.0).count();
     assert!(near >= sizes.len() / 2, "valley too narrow: {times:?}");
     let worst = times.iter().cloned().fold(0.0f64, f64::max);
-    assert!(worst > best * 1.5, "sweep should show a penalty at the extremes: {times:?}");
+    assert!(
+        worst > best * 1.5,
+        "sweep should show a penalty at the extremes: {times:?}"
+    );
 }
