@@ -1,5 +1,6 @@
 //! The BAG pass loop: merging, radius inflation, per-pass destruction,
 //! termination and outlier extraction.
+// lint:allow-file(panic.index): slot and partition tables are indexed by ids the pass itself allocates and keeps dense
 
 use crate::cluster::Cluster;
 use crate::engine::{CandidateEngine, EngineKind};
@@ -247,7 +248,9 @@ impl<'a> Bag<'a> {
             // (deterministic: ties broken by slot id).
             viable.clear();
             {
-                let ci = slots[i].as_ref().expect("slot i is live");
+                let Some(ci) = slots[i].as_ref() else {
+                    continue;
+                };
                 for &j in &candidates {
                     if j == i {
                         continue;
@@ -279,9 +282,13 @@ impl<'a> Bag<'a> {
                     viable[start..].select_nth_unstable_by(batch_end - start - 1, cmp);
                 }
                 viable[start..batch_end].sort_by(cmp);
-                let ci = slots[i].as_ref().expect("slot i is live");
+                let Some(ci) = slots[i].as_ref() else {
+                    break;
+                };
                 for &(_, j) in &viable[start..batch_end] {
-                    let cj = slots[j].as_ref().expect("filtered above");
+                    let Some(cj) = slots[j].as_ref() else {
+                        continue;
+                    };
                     let threshold = ci.radius.max(cj.radius) + self.cfg.mpi;
                     let c_new = Cluster::merged_centroid(ci, cj);
                     if Cluster::merged_radius_upper(ci, cj, &c_new) < threshold {
@@ -301,11 +308,11 @@ impl<'a> Bag<'a> {
             }
 
             if let Some(j) = partner {
-                let a = slots[i].take().expect("slot i is live");
-                let b = slots[j].take().expect("partner is live");
-                merged.push(Cluster::merge(a, b, self.set));
-                merges += 1;
-                alive -= 2; // both endpoints leave the candidate pool
+                if let (Some(a), Some(b)) = (slots[i].take(), slots[j].take()) {
+                    merged.push(Cluster::merge(a, b, self.set));
+                    merges += 1;
+                    alive -= 2; // both endpoints leave the candidate pool
+                }
             }
         }
 
@@ -338,6 +345,7 @@ impl<'a> Bag<'a> {
         self.exhaustive_tests += exhaustive_tests;
         self.history.push(stats);
         if std::env::var_os("EFF2_BAG_VERBOSE").is_some() {
+            // lint:allow(hyg.print): multi-hour formation progress, explicitly opted into via EFF2_BAG_VERBOSE
             eprintln!(
                 "[bag] pass {:>3}: {:>7} -> {:>7} clusters ({} survivors, {} merges, {} destroyed, r_max {:.2})",
                 stats.pass,

@@ -4,6 +4,7 @@
 //! The benches run at a reduced scale (10k descriptors by default,
 //! `EFF2_BENCH_SCALE` overrides) so `cargo bench` finishes in minutes; the
 //! `eff2-eval` binary is the full-scale harness.
+// lint:allow-file(panic.unwrap): bench fixture setup; aborting loudly on a broken fixture beats benchmarking garbage
 
 use eff2_bag::BagConfig;
 use eff2_core::chunkers::{BagChunker, SrTreeChunker};

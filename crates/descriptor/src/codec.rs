@@ -18,6 +18,7 @@
 //! [24..)   count × { id u32 le, components 24 × f32 le }   -- 100 B each
 //! [...]    count × { image u32 le }                         -- if flag set
 //! ```
+// lint:allow-file(panic.index): record slicing uses constant offsets inside fixed-size header/record buffers
 
 use crate::descriptor::DescriptorSet;
 use crate::error::{Error, Result};
@@ -69,26 +70,38 @@ pub fn save_collection<P: AsRef<Path>>(set: &DescriptorSet, path: P) -> Result<(
     write_collection(set, file)
 }
 
+/// Little-endian field at a fixed offset of a header or record buffer; a
+/// short buffer reports as truncation instead of panicking.
+fn field<const N: usize>(buf: &[u8], at: usize, count: u64, rec: u64) -> Result<[u8; N]> {
+    at.checked_add(N)
+        .and_then(|end| buf.get(at..end))
+        .and_then(|s| <[u8; N]>::try_from(s).ok())
+        .ok_or(Error::Truncated {
+            expected_records: count,
+            found_records: rec,
+        })
+}
+
 /// Reads a collection from `reader`, validating the header and every record.
 pub fn read_collection<R: Read>(reader: R) -> Result<DescriptorSet> {
     let mut r = BufReader::new(reader);
     let mut header = [0u8; HEADER_BYTES];
     read_exact_or_truncated(&mut r, &mut header, 0, 0)?;
 
-    let magic: [u8; 4] = header[0..4].try_into().expect("fixed slice");
+    let magic: [u8; 4] = field(&header, 0, 0, 0)?;
     if magic != MAGIC {
         return Err(Error::BadMagic { found: magic });
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().expect("fixed slice"));
+    let version = u32::from_le_bytes(field(&header, 4, 0, 0)?);
     if version != VERSION {
         return Err(Error::UnsupportedVersion(version));
     }
-    let dim = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice"));
+    let dim = u32::from_le_bytes(field(&header, 8, 0, 0)?);
     if dim as usize != DIM {
         return Err(Error::DimensionMismatch { found: dim });
     }
-    let count = u64::from_le_bytes(header[12..20].try_into().expect("fixed slice"));
-    let flags = u32::from_le_bytes(header[20..24].try_into().expect("fixed slice"));
+    let count = u64::from_le_bytes(field(&header, 12, 0, 0)?);
+    let flags = u32::from_le_bytes(field(&header, 20, 0, 0)?);
 
     let n = usize::try_from(count).map_err(|_| Error::Truncated {
         expected_records: count,
@@ -100,12 +113,10 @@ pub fn read_collection<R: Read>(reader: R) -> Result<DescriptorSet> {
     let mut record = vec![0u8; RECORD_BYTES];
     for rec in 0..count {
         read_exact_or_truncated(&mut r, &mut record, count, rec)?;
-        ids.push(u32::from_le_bytes(
-            record[0..4].try_into().expect("fixed slice"),
-        ));
+        ids.push(u32::from_le_bytes(field(&record, 0, count, rec)?));
         for d in 0..DIM {
             let off = 4 + d * 4;
-            let c = f32::from_le_bytes(record[off..off + 4].try_into().expect("fixed slice"));
+            let c = f32::from_le_bytes(field(&record, off, count, rec)?);
             if !c.is_finite() {
                 return Err(Error::NonFiniteComponent { record: rec });
             }

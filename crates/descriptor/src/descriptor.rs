@@ -11,6 +11,7 @@
 //! memory, and identifiers in a parallel `u32` buffer. An optional parallel
 //! image map records which image each descriptor came from — the paper keeps
 //! this association to aggregate descriptor hits into image-level answers.
+// lint:allow-file(panic.index): SoA accessors rely on the data.len() == len * DIM invariant every constructor maintains
 
 use crate::vector::{Vector, DIM};
 
@@ -107,15 +108,12 @@ impl DescriptorSet {
     /// descriptors pushed earlier without attribution are assigned the
     /// sentinel `u32::MAX`.
     pub fn push_with_image(&mut self, d: Descriptor, image: ImageId) {
-        if self.image_of.is_none() {
-            self.image_of = Some(vec![u32::MAX; self.ids.len()]);
-        }
+        let n_before = self.ids.len();
+        self.image_of
+            .get_or_insert_with(|| vec![u32::MAX; n_before])
+            .push(image.0);
         self.data.extend_from_slice(d.vector.as_slice());
         self.ids.push(d.id.0);
-        self.image_of
-            .as_mut()
-            .expect("image map initialised above")
-            .push(image.0);
     }
 
     /// The identifier of descriptor `i`.
@@ -130,6 +128,7 @@ impl DescriptorSet {
         let start = i * DIM;
         self.data[start..start + DIM]
             .try_into()
+            // lint:allow(panic.unwrap): hot-path accessor; the SoA length invariant is maintained by every constructor
             .expect("SoA invariant: data.len() == len * DIM")
     }
 

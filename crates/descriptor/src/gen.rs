@@ -21,6 +21,7 @@
 //!    that BAG discards (Table 1).
 //!
 //! Determinism: the generator is fully reproducible from `seed`.
+// lint:allow-file(panic.index): DIM-bounded component loops of the synthetic generator
 
 use crate::descriptor::{Descriptor, DescriptorSet, ImageId};
 use crate::vector::{Vector, DIM};

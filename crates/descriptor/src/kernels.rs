@@ -17,6 +17,7 @@
 //! block scan: distances stay in registers (no per-chunk distance buffer)
 //! and a whole block is skipped against the current kth distance before
 //! any heap traffic happens.
+// lint:allow-file(panic.index): blocked distance kernels index fixed-size lane arrays at compile-time-constant offsets
 
 use crate::neighbors::NeighborSet;
 use crate::vector::{l2_sq, DIM};

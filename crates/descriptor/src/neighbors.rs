@@ -96,20 +96,50 @@ impl NeighborSet {
         if self.k == 0 {
             return false;
         }
-        if self.heap.len() < self.k {
+        let accepted = if self.heap.len() < self.k {
+            self.heap.push(HeapEntry { dist_sq, id });
+            true
+        } else if self.heap.peek().is_some_and(|worst| {
+            dist_sq < worst.dist_sq || (dist_sq == worst.dist_sq && id < worst.id)
+        }) {
+            self.heap.pop();
             self.heap.push(HeapEntry { dist_sq, id });
             true
         } else {
-            let worst = self.heap.peek().expect("full heap is non-empty");
-            if dist_sq < worst.dist_sq || (dist_sq == worst.dist_sq && id < worst.id) {
-                self.heap.pop();
-                self.heap.push(HeapEntry { dist_sq, id });
-                true
-            } else {
-                false
-            }
-        }
+            false
+        };
+        debug_assert!(
+            self.heap.len() <= self.k,
+            "neighbour set must never exceed k entries"
+        );
+        self.check_strict();
+        accepted
     }
+
+    /// Expensive O(k·log k) structural checks behind the `strict-invariants`
+    /// feature: the heap top really is the maximum under `(dist_sq, id)` and
+    /// [`Self::sorted`] is monotone. Debug builds without the feature pay
+    /// only the O(1) size assertion above.
+    #[cfg(feature = "strict-invariants")]
+    fn check_strict(&self) {
+        if let Some(top) = self.heap.peek() {
+            debug_assert!(
+                self.heap.iter().all(|e| e <= top),
+                "heap top must dominate every retained entry"
+            );
+        }
+        let sorted = self.sorted();
+        debug_assert!(
+            sorted
+                .windows(2)
+                .all(|w| w.first().map(|n| n.dist) <= w.get(1).map(|n| n.dist)),
+            "sorted() must be non-decreasing in distance"
+        );
+    }
+
+    #[cfg(not(feature = "strict-invariants"))]
+    #[inline(always)]
+    fn check_strict(&self) {}
 
     /// The current kth-best (i.e. worst retained) squared distance, or
     /// `f32::INFINITY` while fewer than `k` neighbours are held (any

@@ -7,6 +7,7 @@
 //! (`[f32; 24]`) so the compiler can fully unroll and vectorise them, and
 //! they stay in the *squared* domain; callers take the square root only at
 //! API boundaries where a true metric is required.
+// lint:allow-file(panic.index): DIM-bounded component arithmetic over [f32; DIM] arrays
 
 /// Dimensionality of the local image descriptors used throughout the paper.
 pub const DIM: usize = 24;
@@ -68,6 +69,7 @@ impl Vector {
     pub fn from_slice(slice: &[f32]) -> Self {
         let arr: [f32; DIM] = slice
             .try_into()
+            // lint:allow(panic.unwrap): documented panic contract; every call site passes a DIM-length slice
             .expect("descriptor slice must have 24 dims");
         Vector(arr)
     }

@@ -28,4 +28,5 @@ pub use lab::{IndexHandle, IndexMeta, Lab};
 pub use scale::Scale;
 
 /// Harness-level result type (errors cross crate boundaries).
+// lint:allow(err.box_error): the eval binary is the top-level sink aggregating every crate's typed Error for CLI reporting
 pub type EvalResult<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>;

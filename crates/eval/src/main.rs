@@ -17,6 +17,7 @@
 //!
 //! Environment variables `EFF2_SCALE`, `EFF2_QUERIES`, `EFF2_SEED` provide
 //! defaults for the corresponding flags.
+// lint:allow-file(panic.index): argv and table access follows explicit length checks in the CLI parser
 
 use eff2_eval::experiments;
 use eff2_eval::{EvalResult, Lab, Scale};
@@ -76,6 +77,7 @@ fn parse_next<T: std::str::FromStr>(args: &[String], i: &mut usize) -> T {
 }
 
 fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
+    // lint:allow(det.wall_clock): CLI progress reporting only; results carry virtual times
     let started = std::time::Instant::now();
     let lab = Lab::prepare(scale, out)?;
     eprintln!(

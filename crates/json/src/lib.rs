@@ -1,3 +1,4 @@
+// lint:allow-file(panic.index): the parser cursor is bounded by the length checks of the tokenizer loop
 #![warn(missing_docs)]
 
 //! # eff2-json
@@ -483,7 +484,12 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String> {
                     message: "invalid utf-8".into(),
                     offset: *pos,
                 })?;
-                let c = rest.chars().next().expect("non-empty");
+                let Some(c) = rest.chars().next() else {
+                    return Err(JsonError {
+                        message: "invalid utf-8".into(),
+                        offset: *pos,
+                    });
+                };
                 out.push(c);
                 *pos += c.len_utf8();
             }

@@ -1,0 +1,251 @@
+//! The lint driver: file walking, waiver handling, finding suppression.
+//!
+//! ## Waiver grammar
+//!
+//! ```text
+//! // lint:allow(<rule.id>): <non-empty reason>
+//! // lint:allow-file(<rule.id>): <non-empty reason>
+//! ```
+//!
+//! A line waiver suppresses findings of `<rule.id>` on its own line and on
+//! the line directly below (so it works both as a trailing comment and as
+//! a comment above the offending line). A file waiver suppresses the rule
+//! for the whole file. Both forms **require** a reason after the colon;
+//! a missing reason, an unknown rule id, or a waiver that suppresses
+//! nothing are themselves findings (`hyg.waiver`) — waivers must stay
+//! load-bearing and auditable.
+
+use crate::lexer::lex;
+use crate::regions::{classify, code_indices};
+use crate::rules::{apply, is_rule, Finding};
+use std::path::{Path, PathBuf};
+
+#[derive(Debug)]
+struct Waiver {
+    rule: String,
+    line: u32,
+    file_scope: bool,
+    used: bool,
+}
+
+/// Parses every waiver out of the comment tokens; malformed waivers are
+/// returned as `hyg.waiver` findings instead.
+fn parse_waivers(rel_path: &str, tokens: &[crate::lexer::Token]) -> (Vec<Waiver>, Vec<Finding>) {
+    let mut waivers = Vec::new();
+    let mut findings = Vec::new();
+    // Only plain comments can carry waivers: doc comments are rendered API
+    // documentation (and this crate's own docs quote the grammar).
+    for t in tokens.iter().filter(|t| {
+        matches!(
+            t.kind,
+            crate::lexer::TokenKind::LineComment | crate::lexer::TokenKind::BlockComment
+        )
+    }) {
+        let mut rest = t.text.as_str();
+        // A comment may hold several waivers (rare but legal).
+        while let Some(at) = rest.find("lint:allow") {
+            let Some(tail) = rest.get(at + "lint:allow".len()..) else {
+                break;
+            };
+            rest = tail;
+            let file_scope = rest.starts_with("-file");
+            let body = rest.strip_prefix("-file").unwrap_or(rest);
+            let mut bad = |message: String| {
+                findings.push(Finding {
+                    rule: "hyg.waiver",
+                    file: rel_path.to_string(),
+                    line: t.line,
+                    message,
+                });
+            };
+            let Some(args) = body.strip_prefix('(') else {
+                bad("malformed waiver: expected `lint:allow(<rule>): <reason>`".to_string());
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                bad("malformed waiver: unclosed `(`".to_string());
+                continue;
+            };
+            let rule = args.get(..close).unwrap_or("").trim().to_string();
+            if !is_rule(&rule) {
+                bad(format!("waiver cites unknown rule `{rule}`"));
+                continue;
+            }
+            let after = args.get(close + 1..).unwrap_or("");
+            let reason = match after.trim_start().strip_prefix(':') {
+                Some(r) => r.trim().trim_end_matches("*/").trim(),
+                None => {
+                    bad(format!("waiver for `{rule}` is missing its `: <reason>`"));
+                    continue;
+                }
+            };
+            if reason.is_empty() {
+                bad(format!("waiver for `{rule}` has an empty reason"));
+                continue;
+            }
+            waivers.push(Waiver {
+                rule,
+                line: t.line,
+                file_scope,
+                used: false,
+            });
+        }
+    }
+    (waivers, findings)
+}
+
+/// Lints a single file's source text.
+///
+/// `crate_name` selects crate-scoped rules (e.g. determinism applies to
+/// `core`/`storage`/`metrics`/`eval`); `rel_path` is used verbatim in
+/// findings and for file-scoped rule exemptions.
+pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Finding> {
+    let tokens = lex(source);
+    let regions = classify(&tokens);
+    let code = code_indices(&tokens);
+    let raw = apply(crate_name, rel_path, &tokens, &regions, &code);
+    let (mut waivers, mut findings) = parse_waivers(rel_path, &tokens);
+
+    for f in raw {
+        let waived = waivers.iter_mut().find(|w| {
+            w.rule == f.rule && (w.file_scope || f.line == w.line || f.line == w.line + 1)
+        });
+        match waived {
+            Some(w) => w.used = true,
+            None => findings.push(f),
+        }
+    }
+    for w in waivers.iter().filter(|w| !w.used) {
+        findings.push(Finding {
+            rule: "hyg.waiver",
+            file: rel_path.to_string(),
+            line: w.line,
+            message: format!(
+                "waiver for `{}` suppresses nothing — remove it or fix its placement",
+                w.rule
+            ),
+        });
+    }
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for determinism.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|x| x == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every `crates/*/src/**/*.rs` file under the workspace `root`.
+///
+/// Findings are sorted by `(file, line, rule)` so output (and the JSON
+/// mode) is bit-stable across runs and platforms.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<std::io::Result<_>>()?;
+    crate_dirs.sort();
+
+    let mut findings = Vec::new();
+    for crate_dir in crate_dirs.iter().filter(|p| p.is_dir()) {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut files = Vec::new();
+        rust_files(&src, &mut files)?;
+        for path in files {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let source = std::fs::read_to_string(&path)?;
+            findings.extend(lint_source(&crate_name, &rel, &source));
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    Ok(findings)
+}
+
+/// Renders findings as a JSON array (via `eff2-json`):
+/// `[{"rule": …, "file": …, "line": …, "message": …}, …]`.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let arr = eff2_json::Json::Arr(
+        findings
+            .iter()
+            .map(|f| {
+                eff2_json::Json::obj(vec![
+                    ("rule", eff2_json::Json::Str(f.rule.to_string())),
+                    ("file", eff2_json::Json::Str(f.file.clone())),
+                    ("line", eff2_json::Json::num(f64::from(f.line))),
+                    ("message", eff2_json::Json::Str(f.message.clone())),
+                ])
+            })
+            .collect(),
+    );
+    let mut out = String::new();
+    arr.write(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn waiver_suppresses_same_and_next_line() {
+        let src = "fn f(v: &[u8]) -> u8 {\n    // lint:allow(panic.index): bounds checked by caller\n    v[0]\n}\n";
+        assert!(lint_source("descriptor", "x.rs", src).is_empty());
+        let trailing = "fn f(v: &[u8]) -> u8 {\n    v[0] // lint:allow(panic.index): bounds checked by caller\n}\n";
+        assert!(lint_source("descriptor", "x.rs", trailing).is_empty());
+    }
+
+    #[test]
+    fn file_waiver_covers_the_whole_file() {
+        let src = "// lint:allow-file(panic.index): fixed-lane kernels, bounds proven\nfn f(v: &[u8]) -> u8 { v[0] }\nfn g(v: &[u8]) -> u8 { v[1] }\n";
+        assert!(lint_source("descriptor", "x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unused_waiver_is_a_finding() {
+        let src = "// lint:allow(panic.unwrap): nothing here needs it\nfn f() {}\n";
+        let got = lint_source("descriptor", "x.rs", src);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got.first().map(|f| f.rule), Some("hyg.waiver"));
+    }
+
+    #[test]
+    fn json_output_shape() {
+        let src = "fn f() { None::<u8>.unwrap(); }\n";
+        let findings = lint_source("core", "crates/core/src/x.rs", src);
+        let json = findings_to_json(&findings);
+        let parsed = eff2_json::Json::parse(&json).expect("valid json");
+        let arr = parsed.as_arr().expect("array");
+        assert_eq!(arr.len(), 1);
+        let first = arr.first().expect("one finding");
+        assert_eq!(
+            first
+                .field("rule")
+                .and_then(|r| r.as_str().map(String::from)),
+            Ok("panic.unwrap".to_string())
+        );
+        assert_eq!(first.field("line").and_then(|l| l.as_u32()), Ok(1));
+    }
+}

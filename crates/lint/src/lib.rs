@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # eff2-lint
+//!
+//! A from-scratch static-analysis pass over the eff2 workspace. The
+//! ROADMAP's north star is a production server that must not panic, must
+//! stay deterministic (bit-identical traces are what make the paper's
+//! figures reproducible), and must surface every failure through the
+//! workspace error taxonomy. Until now those guarantees were enforced
+//! only by runtime trace tests; this crate checks them *mechanically*,
+//! against the source itself.
+//!
+//! crates.io is unreachable in the build environment, so everything is
+//! self-contained: a minimal Rust lexer ([`lexer`]), a region classifier
+//! that understands `#[cfg(test)]` modules, attributes and `macro_rules!`
+//! bodies ([`regions`]), and a token-pattern rule engine ([`rules`],
+//! driven by [`engine`]). Findings carry `file:line` spans and stable rule
+//! ids, and can be emitted as JSON (via `eff2-json`) for tooling.
+//!
+//! Run it with `cargo run --release -p eff2-lint -- --deny`; see
+//! `DESIGN.md` §10 for the rule table and waiver grammar.
+
+pub mod engine;
+pub mod lexer;
+pub mod regions;
+pub mod rules;
+
+pub use engine::{findings_to_json, lint_source, lint_workspace};
+pub use rules::{Finding, RuleInfo, RULES};

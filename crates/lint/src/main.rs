@@ -1,0 +1,86 @@
+//! CLI for the workspace invariant auditor.
+//!
+//! ```text
+//! eff2-lint [--deny] [--json] [--rules] [--root <path>]
+//! ```
+//!
+//! * `--deny`  — exit non-zero if any finding remains (CI gate mode).
+//! * `--json`  — emit findings as a JSON array instead of text lines.
+//! * `--rules` — list the known rule ids and exit.
+//! * `--root`  — workspace root (default: walk up from the current
+//!   directory to the first `Cargo.toml` containing `[workspace]`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--rules" => {
+                for rule in eff2_lint::RULES {
+                    println!("{:<20} {}", rule.id, rule.summary);
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--root" => root = args.next().map(PathBuf::from),
+            other => {
+                eprintln!("eff2-lint: unknown argument `{other}`");
+                eprintln!("usage: eff2-lint [--deny] [--json] [--rules] [--root <path>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("eff2-lint: no workspace root found (try --root <path>)");
+        return ExitCode::from(2);
+    };
+
+    let findings = match eff2_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!(
+                "eff2-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", eff2_lint::findings_to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        if findings.is_empty() {
+            println!("eff2-lint: workspace clean");
+        } else {
+            println!("eff2-lint: {} finding(s)", findings.len());
+        }
+    }
+    if deny && !findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

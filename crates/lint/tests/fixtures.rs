@@ -1,0 +1,116 @@
+//! Fixture corpus pinning each rule's positives and negatives.
+//!
+//! Every fixture under `tests/fixtures/` marks its expected findings with
+//! trailing `//~ <rule>` markers (one rule id per expected finding on that
+//! line). The harness lints each fixture through the public
+//! [`eff2_lint::lint_source`] API and asserts the `(line, rule)` multiset
+//! matches the markers exactly — so a rule that over- or under-fires by a
+//! single line fails loudly, with the fixture documenting the intent.
+
+use eff2_lint::lint_source;
+
+/// Parses `//~ rule [rule…]` markers into a sorted `(line, rule)` list.
+fn expected_markers(source: &str) -> Vec<(u32, String)> {
+    let mut out = Vec::new();
+    for (i, line) in source.lines().enumerate() {
+        if let Some(at) = line.find("//~") {
+            let rest = line.get(at + 3..).unwrap_or("");
+            for rule in rest.split_whitespace() {
+                out.push((i as u32 + 1, rule.to_string()));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Lints `source` and reduces findings to a sorted `(line, rule)` list.
+fn findings_of(crate_name: &str, name: &str, source: &str) -> Vec<(u32, String)> {
+    let mut got: Vec<(u32, String)> = lint_source(crate_name, name, source)
+        .into_iter()
+        .map(|f| (f.line, f.rule.to_string()))
+        .collect();
+    got.sort();
+    got
+}
+
+macro_rules! fixture_test {
+    ($test:ident, $crate_name:literal, $file:literal) => {
+        #[test]
+        fn $test() {
+            let source = include_str!(concat!("fixtures/", $file));
+            assert_eq!(
+                findings_of($crate_name, $file, source),
+                expected_markers(source),
+                "fixture {} linted as crate `{}`",
+                $file,
+                $crate_name
+            );
+        }
+    };
+}
+
+fixture_test!(panic_unwrap, "core", "panic_unwrap.rs");
+fixture_test!(panic_macro, "core", "panic_macro.rs");
+fixture_test!(panic_index, "core", "panic_index.rs");
+fixture_test!(det_hash_container, "storage", "det_hash_container.rs");
+fixture_test!(det_wall_clock, "core", "det_wall_clock.rs");
+fixture_test!(det_float_accum, "core", "det_float_accum.rs");
+fixture_test!(err_box_error, "descriptor", "err_box_error.rs");
+fixture_test!(err_string_error, "descriptor", "err_string_error.rs");
+fixture_test!(hyg_print, "descriptor", "hyg_print.rs");
+fixture_test!(hyg_waiver, "core", "hyg_waiver.rs");
+fixture_test!(waivers_ok, "core", "waivers_ok.rs");
+fixture_test!(tricky_lexing, "core", "tricky_lexing.rs");
+
+#[test]
+fn det_rules_scope_to_deterministic_crates() {
+    // The same sources linted as a non-deterministic crate must be silent.
+    for source in [
+        include_str!("fixtures/det_hash_container.rs"),
+        include_str!("fixtures/det_float_accum.rs"),
+    ] {
+        assert_eq!(findings_of("bag", "fixture.rs", source), Vec::new());
+    }
+}
+
+#[test]
+fn hyg_print_exempts_cli_crates() {
+    let source = include_str!("fixtures/hyg_print.rs");
+    assert_eq!(findings_of("eval", "fixture.rs", source), Vec::new());
+    assert_eq!(findings_of("lint", "fixture.rs", source), Vec::new());
+}
+
+#[test]
+fn wall_clock_exempts_bench_and_the_disk_model() {
+    let source = include_str!("fixtures/det_wall_clock.rs");
+    assert_eq!(findings_of("bench", "fixture.rs", source), Vec::new());
+    assert_eq!(
+        findings_of("storage", "crates/storage/src/diskmodel.rs", source),
+        Vec::new()
+    );
+}
+
+#[test]
+fn every_rule_has_fixture_coverage() {
+    // ≥1 positive marker per rule across the corpus, so adding a rule
+    // without a fixture fails here.
+    let corpus = [
+        include_str!("fixtures/panic_unwrap.rs"),
+        include_str!("fixtures/panic_macro.rs"),
+        include_str!("fixtures/panic_index.rs"),
+        include_str!("fixtures/det_hash_container.rs"),
+        include_str!("fixtures/det_wall_clock.rs"),
+        include_str!("fixtures/det_float_accum.rs"),
+        include_str!("fixtures/err_box_error.rs"),
+        include_str!("fixtures/err_string_error.rs"),
+        include_str!("fixtures/hyg_print.rs"),
+        include_str!("fixtures/hyg_waiver.rs"),
+    ];
+    for rule in eff2_lint::RULES {
+        let covered = corpus
+            .iter()
+            .any(|s| expected_markers(s).iter().any(|(_, r)| r == rule.id));
+        assert!(covered, "rule `{}` has no fixture positive", rule.id);
+    }
+}

@@ -1,0 +1,22 @@
+//! det.float_accum: hidden or floating accumulator types in deterministic
+//! crates; explicit integer turbofish is the sanctioned form.
+
+pub fn positive_bare(v: &[f32]) -> f32 {
+    v.iter().copied().sum() //~ det.float_accum
+}
+
+pub fn positive_float_turbofish(v: &[f32]) -> f32 {
+    v.iter().copied().sum::<f32>() //~ det.float_accum
+}
+
+pub fn positive_product(v: &[f32]) -> f32 {
+    v.iter().copied().product() //~ det.float_accum
+}
+
+pub fn negative_integer(v: &[u32]) -> u64 {
+    v.iter().map(|&x| u64::from(x)).sum::<u64>()
+}
+
+pub fn negative_usize(v: &[Vec<u32>]) -> usize {
+    v.iter().map(Vec::len).sum::<usize>()
+}

@@ -1,0 +1,15 @@
+//! det.wall_clock: host-clock reads in deterministic crates. The harness
+//! also lints this file as the bench crate and as storage's diskmodel.rs,
+//! both of which are exempt.
+
+pub fn positive_instant() -> std::time::Instant {
+    std::time::Instant::now() //~ det.wall_clock
+}
+
+pub fn positive_system_time() {
+    let _t = std::time::SystemTime::now(); //~ det.wall_clock
+}
+
+pub fn negative_virtual(elapsed_virtual_ms: u64) -> u64 {
+    elapsed_virtual_ms
+}

@@ -1,0 +1,15 @@
+//! err.box_error: boxed dyn errors erase the workspace error taxonomy.
+
+pub type Positive<T> = Result<T, Box<dyn std::error::Error + Send + Sync>>; //~ err.box_error
+
+pub fn positive_arg(e: Box<dyn std::error::Error>) -> String { //~ err.box_error
+    e.to_string()
+}
+
+pub fn negative_box_iter(it: Box<dyn Iterator<Item = u32>>) -> u32 {
+    it.count() as u32
+}
+
+pub fn negative_plain_box(b: Box<u32>) -> u32 {
+    *b
+}

@@ -1,0 +1,17 @@
+//! err.string_error: stringly-typed Result error positions.
+
+pub fn positive() -> Result<u32, String> { //~ err.string_error
+    Ok(1)
+}
+
+pub struct PositiveField {
+    pub last: Result<(), String>, //~ err.string_error
+}
+
+pub fn negative_string_ok() -> Result<String, std::fmt::Error> {
+    Ok(String::new())
+}
+
+pub fn negative_typed() -> Result<u32, std::num::ParseIntError> {
+    "7".parse::<u32>()
+}

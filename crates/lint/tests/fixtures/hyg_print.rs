@@ -1,0 +1,14 @@
+//! hyg.print: stdout/stderr writes and dbg! in library crates. The
+//! harness also lints this file as a CLI crate and expects silence.
+
+pub fn positive() {
+    println!("hello"); //~ hyg.print
+    eprintln!("oops"); //~ hyg.print
+    let x = dbg!(21 + 21); //~ hyg.print
+    let _ = x;
+}
+
+pub fn negative_write(buf: &mut String) {
+    use std::fmt::Write;
+    let _ = writeln!(buf, "ok");
+}

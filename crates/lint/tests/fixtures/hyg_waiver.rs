@@ -1,0 +1,29 @@
+//! hyg.waiver: waivers must be well-formed, cite a real rule, carry a
+//! reason, and actually suppress something.
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // lint:allow(panic.unwrap) //~ hyg.waiver
+    v.unwrap() //~ panic.unwrap
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // lint:allow(no.such.rule): a reason that cites a rule the auditor does not know //~ hyg.waiver
+    v.unwrap() //~ panic.unwrap
+}
+
+pub fn empty_reason(flag: bool) {
+    /* lint:allow(panic.macro): */ //~ hyg.waiver
+    if flag {
+        panic!("not suppressed: the waiver above has no reason"); //~ panic.macro
+    }
+}
+
+pub fn unused_waiver() -> u32 {
+    // lint:allow(panic.unwrap): nothing on this or the next line can panic //~ hyg.waiver
+    41 + 1
+}
+
+pub fn used_waiver(v: Option<u32>) -> u32 {
+    // lint:allow(panic.unwrap): fixture demonstrates a load-bearing waiver
+    v.unwrap()
+}

@@ -1,0 +1,33 @@
+//! panic.index: direct indexing in library code; types, literals and
+//! attributes must not fire.
+
+pub fn positive(v: &[u32]) -> u32 {
+    let a = v[0]; //~ panic.index
+    let s = &v[1..]; //~ panic.index
+    let chained = make()[0]; //~ panic.index
+    let nested = v[v[1] as usize]; //~ panic.index panic.index
+    a + s[0] + chained + nested //~ panic.index
+}
+
+fn make() -> Vec<u32> {
+    vec![7, 8]
+}
+
+pub fn negatives(n: usize) -> [u8; 4] {
+    let arr: [u8; 4] = [0; 4];
+    let _v = vec![1u8, 2];
+    let _ = n;
+    arr
+}
+
+#[derive(Clone)]
+pub struct Wrapper(pub Vec<u32>);
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indexing_in_tests_is_fine() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v[0], 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! panic.macro: panic-family macros in library code.
+
+pub fn positive_panic(flag: bool) {
+    if flag {
+        panic!("boom"); //~ panic.macro
+    }
+}
+
+pub fn positive_unreachable(v: u32) -> u32 {
+    match v {
+        0 => 1,
+        _ => unreachable!(), //~ panic.macro
+    }
+}
+
+pub fn positive_todo() {
+    todo!() //~ panic.macro
+}
+
+pub fn positive_unimplemented() {
+    unimplemented!() //~ panic.macro
+}
+
+pub fn negative_idents() {
+    let panic_free = 1;
+    let _ = panic_free;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[should_panic]
+    fn panics_allowed_in_tests() {
+        panic!("expected");
+    }
+}

@@ -1,0 +1,27 @@
+//! panic.unwrap: unwrap/expect in library code, with lookalikes that must
+//! not fire.
+
+pub fn positive_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap() //~ panic.unwrap
+}
+
+pub fn positive_expect(v: Option<u32>) -> u32 {
+    v.expect("invariant") //~ panic.unwrap
+}
+
+pub fn negative_fallbacks(v: Option<u32>) -> u32 {
+    v.unwrap_or(0).max(v.unwrap_or_default())
+}
+
+pub fn negative_in_string() -> &'static str {
+    "calling .unwrap() or .expect(now) in prose is fine"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(Some(3).unwrap(), 3);
+        Some(4).expect("tests may assert");
+    }
+}

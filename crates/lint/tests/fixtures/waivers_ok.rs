@@ -1,0 +1,19 @@
+//! Valid waivers: every finding in this file is suppressed, so linting it
+//! must yield nothing at all.
+// lint:allow-file(panic.macro): fixture exercises the file-scope waiver
+
+pub fn trailing(v: Option<u32>) -> u32 {
+    v.unwrap() // lint:allow(panic.unwrap): fixture exercises the trailing placement
+}
+
+pub fn above(v: Option<u32>) -> u32 {
+    // lint:allow(panic.unwrap): fixture exercises the line-above placement
+    v.unwrap()
+}
+
+pub fn anywhere(flag: bool) {
+    if flag {
+        panic!("suppressed by the file-scope waiver");
+    }
+    unreachable!()
+}

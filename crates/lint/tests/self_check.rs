@@ -1,0 +1,32 @@
+//! The auditor's own acceptance test: the real workspace must lint clean.
+//!
+//! This is what keeps the invariants *enforced* rather than aspirational —
+//! any new `.unwrap()` in a library path, `HashMap` in a deterministic
+//! crate, or waiver without a reason fails the test suite, not just the
+//! optional CLI run.
+
+use std::path::Path;
+
+#[test]
+fn workspace_lints_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let findings = eff2_lint::lint_workspace(&root).expect("walk the workspace tree");
+    let rendered: Vec<String> = findings
+        .iter()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+        .collect();
+    assert!(
+        findings.is_empty(),
+        "eff2-lint found {} issue(s):\n{}",
+        findings.len(),
+        rendered.join("\n")
+    );
+}
+
+#[test]
+fn workspace_findings_render_as_json() {
+    // The JSON mode must stay parseable by eff2-json itself (round-trip on
+    // the clean-workspace empty array, plus a synthetic finding).
+    let json = eff2_lint::findings_to_json(&[]);
+    assert_eq!(json.trim(), "[]");
+}

@@ -110,10 +110,15 @@ where
                         if i >= n {
                             break;
                         }
-                        match f(i, &items[i]) {
+                        let Some(item) = items.get(i) else {
+                            break;
+                        };
+                        match f(i, item) {
                             Ok(r) => local.push((i, r)),
                             Err(e) => {
-                                let mut slot = first_err.lock().expect("error slot poisoned");
+                                let mut slot = first_err
+                                    .lock()
+                                    .unwrap_or_else(std::sync::PoisonError::into_inner);
                                 // Keep the error with the smallest index so
                                 // the outcome is schedule-independent.
                                 if slot.as_ref().is_none_or(|(j, _)| i < *j) {
@@ -129,11 +134,19 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel worker panicked"))
+            .map(|h| match h.join() {
+                Ok(local) => local,
+                // A worker panic is a bug in `f`; surface it on the caller's
+                // thread instead of swallowing it or double-panicking.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .collect()
     });
 
-    if let Some((_, e)) = first_err.into_inner().expect("error slot poisoned") {
+    if let Some((_, e)) = first_err
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
         return Err(e);
     }
 
@@ -141,13 +154,16 @@ where
     out.resize_with(n, || None);
     for buffer in &mut buffers {
         for (i, r) in buffer.drain(..) {
-            out[i] = Some(r);
+            if let Some(slot) = out.get_mut(i) {
+                *slot = Some(r);
+            }
         }
     }
-    Ok(out
-        .into_iter()
-        .map(|r| r.expect("every index processed exactly once"))
-        .collect())
+    debug_assert!(
+        out.iter().all(Option::is_some),
+        "every index must be processed exactly once"
+    );
+    Ok(out.into_iter().flatten().collect())
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 //! size the paper relies on — and leaves are *roundish* because splits
 //! always cut the widest spread. The upper levels are then assembled
 //! bottom-up with a fixed fan-out, yielding a complete, valid [`SRTree`].
+// lint:allow-file(panic.index): partition boundaries are derived from the lengths of the slices they cut
 
 use crate::node::{ChildRef, LeafEntry, Node};
 use crate::tree::{SRTree, SRTreeConfig};
@@ -91,7 +92,9 @@ pub fn bulk_build(set: &DescriptorSet, cfg: BulkConfig) -> SRTree {
         }
         level = next;
     }
-    let root = level.pop().expect("non-empty collection produces a root");
+    let Some(root) = level.pop() else {
+        return SRTree::new(tree_cfg);
+    };
     let len = root.count;
     SRTree::from_parts(root, tree_cfg, len)
 }

@@ -7,6 +7,7 @@
 //! diameter, and intersecting the two tightens both. The distance from a
 //! query to a node region is therefore
 //! `max(mindist(q, rect), mindist(q, sphere))`.
+// lint:allow-file(panic.index): DIM-bounded rect/sphere loops over [f32; DIM] arrays
 
 use eff2_descriptor::{Vector, DIM};
 

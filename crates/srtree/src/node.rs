@@ -7,6 +7,7 @@
 //! SS-tree: centroids weighted by subtree cardinality), and its radius is
 //! the smaller of the two available upper bounds: the farthest child sphere
 //! and the farthest rectangle corner.
+// lint:allow-file(panic.index): entry arrays are bounded by the node capacity checks around them
 
 use crate::geometry::{Rect, Sphere};
 use eff2_descriptor::Vector;

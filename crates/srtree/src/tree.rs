@@ -6,6 +6,7 @@
 //! here completes the index structure as published — descent by nearest
 //! centroid, R\*-style forced reinsertion on first leaf overflow, and
 //! margin-minimising topological splits.
+// lint:allow-file(panic.index): chunks_exact(4) blocks are indexed 0..4 by the blocked leaf scan
 
 use crate::geometry::{region_min_dist_sq, Rect};
 use crate::node::{ChildRef, LeafEntry, Node};
@@ -172,7 +173,7 @@ impl SRTree {
             node: &self.root.node,
         });
         while let Some(Frontier { dist_sq, node }) = frontier.pop() {
-            if best.len() == k && dist_sq > best.peek().expect("best non-empty").0.dist_sq {
+            if best.len() == k && best.peek().is_some_and(|b| dist_sq > b.0.dist_sq) {
                 break; // every remaining region is farther than the kth best
             }
             match node {
@@ -201,7 +202,7 @@ impl SRTree {
                 Node::Internal { children } => {
                     for c in children {
                         let d = region_min_dist_sq(&c.rect, &c.sphere, query);
-                        if best.len() < k || d <= best.peek().expect("best non-empty").0.dist_sq {
+                        if best.len() < k || best.peek().is_some_and(|b| d <= b.0.dist_sq) {
                             frontier.push(Frontier {
                                 dist_sq: d,
                                 node: &c.node,
@@ -437,7 +438,7 @@ fn validate_rec(child: &ChildRef, cfg: &SRTreeConfig, is_root: bool) -> usize {
 fn offer_leaf(best: &mut BinaryHeap<HeapNeighbor>, k: usize, pos: u32, d: f32) {
     if best.len() < k {
         best.push(HeapNeighbor(Neighbor { dist_sq: d, pos }));
-    } else if d < best.peek().expect("best non-empty").0.dist_sq {
+    } else if best.peek().is_some_and(|b| d < b.0.dist_sq) {
         best.pop();
         best.push(HeapNeighbor(Neighbor { dist_sq: d, pos }));
     }

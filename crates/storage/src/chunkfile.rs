@@ -4,6 +4,7 @@
 //! each padded to occupy full disk pages. Records use the collection's
 //! 100-byte layout (id + 24 components).
 
+use crate::bytes::{array_at, f32_at, u32_at, u64_at};
 use crate::error::{Error, Result};
 use crate::indexfile::ChunkMeta;
 use eff2_descriptor::{DescriptorSet, DIM};
@@ -27,12 +28,13 @@ pub fn pad_to_page(len: u64, page_size: u64) -> u64 {
 
 /// Writes the chunk file header into a page-sized buffer.
 fn header_page(page_size: u32, n_chunks: u32, total_descriptors: u64) -> Vec<u8> {
-    let mut page = vec![0u8; page_size as usize];
-    page[0..4].copy_from_slice(&MAGIC);
-    page[4..8].copy_from_slice(&VERSION.to_le_bytes());
-    page[8..12].copy_from_slice(&page_size.to_le_bytes());
-    page[12..16].copy_from_slice(&n_chunks.to_le_bytes());
-    page[16..24].copy_from_slice(&total_descriptors.to_le_bytes());
+    let mut page = Vec::with_capacity(page_size as usize);
+    page.extend_from_slice(&MAGIC);
+    page.extend_from_slice(&VERSION.to_le_bytes());
+    page.extend_from_slice(&page_size.to_le_bytes());
+    page.extend_from_slice(&n_chunks.to_le_bytes());
+    page.extend_from_slice(&total_descriptors.to_le_bytes());
+    page.resize(page_size as usize, 0);
     page
 }
 
@@ -52,7 +54,7 @@ pub fn write_chunks<W: Write>(
         "page size must hold the header"
     );
     let mut w = std::io::BufWriter::new(writer);
-    let total: u64 = chunks.iter().map(|c| c.len() as u64).sum();
+    let total = chunks.iter().map(|c| c.len() as u64).sum::<u64>();
     w.write_all(&header_page(page_size, chunks.len() as u32, total))?;
 
     let mut locations = Vec::with_capacity(chunks.len());
@@ -94,21 +96,22 @@ pub fn read_header<R: Read>(reader: &mut R) -> Result<ChunkFileHeader> {
     reader
         .read_exact(&mut buf)
         .map_err(|_| Error::Truncated("chunk file header"))?;
-    let magic: [u8; 4] = buf[0..4].try_into().expect("fixed slice");
+    let what = "chunk file header";
+    let magic: [u8; 4] = array_at(&buf, 0, what)?;
     if magic != MAGIC {
         return Err(Error::BadMagic {
             file: "chunk file",
             found: magic,
         });
     }
-    let version = u32::from_le_bytes(buf[4..8].try_into().expect("fixed slice"));
+    let version = u32_at(&buf, 4, what)?;
     if version != VERSION {
         return Err(Error::UnsupportedVersion(version));
     }
     Ok(ChunkFileHeader {
-        page_size: u32::from_le_bytes(buf[8..12].try_into().expect("fixed slice")),
-        n_chunks: u32::from_le_bytes(buf[12..16].try_into().expect("fixed slice")),
-        total_descriptors: u64::from_le_bytes(buf[16..24].try_into().expect("fixed slice")),
+        page_size: u32_at(&buf, 8, what)?,
+        n_chunks: u32_at(&buf, 12, what)?,
+        total_descriptors: u64_at(&buf, 16, what)?,
     })
 }
 
@@ -155,7 +158,10 @@ pub fn read_chunk_at<R: Read + Seek>(
     reader
         .read_exact(&mut raw)
         .map_err(|_| Error::Truncated("chunk body"))?;
-    decode_records(&raw[..meta.byte_len as usize], meta.count, payload)?;
+    let body = raw
+        .get(..meta.byte_len as usize)
+        .ok_or(Error::Truncated("chunk body"))?;
+    decode_records(body, meta.count, payload)?;
     Ok(padded)
 }
 
@@ -171,14 +177,9 @@ pub fn decode_records(raw: &[u8], count: u32, payload: &mut ChunkPayload) -> Res
     payload.ids.reserve(count as usize);
     payload.packed.reserve(count as usize * DIM);
     for rec in raw.chunks_exact(RECORD_BYTES) {
-        payload.ids.push(u32::from_le_bytes(
-            rec[0..4].try_into().expect("fixed slice"),
-        ));
+        payload.ids.push(u32_at(rec, 0, "chunk record")?);
         for d in 0..DIM {
-            let at = 4 + d * 4;
-            payload.packed.push(f32::from_le_bytes(
-                rec[at..at + 4].try_into().expect("fixed slice"),
-            ));
+            payload.packed.push(f32_at(rec, 4 + d * 4, "chunk record")?);
         }
     }
     Ok(())

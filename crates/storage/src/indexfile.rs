@@ -21,6 +21,7 @@
 //!        | byte_len u32 le | count u32 le          (116 bytes)
 //! ```
 
+use crate::bytes::{array_at, f32_at, u32_at, u64_at};
 use crate::error::{Error, Result};
 use eff2_descriptor::{Vector, DIM};
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -83,35 +84,37 @@ pub fn read_index<R: Read>(reader: R) -> Result<(Vec<ChunkMeta>, u32)> {
     let mut header = [0u8; HEADER_BYTES];
     r.read_exact(&mut header)
         .map_err(|_| Error::Truncated("index header"))?;
-    let magic: [u8; 4] = header[0..4].try_into().expect("fixed slice");
+    let what = "index header";
+    let magic: [u8; 4] = array_at(&header, 0, what)?;
     if magic != MAGIC {
         return Err(Error::BadMagic {
             file: "index file",
             found: magic,
         });
     }
-    let version = u32::from_le_bytes(header[4..8].try_into().expect("fixed slice"));
+    let version = u32_at(&header, 4, what)?;
     if version != VERSION {
         return Err(Error::UnsupportedVersion(version));
     }
-    let n = u32::from_le_bytes(header[8..12].try_into().expect("fixed slice")) as usize;
-    let page_size = u32::from_le_bytes(header[12..16].try_into().expect("fixed slice"));
+    let n = u32_at(&header, 8, what)? as usize;
+    let page_size = u32_at(&header, 12, what)?;
 
     let mut metas = Vec::with_capacity(n);
     let mut buf = vec![0u8; ENTRY_BYTES];
     for _ in 0..n {
         r.read_exact(&mut buf)
             .map_err(|_| Error::Truncated("index entries"))?;
-        let mut centroid = Vector::ZERO;
-        for d in 0..DIM {
-            centroid[d] =
-                f32::from_le_bytes(buf[d * 4..d * 4 + 4].try_into().expect("fixed slice"));
+        let what = "index entry";
+        let mut components = [0f32; DIM];
+        for (d, slot) in components.iter_mut().enumerate() {
+            *slot = f32_at(&buf, d * 4, what)?;
         }
+        let centroid = Vector::from_slice(&components);
         let at = DIM * 4;
-        let radius = f32::from_le_bytes(buf[at..at + 4].try_into().expect("fixed slice"));
-        let offset = u64::from_le_bytes(buf[at + 4..at + 12].try_into().expect("fixed slice"));
-        let byte_len = u32::from_le_bytes(buf[at + 12..at + 16].try_into().expect("fixed slice"));
-        let count = u32::from_le_bytes(buf[at + 16..at + 20].try_into().expect("fixed slice"));
+        let radius = f32_at(&buf, at, what)?;
+        let offset = u64_at(&buf, at + 4, what)?;
+        let byte_len = u32_at(&buf, at + 12, what)?;
+        let count = u32_at(&buf, at + 16, what)?;
         metas.push(ChunkMeta {
             centroid,
             radius,

@@ -29,6 +29,7 @@
 //!   BAG's 1 M-descriptor monster chunk costs ≈1.8 s of CPU, and scanning a
 //!   ≈2.7 k-entry chunk index costs ≈50 ms — the constants §5.5 reports.
 
+pub mod bytes;
 pub mod chunkfile;
 pub mod diskmodel;
 pub mod error;

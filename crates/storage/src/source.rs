@@ -14,8 +14,17 @@ use crate::chunkfile::ChunkPayload;
 use crate::error::Result;
 use crate::prefetch::{prefetch_chunks, PrefetchIter};
 use crate::store::{ChunkReader, ChunkStore};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
+
+/// Recovers the cache guard even if another stream panicked mid-update.
+/// Every critical section leaves the cache consistent (counters and `used`
+/// are adjusted together), so continuing past a poisoned lock is sound.
+fn lock_cache(cache: &Mutex<ResidentCache>) -> std::sync::MutexGuard<'_, ResidentCache> {
+    cache
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// One delivered chunk: its id, shared payload and on-disk byte span.
 ///
@@ -92,10 +101,10 @@ struct FileStream {
 
 impl ChunkStream for FileStream {
     fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
-        if self.failed || self.pos == self.order.len() {
+        if self.failed {
             return None;
         }
-        let id = self.order[self.pos];
+        let id = self.order.get(self.pos).copied()?;
         self.pos += 1;
         let mut payload = ChunkPayload::default();
         match self.reader.read_chunk(id, &mut payload) {
@@ -200,9 +209,16 @@ struct ResidentEntry {
     last_used: u64,
 }
 
+/// The shared LRU state. Entries live in a `BTreeMap` so every traversal
+/// (eviction scans, stats, debug dumps) visits chunks in the same order on
+/// every run — the auditor's `det.hash_container` rule bans randomized
+/// iteration from crates feeding the deterministic search pipeline. The
+/// LRU victim itself is already unambiguous (ticks are unique), so the
+/// swap changes no observable behaviour, only removes the nondeterminism
+/// hazard.
 #[derive(Debug)]
 struct ResidentCache {
-    entries: HashMap<usize, ResidentEntry>,
+    entries: BTreeMap<usize, ResidentEntry>,
     budget: u64,
     used: u64,
     tick: u64,
@@ -237,13 +253,19 @@ impl ResidentCache {
             self.used -= old.cost; // racing streams: replace, don't double-count
         }
         while self.used + cost > self.budget {
-            let victim = self
+            // `used > 0` implies a resident entry; if bookkeeping ever
+            // drifted, stop evicting rather than spin or panic.
+            let Some(victim) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(&vid, _)| vid)
-                .expect("used > 0 implies a resident entry");
-            let evicted = self.entries.remove(&victim).expect("victim resident");
+            else {
+                break;
+            };
+            let Some(evicted) = self.entries.remove(&victim) else {
+                break;
+            };
             self.used -= evicted.cost;
             self.evictions += 1;
         }
@@ -287,7 +309,7 @@ impl ResidentSource {
         ResidentSource {
             store: store.clone(),
             cache: Arc::new(Mutex::new(ResidentCache {
-                entries: HashMap::new(),
+                entries: BTreeMap::new(),
                 budget: budget_bytes,
                 used: 0,
                 tick: 0,
@@ -300,7 +322,7 @@ impl ResidentSource {
 
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> ResidentStats {
-        let cache = self.cache.lock().expect("resident cache poisoned");
+        let cache = lock_cache(&self.cache);
         ResidentStats {
             hits: cache.hits,
             misses: cache.misses,
@@ -336,17 +358,13 @@ struct ResidentStream {
 
 impl ChunkStream for ResidentStream {
     fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
-        if self.failed || self.pos == self.order.len() {
+        if self.failed {
             return None;
         }
-        let id = self.order[self.pos];
+        let id = self.order.get(self.pos).copied()?;
         self.pos += 1;
 
-        let cached = self
-            .cache
-            .lock()
-            .expect("resident cache poisoned")
-            .lookup(id);
+        let cached = lock_cache(&self.cache).lookup(id);
         if let Some((payload, bytes_read)) = cached {
             return Some(Ok(SourcedChunk {
                 id,
@@ -355,26 +373,23 @@ impl ChunkStream for ResidentStream {
             }));
         }
 
-        // Miss: read outside the lock, then pin.
-        if self.reader.is_none() {
-            match self.store.reader() {
-                Ok(r) => self.reader = Some(r),
+        // Miss: read outside the lock, then pin. The reader is opened
+        // lazily so an all-hit stream never touches disk.
+        let reader = match self.reader.as_mut() {
+            Some(r) => r,
+            None => match self.store.reader() {
+                Ok(r) => self.reader.insert(r),
                 Err(e) => {
                     self.failed = true;
                     return Some(Err(e));
                 }
-            }
-        }
-        let reader = self.reader.as_mut().expect("reader just opened");
+            },
+        };
         let mut payload = ChunkPayload::default();
         match reader.read_chunk(id, &mut payload) {
             Ok(bytes_read) => {
                 let payload = Arc::new(payload);
-                self.cache.lock().expect("resident cache poisoned").insert(
-                    id,
-                    Arc::clone(&payload),
-                    bytes_read,
-                );
+                lock_cache(&self.cache).insert(id, Arc::clone(&payload), bytes_read);
                 Some(Ok(SourcedChunk {
                     id,
                     payload,

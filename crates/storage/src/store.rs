@@ -93,7 +93,7 @@ impl ChunkStore {
         let index_file = File::create(&index_path)?;
         indexfile::write_index(&metas, page_size, index_file)?;
 
-        let total_descriptors = metas.iter().map(|m| u64::from(m.count)).sum();
+        let total_descriptors = metas.iter().map(|m| u64::from(m.count)).sum::<u64>();
         Ok(ChunkStore {
             inner: Arc::new(StoreInner {
                 chunk_path,

@@ -1,3 +1,4 @@
+// lint:allow-file(panic.index): query tables are sized by the workload spec that indexes them
 #![warn(missing_docs)]
 
 //! # eff2-workload

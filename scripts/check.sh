@@ -18,6 +18,9 @@ cargo build --release -p eff2-examples
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> eff2-lint --deny (workspace invariant audit)"
+cargo run --release -p eff2-lint -- --deny
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
