@@ -35,6 +35,7 @@ pub mod neighbors;
 pub mod scan;
 pub mod search;
 pub mod session;
+pub mod snapshot;
 
 pub use chunkers::{
     BagChunker, ChunkFormation, ChunkFormer, FormationCost, HybridChunker, RandomChunker,
@@ -48,3 +49,4 @@ pub use search::{
     SearchLog, SearchParams, SearchResult, StopRule,
 };
 pub use session::{evaluate_stop_rules, ChunkRanking, SearchSession};
+pub use snapshot::Snapshot;

@@ -25,10 +25,10 @@
 //! for all of the paper's quality-vs-time figures.
 
 use crate::neighbors::Neighbor;
-use crate::session::SearchSession;
+use crate::session::{ChunkRanking, SearchSession};
 use eff2_descriptor::Vector;
 use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
-use eff2_storage::source::ChunkSource;
+use eff2_storage::source::{ChunkSource, PrefetchSource};
 use eff2_storage::{ChunkStore, Result};
 use std::sync::Arc;
 
@@ -171,19 +171,25 @@ pub fn search_with_source(
 /// Executes a batch of queries in parallel over a shared read-only store.
 ///
 /// Parallelism stops at the query boundary: each query runs the full
-/// sequential [`search`] with its own chunk reader and its own
+/// sequential [`search`] with its own chunk stream and its own
 /// [`PipelineClock`], so the per-query virtual-time accounting — and with
 /// it every [`ChunkEvent`] field (rank, chunk id, count, bytes,
 /// `completed_at`, kth distance, top-k snapshot) — is bit-identical to a
 /// one-query-at-a-time run. The determinism test asserts exactly that.
 /// Results come back in query order.
+///
+/// Two resources are pooled across the batch without affecting results:
+/// each worker thread recycles one [`ChunkRanking`] buffer across its
+/// queries ([`ChunkRanking::rank_into`]), and all workers draw from one
+/// [`PrefetchSource`] whose single-flight table coalesces concurrent reads
+/// of the same chunk into one disk access.
 pub fn search_batch(
     store: &ChunkStore,
     model: &DiskModel,
     queries: &[Vector],
     params: &SearchParams,
 ) -> Result<Vec<SearchResult>> {
-    eff2_parallel::try_par_map(queries, |_, q| search(store, model, q, params))
+    search_batch_threads(store, model, queries, params, eff2_parallel::max_threads())
 }
 
 /// [`search_batch`] with an explicit worker-thread count (the batch bench
@@ -195,7 +201,8 @@ pub fn search_batch_threads(
     params: &SearchParams,
     threads: usize,
 ) -> Result<Vec<SearchResult>> {
-    eff2_parallel::try_par_map_threads(threads, queries, |_, q| search(store, model, q, params))
+    let source: Arc<dyn ChunkSource> = Arc::new(PrefetchSource::new(store, params.prefetch_depth));
+    batch_over_source(store, model, queries, params, threads, source)
 }
 
 /// [`search_batch`] over a shared [`ChunkSource`]: every worker draws its
@@ -212,9 +219,48 @@ pub fn search_batch_with_source(
     params: &SearchParams,
     source: Arc<dyn ChunkSource>,
 ) -> Result<Vec<SearchResult>> {
-    eff2_parallel::try_par_map(queries, |_, q| {
-        search_with_source(store, model, q, params, Arc::clone(&source))
-    })
+    batch_over_source(
+        store,
+        model,
+        queries,
+        params,
+        eff2_parallel::max_threads(),
+        source,
+    )
+}
+
+/// The shared batch driver: per-worker [`ChunkRanking`] scratch recycled
+/// via [`ChunkRanking::rank_into`] (the ranking's vectors are allocated
+/// once per worker, not once per query), sessions built over the shared
+/// `source`. The scratch only recycles allocations — ranking *contents*
+/// are fully rewritten per query, so results cannot depend on it.
+fn batch_over_source(
+    store: &ChunkStore,
+    model: &DiskModel,
+    queries: &[Vector],
+    params: &SearchParams,
+    threads: usize,
+    source: Arc<dyn ChunkSource>,
+) -> Result<Vec<SearchResult>> {
+    eff2_parallel::try_par_map_scratch_threads(
+        threads,
+        queries,
+        ChunkRanking::default,
+        |scratch, _, q| {
+            scratch.rank_into(store, model, q);
+            let mut session = SearchSession::from_ranking(
+                std::mem::take(scratch),
+                model,
+                q,
+                params,
+                Arc::clone(&source),
+            );
+            session.run_to_stop()?;
+            let (result, ranking) = session.into_result_and_ranking();
+            *scratch = ranking;
+            Ok(result)
+        },
+    )
 }
 
 #[cfg(test)]

@@ -30,7 +30,7 @@ use crate::neighbors::NeighborSet;
 use crate::search::{ChunkEvent, SearchLog, SearchParams, SearchResult, StopRule};
 use eff2_descriptor::{scan_block_into, Vector};
 use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
-use eff2_storage::source::{ChunkSource, ChunkStream, PrefetchSource};
+use eff2_storage::source::{ChunkSource, ChunkStream, PrefetchSource, SourcedChunk};
 use eff2_storage::{ChunkStore, Result};
 use std::sync::Arc;
 
@@ -53,39 +53,67 @@ pub struct ChunkRanking {
     index_read_time: VirtualDuration,
 }
 
+impl Default for ChunkRanking {
+    /// An empty ranking holding no chunks — the reusable-buffer seed for
+    /// [`ChunkRanking::rank_into`].
+    fn default() -> ChunkRanking {
+        ChunkRanking {
+            ranked: Vec::new(),
+            suffix_min_bound: Vec::new(),
+            index_read_time: VirtualDuration::ZERO,
+        }
+    }
+}
+
 impl ChunkRanking {
     /// Ranks every chunk of `store` for `query` and charges the index read
     /// under `model`. Pure computation over the in-memory index — no I/O.
     pub fn rank(store: &ChunkStore, model: &DiskModel, query: &Vector) -> ChunkRanking {
+        let mut ranking = ChunkRanking::default();
+        ranking.rank_into(store, model, query);
+        ranking
+    }
+
+    /// [`rank`](Self::rank) into `self`, reusing its buffers: repeated
+    /// rankings (a batch worker, a serving scheduler admitting query after
+    /// query) allocate nothing once the vectors have grown to the store
+    /// size. The result is identical to a fresh [`rank`](Self::rank).
+    pub fn rank_into(&mut self, store: &ChunkStore, model: &DiskModel, query: &Vector) {
         let metas = store.metas();
         let n_chunks = metas.len();
-        let mut ranked: Vec<(f32, u32)> = metas
-            .iter()
-            .enumerate()
-            .map(|(i, m)| (m.centroid.dist(query), i as u32))
-            .collect();
-        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let index_read_time = model.index_read_time(n_chunks, store.index_bytes());
+        self.ranked.clear();
+        self.ranked.extend(
+            metas
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (m.centroid.dist(query), i as u32)),
+        );
+        self.ranked
+            .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.index_read_time = model.index_read_time(n_chunks, store.index_bytes());
 
         // Walk the ranked order back to front carrying the running minimum;
         // slot `n_chunks` keeps its +∞ sentinel (zip truncates to the
         // shorter side, and `rev` pairs the tails up correctly).
-        let mut suffix_min_bound = vec![f32::INFINITY; n_chunks + 1];
+        self.suffix_min_bound.clear();
+        self.suffix_min_bound.resize(n_chunks + 1, f32::INFINITY);
         let mut best = f32::INFINITY;
-        for (slot, &(dist, id)) in suffix_min_bound.iter_mut().zip(ranked.iter()).rev() {
+        for (slot, &(dist, id)) in self
+            .suffix_min_bound
+            .iter_mut()
+            .zip(self.ranked.iter())
+            .rev()
+        {
             let radius = metas.get(id as usize).map_or(0.0, |m| m.radius);
             best = best.min((dist - radius).max(0.0));
             *slot = best;
         }
         debug_assert!(
-            suffix_min_bound.windows(2).all(|w| w.first() <= w.get(1)),
+            self.suffix_min_bound
+                .windows(2)
+                .all(|w| w.first() <= w.get(1)),
             "suffix-min bound must be non-decreasing along the ranked order"
         );
-        ChunkRanking {
-            ranked,
-            suffix_min_bound,
-            index_read_time,
-        }
     }
 
     /// Number of ranked chunks.
@@ -199,7 +227,10 @@ impl StepInvariants {
 /// opened lazily at the first `step`, so a store whose files vanish
 /// between session construction and stepping surfaces a clean `Err`.
 pub struct SearchSession {
-    source: Arc<dyn ChunkSource>,
+    /// `None` for a *detached* session — one driven by an external
+    /// scheduler through [`step_with`](Self::step_with) instead of pulling
+    /// chunks itself.
+    source: Option<Arc<dyn ChunkSource>>,
     /// Opened at the first [`step`](Self::step).
     stream: Option<Box<dyn ChunkStream>>,
     ranking: ChunkRanking,
@@ -240,6 +271,55 @@ impl SearchSession {
         source: Arc<dyn ChunkSource>,
     ) -> SearchSession {
         let ranking = ChunkRanking::rank(store, model, query);
+        SearchSession::from_parts(ranking, model, query, params, Some(source))
+    }
+
+    /// A session over a pre-computed ranking (see
+    /// [`ChunkRanking::rank_into`] for buffer reuse); behaviourally
+    /// identical to [`with_source`](Self::with_source).
+    pub fn from_ranking(
+        ranking: ChunkRanking,
+        model: &DiskModel,
+        query: &Vector,
+        params: &SearchParams,
+        source: Arc<dyn ChunkSource>,
+    ) -> SearchSession {
+        SearchSession::from_parts(ranking, model, query, params, Some(source))
+    }
+
+    /// A *detached* session: no chunk source of its own. An external
+    /// driver asks [`next_wanted`](Self::next_wanted) which chunk to
+    /// deliver and feeds it through [`step_with`](Self::step_with) — the
+    /// serving scheduler's mode, where one fetched chunk may feed many
+    /// sessions. Calling [`step`](Self::step) on a detached session is an
+    /// error.
+    pub fn detached(
+        store: &ChunkStore,
+        model: &DiskModel,
+        query: &Vector,
+        params: &SearchParams,
+    ) -> SearchSession {
+        let ranking = ChunkRanking::rank(store, model, query);
+        SearchSession::from_parts(ranking, model, query, params, None)
+    }
+
+    /// [`detached`](Self::detached) over a pre-computed ranking.
+    pub fn detached_from_ranking(
+        ranking: ChunkRanking,
+        model: &DiskModel,
+        query: &Vector,
+        params: &SearchParams,
+    ) -> SearchSession {
+        SearchSession::from_parts(ranking, model, query, params, None)
+    }
+
+    fn from_parts(
+        ranking: ChunkRanking,
+        model: &DiskModel,
+        query: &Vector,
+        params: &SearchParams,
+        source: Option<Arc<dyn ChunkSource>>,
+    ) -> SearchSession {
         let clock = PipelineClock::start_at(ranking.index_read_time());
         let log = SearchLog {
             index_read_time: ranking.index_read_time(),
@@ -297,6 +377,22 @@ impl SearchSession {
         self.exhausted || self.log.chunks_read == self.ranking.len()
     }
 
+    /// The chunk id this session wants next (the next unread chunk in its
+    /// ranked order), or `None` once the ranking is exhausted.
+    ///
+    /// Like [`step`](Self::step) this is mechanical — it does not consult
+    /// the stop rule. An external driver deciding whether to keep feeding
+    /// the session should check [`stop_satisfied`](Self::stop_satisfied)
+    /// first; `next_wanted` only says *which* chunk a continued scan
+    /// consumes.
+    pub fn next_wanted(&self) -> Option<usize> {
+        if self.is_exhausted() {
+            None
+        } else {
+            Some(self.ranking.chunk_at(self.log.chunks_read))
+        }
+    }
+
     /// Advances the scan by exactly one chunk and returns its event, or
     /// `None` once every ranked chunk has been processed.
     ///
@@ -312,18 +408,69 @@ impl SearchSession {
         }
         #[cfg(debug_assertions)]
         let stop_was_fired = self.stop_satisfied();
+        let Some(source) = self.source.as_ref() else {
+            return Err(eff2_storage::Error::Inconsistent(
+                "detached session has no chunk source: drive it with step_with".to_string(),
+            ));
+        };
         let stream = match self.stream.as_mut() {
             Some(s) => s,
             None => self
                 .stream
-                .insert(self.source.open_stream(self.ranking.order())?),
+                .insert(source.open_stream(self.ranking.order())?),
         };
         let Some(item) = stream.next_chunk() else {
             self.exhausted = true;
             return Ok(None);
         };
         let chunk = item?;
+        self.ingest(&chunk);
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !stop_was_fired || self.stop_satisfied(),
+            "stop rules must be monotone: a fired rule stays fired"
+        );
+        Ok(self.log.events.last())
+    }
 
+    /// Advances the scan by feeding `chunk` in from outside — the
+    /// scheduler-driven twin of [`step`](Self::step). The chunk must be
+    /// exactly the one [`next_wanted`](Self::next_wanted) names (payloads
+    /// arrive in ranked order no matter who fetches them), otherwise the
+    /// session refuses with [`Error::Inconsistent`].
+    ///
+    /// All accounting — fused-kernel scan, per-query pipeline clock, log,
+    /// invariants — is identical to [`step`](Self::step), so a session fed
+    /// by an external driver produces bit-identical results to one pulling
+    /// from its own source, regardless of how many other sessions shared
+    /// the fetch.
+    ///
+    /// [`Error::Inconsistent`]: eff2_storage::Error::Inconsistent
+    pub fn step_with(&mut self, chunk: &SourcedChunk) -> Result<Option<&ChunkEvent>> {
+        if self.is_exhausted() {
+            self.exhausted = true;
+            return Ok(None);
+        }
+        #[cfg(debug_assertions)]
+        let stop_was_fired = self.stop_satisfied();
+        let wanted = self.ranking.chunk_at(self.log.chunks_read);
+        if chunk.id != wanted {
+            return Err(eff2_storage::Error::Inconsistent(format!(
+                "session wants chunk {wanted} next, was fed chunk {}",
+                chunk.id
+            )));
+        }
+        self.ingest(chunk);
+        #[cfg(debug_assertions)]
+        debug_assert!(
+            !stop_was_fired || self.stop_satisfied(),
+            "stop rules must be monotone: a fired rule stays fired"
+        );
+        Ok(self.log.events.last())
+    }
+
+    /// The shared advance: scan `chunk`, charge the clock, log the event.
+    fn ingest(&mut self, chunk: &SourcedChunk) {
         // Scan the chunk against the query (fused block kernel: blocked
         // distances offered straight into the set).
         scan_block_into(
@@ -358,12 +505,6 @@ impl SearchSession {
                 Vec::new()
             },
         });
-        #[cfg(debug_assertions)]
-        debug_assert!(
-            !stop_was_fired || self.stop_satisfied(),
-            "stop rules must be monotone: a fired rule stays fired"
-        );
-        Ok(self.log.events.last())
     }
 
     /// Evaluates `rule` against the current session state: `Some(proves)`
@@ -437,14 +578,24 @@ impl SearchSession {
     }
 
     /// Consumes the session into its final result under its own stop rule.
-    pub fn into_result(mut self) -> SearchResult {
+    pub fn into_result(self) -> SearchResult {
+        self.into_result_and_ranking().0
+    }
+
+    /// [`into_result`](Self::into_result) that also hands the
+    /// [`ChunkRanking`] back for reuse — the batch drivers recycle it
+    /// through [`ChunkRanking::rank_into`] so each worker allocates ranking
+    /// buffers once, not once per query.
+    pub fn into_result_and_ranking(mut self) -> (SearchResult, ChunkRanking) {
         self.log.completed = self.completed_for(self.params.stop);
         self.log.total_virtual = self.clock.now().max(self.ranking.index_read_time());
         self.log.wall = self.wall_start.elapsed();
-        SearchResult {
+        let ranking = std::mem::take(&mut self.ranking);
+        let result = SearchResult {
             neighbors: self.neighbors.sorted(),
             log: self.log,
-        }
+        };
+        (result, ranking)
     }
 
     /// Answers every rule in `rules` from this one session — the
@@ -603,6 +754,128 @@ mod tests {
         session.step().expect("step").expect("event");
         assert_eq!(session.chunks_read(), 3);
         assert_eq!(at_stop.log.chunks_read, 2);
+    }
+
+    #[test]
+    fn rank_into_reuses_buffers_and_matches_fresh_rank() {
+        let set = lumpy_set(300);
+        let store = build_store("rankinto", &set, 30);
+        let model = DiskModel::ata_2005();
+        let mut scratch = ChunkRanking::default();
+        for qpos in [0usize, 57, 123, 299] {
+            let q = set.vector_owned(qpos);
+            scratch.rank_into(&store, &model, &q);
+            let fresh = ChunkRanking::rank(&store, &model, &q);
+            assert_eq!(scratch.len(), fresh.len());
+            assert_eq!(scratch.order(), fresh.order());
+            assert_eq!(
+                scratch.index_read_time().as_secs().to_bits(),
+                fresh.index_read_time().as_secs().to_bits()
+            );
+            for rank in 0..fresh.len() {
+                assert_eq!(
+                    scratch.centroid_dist(rank).to_bits(),
+                    fresh.centroid_dist(rank).to_bits()
+                );
+            }
+            for processed in 0..=fresh.len() {
+                assert_eq!(
+                    scratch.remaining_bound(processed).to_bits(),
+                    fresh.remaining_bound(processed).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fed_session_is_bit_identical_to_pulling_session() {
+        let set = lumpy_set(400);
+        let store = build_store("fed", &set, 25);
+        let model = DiskModel::ata_2005();
+        let q = set.vector_owned(42);
+        let params = SearchParams::exact(8);
+
+        let mut pulling = SearchSession::with_source(
+            &store,
+            &model,
+            &q,
+            &params,
+            Arc::new(FileSource::new(&store)),
+        );
+        pulling.run_to_stop().expect("run");
+        let want = pulling.into_result();
+
+        // Drive a detached twin by hand: fetch whatever it asks for.
+        let mut fed = SearchSession::detached(&store, &model, &q, &params);
+        let mut reader = store.reader().expect("reader");
+        while !fed.stop_satisfied() {
+            let Some(id) = fed.next_wanted() else { break };
+            let mut payload = eff2_storage::chunkfile::ChunkPayload::default();
+            let bytes_read = reader.read_chunk(id, &mut payload).expect("read");
+            let chunk = SourcedChunk {
+                id,
+                payload: Arc::new(payload),
+                bytes_read,
+            };
+            fed.step_with(&chunk).expect("step_with").expect("event");
+        }
+        let got = fed.into_result();
+
+        assert_eq!(got.neighbors.len(), want.neighbors.len());
+        for (g, w) in got.neighbors.iter().zip(want.neighbors.iter()) {
+            assert_eq!(g.id, w.id);
+            assert_eq!(g.dist.to_bits(), w.dist.to_bits());
+        }
+        assert_eq!(got.log.chunks_read, want.log.chunks_read);
+        assert_eq!(got.log.bytes_read, want.log.bytes_read);
+        assert_eq!(got.log.completed, want.log.completed);
+        assert_eq!(
+            got.log.total_virtual.as_secs().to_bits(),
+            want.log.total_virtual.as_secs().to_bits()
+        );
+        for (g, w) in got.log.events.iter().zip(want.log.events.iter()) {
+            assert_eq!(g.chunk_id, w.chunk_id);
+            assert_eq!(
+                g.completed_at.as_secs().to_bits(),
+                w.completed_at.as_secs().to_bits()
+            );
+            assert_eq!(g.kth_dist.to_bits(), w.kth_dist.to_bits());
+        }
+    }
+
+    #[test]
+    fn step_with_rejects_the_wrong_chunk() {
+        let set = lumpy_set(200);
+        let store = build_store("wrongchunk", &set, 20);
+        let model = DiskModel::ata_2005();
+        let q = set.vector_owned(7);
+        let mut session = SearchSession::detached(&store, &model, &q, &SearchParams::exact(5));
+        let wanted = session.next_wanted().expect("wants a chunk");
+        let wrong = (wanted + 1) % store.n_chunks();
+        let mut reader = store.reader().expect("reader");
+        let mut payload = eff2_storage::chunkfile::ChunkPayload::default();
+        let bytes_read = reader.read_chunk(wrong, &mut payload).expect("read");
+        let chunk = SourcedChunk {
+            id: wrong,
+            payload: Arc::new(payload),
+            bytes_read,
+        };
+        assert!(
+            session.step_with(&chunk).is_err(),
+            "wrong chunk must be refused"
+        );
+        assert_eq!(session.chunks_read(), 0, "a refused feed changes nothing");
+        assert_eq!(session.next_wanted(), Some(wanted));
+    }
+
+    #[test]
+    fn detached_session_refuses_to_pull() {
+        let set = lumpy_set(100);
+        let store = build_store("detached", &set, 20);
+        let model = DiskModel::ata_2005();
+        let mut session =
+            SearchSession::detached(&store, &model, &Vector::ZERO, &SearchParams::exact(3));
+        assert!(session.step().is_err(), "no source to pull from");
     }
 
     #[test]

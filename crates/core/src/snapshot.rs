@@ -1,0 +1,206 @@
+//! An immutable, cheaply shareable view of a chunk index.
+//!
+//! A [`Snapshot`] is what a *serving* layer holds: the pairing of a
+//! [`ChunkStore`] (itself an `Arc`-backed handle over the mapped index
+//! file) with the [`DiskModel`] its timings are reported under, `Clone` in
+//! O(1) and safe to hand to any number of concurrent schedulers, workers
+//! or sessions. Nothing behind a snapshot ever mutates — the chunk-index
+//! files are write-once — so two clones always rank, bound and search
+//! bit-identically.
+//!
+//! [`ChunkIndex`] remains the build/open entry point;
+//! [`ChunkIndex::snapshot`] yields the serving view.
+
+use crate::index::ChunkIndex;
+use crate::search::{SearchParams, SearchResult};
+use crate::session::{ChunkRanking, SearchSession};
+use eff2_descriptor::Vector;
+use eff2_storage::diskmodel::DiskModel;
+use eff2_storage::source::{ChunkSource, PrefetchSource, ResidentSource};
+use eff2_storage::{ChunkStore, Result};
+use std::sync::Arc;
+
+/// An immutable view of one chunk index plus its cost model.
+///
+/// See the [module docs](self) for the sharing contract.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    store: ChunkStore,
+    model: DiskModel,
+}
+
+impl Snapshot {
+    /// Pairs an open store with a cost model.
+    pub fn new(store: ChunkStore, model: DiskModel) -> Snapshot {
+        Snapshot { store, model }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &ChunkStore {
+        &self.store
+    }
+
+    /// The cost model.
+    pub fn model(&self) -> &DiskModel {
+        &self.model
+    }
+
+    /// Number of chunks in the index.
+    pub fn n_chunks(&self) -> usize {
+        self.store.n_chunks()
+    }
+
+    /// Ranks all chunks for `query` (allocating fresh buffers).
+    pub fn rank(&self, query: &Vector) -> ChunkRanking {
+        ChunkRanking::rank(&self.store, &self.model, query)
+    }
+
+    /// Ranks all chunks for `query` into `ranking`, reusing its buffers.
+    pub fn rank_into(&self, ranking: &mut ChunkRanking, query: &Vector) {
+        ranking.rank_into(&self.store, &self.model, query);
+    }
+
+    /// A detached session for `query`: the caller feeds chunks through
+    /// [`SearchSession::step_with`] — the scheduler's mode.
+    pub fn session(&self, query: &Vector, params: &SearchParams) -> SearchSession {
+        SearchSession::detached(&self.store, &self.model, query, params)
+    }
+
+    /// [`session`](Self::session) over a pre-computed ranking (see
+    /// [`rank_into`](Self::rank_into) for buffer reuse).
+    pub fn session_from_ranking(
+        &self,
+        ranking: ChunkRanking,
+        query: &Vector,
+        params: &SearchParams,
+    ) -> SearchSession {
+        SearchSession::detached_from_ranking(ranking, &self.model, query, params)
+    }
+
+    /// A self-driving session pulling chunks from `source`.
+    pub fn session_with_source(
+        &self,
+        query: &Vector,
+        params: &SearchParams,
+        source: Arc<dyn ChunkSource>,
+    ) -> SearchSession {
+        SearchSession::with_source(&self.store, &self.model, query, params, source)
+    }
+
+    /// Executes one query serially over a private prefetching source — the
+    /// reference execution that interleaved schedules are bit-compared
+    /// against.
+    pub fn search(&self, query: &Vector, params: &SearchParams) -> Result<SearchResult> {
+        let source: Arc<dyn ChunkSource> =
+            Arc::new(PrefetchSource::new(&self.store, params.prefetch_depth));
+        let mut session = self.session_with_source(query, params, source);
+        session.run_to_stop()?;
+        Ok(session.into_result())
+    }
+
+    /// A [`ResidentSource`] over this snapshot's store pinning at most
+    /// `budget_bytes` of decoded chunks.
+    pub fn resident_source(&self, budget_bytes: u64) -> ResidentSource {
+        ResidentSource::new(&self.store, budget_bytes)
+    }
+}
+
+impl ChunkIndex {
+    /// The immutable serving view of this index: an O(1)-`Clone` pairing
+    /// of store handle and cost model that any number of concurrent
+    /// consumers may share.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::new(self.store().clone(), *self.model())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunkers::{ChunkFormer, SrTreeChunker};
+    use eff2_descriptor::{Descriptor, DescriptorSet};
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eff2_snapshot_{tag}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn sample_set(n: usize) -> DescriptorSet {
+        (0..n)
+            .map(|i| {
+                let mut v = Vector::splat((i % 7) as f32 * 4.0);
+                v[2] += i as f32 * 0.05;
+                Descriptor::new(i as u32, v)
+            })
+            .collect()
+    }
+
+    fn build_index(tag: &str, n: usize) -> ChunkIndex {
+        let set = sample_set(n);
+        let formation = SrTreeChunker { leaf_size: 25 }.form(&set);
+        let store =
+            ChunkStore::create(&tmp_dir(tag), "s", &set, &formation.chunks, 512).expect("create");
+        ChunkIndex::from_store(store, DiskModel::ata_2005())
+    }
+
+    #[test]
+    fn clones_search_bit_identically() {
+        let index = build_index("clones", 400);
+        let snap = index.snapshot();
+        let twin = snap.clone();
+        let q = Vector::splat(9.0);
+        let params = SearchParams::exact(6);
+        let a = snap.search(&q, &params).expect("a");
+        let b = twin.search(&q, &params).expect("b");
+        let c = index.search(&q, &params).expect("c");
+        for other in [&b, &c] {
+            assert_eq!(a.neighbors.len(), other.neighbors.len());
+            for (x, y) in a.neighbors.iter().zip(other.neighbors.iter()) {
+                assert_eq!(x.id, y.id);
+                assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+            }
+            assert_eq!(
+                a.log.total_virtual.as_secs().to_bits(),
+                other.log.total_virtual.as_secs().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn detached_session_from_snapshot_can_be_fed() {
+        let index = build_index("feed", 200);
+        let snap = index.snapshot();
+        let q = Vector::splat(3.0);
+        let params = SearchParams::exact(4);
+        let mut ranking = ChunkRanking::default();
+        snap.rank_into(&mut ranking, &q);
+        let mut session = snap.session_from_ranking(ranking, &q, &params);
+        let mut reader = snap.store().reader().expect("reader");
+        while let Some(id) = session.next_wanted() {
+            if session.stop_satisfied() {
+                break;
+            }
+            let mut payload = eff2_storage::chunkfile::ChunkPayload::default();
+            let bytes_read = reader.read_chunk(id, &mut payload).expect("read");
+            session
+                .step_with(&eff2_storage::source::SourcedChunk {
+                    id,
+                    payload: Arc::new(payload),
+                    bytes_read,
+                })
+                .expect("step_with");
+        }
+        let fed = session.into_result();
+        let want = snap.search(&q, &params).expect("reference");
+        assert_eq!(
+            fed.neighbors.iter().map(|n| n.id).collect::<Vec<_>>(),
+            want.neighbors.iter().map(|n| n.id).collect::<Vec<_>>()
+        );
+        assert_eq!(
+            fed.log.total_virtual.as_secs().to_bits(),
+            want.log.total_virtual.as_secs().to_bits()
+        );
+    }
+}

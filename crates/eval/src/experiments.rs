@@ -5,10 +5,14 @@
 
 use crate::lab::Lab;
 use crate::EvalResult;
-use eff2_core::search::{SearchParams, StopRule};
+use eff2_core::search::{SearchParams, SearchResult, StopRule};
 use eff2_core::session::evaluate_stop_rules;
-use eff2_metrics::{precision_at, QualityCurve, Table};
+use eff2_core::snapshot::Snapshot;
+use eff2_descriptor::Vector;
+use eff2_metrics::{fleet_quality_curve, precision_at, LatencySummary, QualityCurve, Table};
+use eff2_serve::{Policy, Scheduler, SchedulerConfig};
 use eff2_storage::diskmodel::VirtualDuration;
+use eff2_workload::poisson_arrivals;
 
 /// The neighbour counts Figures 6/7 trace (scaled to the configured k).
 pub fn sweep_neighbor_marks(k: usize) -> Vec<usize> {
@@ -427,6 +431,188 @@ pub fn exp3(lab: &Lab) -> EvalResult<String> {
     ))
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 4: the serving layer (policies × concurrency)
+// ---------------------------------------------------------------------------
+
+/// The concurrency levels (active-session slots) experiment 4 sweeps.
+pub fn exp4_concurrency() -> Vec<usize> {
+    vec![2, 8, 32]
+}
+
+/// Whether two results are bit-identical: same neighbours (ids and
+/// distance bits), same scan counters, same virtual-clock bits.
+fn results_bit_identical(a: &SearchResult, b: &SearchResult) -> bool {
+    a.neighbors.len() == b.neighbors.len()
+        && a.neighbors
+            .iter()
+            .zip(b.neighbors.iter())
+            .all(|(x, y)| x.id == y.id && x.dist.to_bits() == y.dist.to_bits())
+        && a.log.chunks_read == b.log.chunks_read
+        && a.log.descriptors_scanned == b.log.descriptors_scanned
+        && a.log.bytes_read == b.log.bytes_read
+        && a.log.completed == b.log.completed
+        && a.log.total_virtual.as_secs().to_bits() == b.log.total_virtual.as_secs().to_bits()
+}
+
+/// Regenerates **Experiment 4**: the multi-query serving sweep. A Poisson
+/// arrival trace of the DQ workload is offered at twice the serial service
+/// rate to the interleaved [`Scheduler`], for every policy at every
+/// concurrency level. Each run reports fleet throughput, latency
+/// percentiles, answer quality and chunk traffic — and every per-query
+/// result is bit-compared against the serial one-query-at-a-time
+/// reference, which scheduling must never change.
+pub fn exp4(lab: &Lab) -> EvalResult<String> {
+    let handle = lab.serving_index()?;
+    let handle = &handle;
+    let dq = lab.dq()?;
+    if dq.is_empty() {
+        return Err("exp4 needs a non-empty DQ workload".into());
+    }
+    let truth = lab.truth(handle, &dq)?;
+    let params = SearchParams {
+        k: lab.scale.k,
+        stop: StopRule::ToCompletionEps(0.5),
+        prefetch_depth: 2,
+        log_snapshots: false,
+    };
+    let snap = Snapshot::new(handle.store.clone(), lab.model);
+
+    // Serial reference: one query at a time, each over its own private
+    // source — the answers every scheduled run must reproduce bit for bit.
+    eprintln!("[exp4] serial reference over {} queries …", dq.len());
+    let mut serial = Vec::with_capacity(dq.len());
+    let mut serial_secs = 0.0f64;
+    let mut serial_precision = 0.0f64;
+    for (qi, query) in dq.queries.iter().enumerate() {
+        let r = snap.search(query, &params)?;
+        serial_secs += r.log.total_virtual.as_secs();
+        let ids: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+        serial_precision += precision_at(&ids, &truth.ids[qi]);
+        serial.push(r);
+    }
+    serial_precision /= dq.len() as f64;
+
+    // Offer four times the serial service rate: the device saturates, a
+    // backlog of concurrent sessions builds up, and the policies genuinely
+    // contend for the next chunk.
+    let rate_qps = 4.0 * dq.len() as f64 / serial_secs.max(1e-9);
+    let arrivals = poisson_arrivals(dq.len(), rate_qps, lab.scale.seed ^ 0xA4);
+    let trace: Vec<(Vector, VirtualDuration)> = dq
+        .queries
+        .iter()
+        .zip(arrivals.arrivals.iter())
+        .map(|(q, &t)| (*q, VirtualDuration::from_secs(t)))
+        .collect();
+
+    let mut t = Table::new(
+        &format!(
+            "Experiment 4. Serving under load (DQ, Poisson at {rate_qps:.1} q/s, \
+             {} — 4× serial capacity)",
+            handle.meta.label
+        ),
+        &[
+            "Policy",
+            "Active",
+            "Thru q/s",
+            "p50 s",
+            "p99 s",
+            "Precision",
+            "Fetches",
+            "Disk reads",
+            "Shared hits",
+            "Serial-identical",
+        ],
+    );
+    let mut quality = Table::new(
+        "Experiment 4 fleet quality curves",
+        &["Policy", "Active", "t_secs", "completed", "mean_precision"],
+    );
+    // (concurrency, policy) → chunk fetches, for the sharing summary.
+    let mut fetch_counts: Vec<(usize, Policy, u64)> = Vec::new();
+    let mut all_identical = true;
+
+    for &active in &exp4_concurrency() {
+        for policy in Policy::ALL {
+            eprintln!("[exp4] {} × {active} active …", policy.name());
+            let mut config = SchedulerConfig::new(policy, active);
+            config.max_queued = dq.len(); // admit everything: compare full runs
+            let report = Scheduler::new(snap.clone(), config).serve_trace(&trace, &params)?;
+
+            let mut identical =
+                report.stats.rejected == 0 && report.completions.len() == serial.len();
+            let mut precision = 0.0f64;
+            let mut quality_points = Vec::with_capacity(report.completions.len());
+            for c in &report.completions {
+                let qi = c.id as usize;
+                identical = identical && results_bit_identical(&serial[qi], &c.result);
+                let ids: Vec<u32> = c.result.neighbors.iter().map(|n| n.id).collect();
+                let p = precision_at(&ids, &truth.ids[qi]);
+                precision += p;
+                quality_points.push((c.finish.as_secs(), p));
+            }
+            precision /= report.completions.len().max(1) as f64;
+            all_identical = all_identical && identical;
+            for point in fleet_quality_curve(&quality_points) {
+                quality.row(vec![
+                    policy.name().to_string(),
+                    active.to_string(),
+                    fmt_f(point.at_secs, 4),
+                    point.completed.to_string(),
+                    fmt_f(point.mean_precision, 4),
+                ]);
+            }
+
+            let lat = LatencySummary::from_secs(&report.latencies_secs());
+            t.row(vec![
+                policy.name().to_string(),
+                active.to_string(),
+                fmt_f(report.throughput_qps(), 1),
+                fmt_f(lat.p50_secs, 3),
+                fmt_f(lat.p99_secs, 3),
+                fmt_f(precision, 3),
+                report.stats.fetches.to_string(),
+                report.stats.disk_reads.to_string(),
+                report.stats.cache.cross_query_hits.to_string(),
+                if identical { "yes" } else { "NO" }.to_string(),
+            ]);
+            fetch_counts.push((active, policy, report.stats.fetches));
+        }
+    }
+
+    let rendered = t.render();
+    let dir = lab.results_dir()?;
+    t.save_csv(&dir.join("exp4.csv"))?;
+    quality.save_csv(&dir.join("exp4_quality.csv"))?;
+
+    let fetches_of = |active: usize, policy: Policy| {
+        fetch_counts
+            .iter()
+            .find(|(a, p, _)| *a == active && *p == policy)
+            .map(|(_, _, f)| *f)
+            .unwrap_or(0)
+    };
+    let mut out = format!("{rendered}\nSerial mean precision: {serial_precision:.3}.\n");
+    for &active in &exp4_concurrency() {
+        let fair = fetches_of(active, Policy::FairShare);
+        let mwc = fetches_of(active, Policy::MostWantedChunk);
+        let saved = if fair > 0 {
+            100.0 * (fair.saturating_sub(mwc)) as f64 / fair as f64
+        } else {
+            0.0
+        };
+        out.push_str(&format!(
+            "At {active} concurrent sessions: most-wanted-chunk fetched {mwc} chunks \
+             vs fair-share {fair} ({saved:.0}% fewer).\n"
+        ));
+    }
+    out.push_str(&format!(
+        "All per-query results bit-identical to serial under every policy: {}.\n",
+        if all_identical { "yes" } else { "NO" }
+    ));
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,6 +671,38 @@ mod tests {
         // nums = [9, shared, individual] from the summary sentence.
         assert_eq!(nums[0], 9);
         assert!(nums[1] < nums[2], "shared scan should read fewer chunks");
+    }
+
+    #[test]
+    fn exp4_smoke() {
+        let lab = tiny_lab("e4");
+        let report = exp4(&lab).expect("exp4");
+        assert!(report.contains("Experiment 4"));
+        assert!(
+            report.contains("bit-identical to serial under every policy: yes"),
+            "scheduling changed an answer:\n{report}"
+        );
+        assert!(lab.results_dir().unwrap().join("exp4.csv").exists());
+        assert!(lab.results_dir().unwrap().join("exp4_quality.csv").exists());
+        // At the highest concurrency level, co-scheduling sessions that
+        // want the same chunk must read strictly fewer chunks than
+        // round-robin.
+        let top = *exp4_concurrency().last().unwrap();
+        let summary = report
+            .lines()
+            .find(|l| l.starts_with(&format!("At {top} concurrent sessions")))
+            .expect("sharing summary line");
+        let nums: Vec<u64> = summary
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .map(|s| s.parse().unwrap())
+            .collect();
+        // nums = [top, mwc_fetches, fair_fetches, percent_saved].
+        assert_eq!(nums[0] as usize, top);
+        assert!(
+            nums[1] < nums[2],
+            "most-wanted-chunk should fetch strictly fewer chunks: {summary}"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!   table2   Table 2 only (runs/loads exp1 curves)
 //!   exp2     Figures 6–7 — the chunk-size sweep
 //!   exp3     the stop-rule sweep — every rule answered from one scan
+//!   exp4     the serving sweep — scheduler policies × concurrency levels
 //!   all      everything above, in order
 //! ```
 //!
@@ -25,7 +26,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|all> \
+        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|all> \
          [--scale N] [--queries N] [--seed S] [--out DIR]"
     );
     std::process::exit(2);
@@ -116,12 +117,14 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
         }
         "exp2" => print!("{}", experiments::exp2(&lab)?),
         "exp3" => print!("{}", experiments::exp3(&lab)?),
+        "exp4" => print!("{}", experiments::exp4(&lab)?),
         "all" => {
             print!("{}", experiments::table1(&lab)?);
             print!("{}", experiments::fig1(&lab)?);
             print!("{}", experiments::exp1(&lab)?);
             print!("{}", experiments::exp2(&lab)?);
             print!("{}", experiments::exp3(&lab)?);
+            print!("{}", experiments::exp4(&lab)?);
         }
         _ => usage(),
     }

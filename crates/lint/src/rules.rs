@@ -57,6 +57,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no float .sum()/.product() in trace-producing crates — accumulate via kernels",
     },
     RuleInfo {
+        id: "det.thread_spawn",
+        summary: "no std::thread::spawn outside crates/parallel — use the eff2-parallel wrappers",
+    },
+    RuleInfo {
         id: "err.box_error",
         summary: "no Box<dyn …Error…> — use the workspace Error taxonomy",
     },
@@ -81,7 +85,7 @@ pub fn is_rule(id: &str) -> bool {
 
 /// Crates whose outputs feed traces or reported figures: HashMap/HashSet
 /// iteration order and ad-hoc float accumulation are banned here.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "storage", "metrics", "eval"];
+const DETERMINISTIC_CRATES: &[&str] = &["core", "storage", "serve", "metrics", "eval"];
 
 /// Crates that are command-line binaries: printing to stdout/stderr is
 /// their job, so `hyg.print` does not apply.
@@ -294,6 +298,30 @@ impl Scan<'_> {
         }
     }
 
+    fn det_thread_spawn(&mut self, at: usize) {
+        // eff2-parallel owns raw threads: its wrappers pin worker counts
+        // and merge order so everyone else stays deterministic.
+        if self.crate_name == "parallel" {
+            return;
+        }
+        let Some(t) = self.tok(at) else { return };
+        if t.kind != TokenKind::Ident || t.text != "thread" {
+            return;
+        }
+        if self.tok(at + 1).is_some_and(|a| a.is_punct(':'))
+            && self.tok(at + 2).is_some_and(|b| b.is_punct(':'))
+            && self.tok(at + 3).is_some_and(|c| c.is_ident("spawn"))
+            && self.tok(at + 4).is_some_and(|d| d.is_punct('('))
+        {
+            self.report(
+                "det.thread_spawn",
+                at,
+                "std::thread::spawn forks unmanaged concurrency — use the eff2-parallel wrappers"
+                    .to_string(),
+            );
+        }
+    }
+
     // ----- error taxonomy --------------------------------------------------
 
     fn err_box_error(&mut self, at: usize) {
@@ -424,6 +452,7 @@ pub fn apply(
         scan.det_hash_container(at);
         scan.det_wall_clock(at);
         scan.det_float_accum(at);
+        scan.det_thread_spawn(at);
         scan.err_box_error(at);
         scan.err_string_error(at);
         scan.hyg_print(at);

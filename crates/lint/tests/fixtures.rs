@@ -56,6 +56,7 @@ fixture_test!(panic_index, "core", "panic_index.rs");
 fixture_test!(det_hash_container, "storage", "det_hash_container.rs");
 fixture_test!(det_wall_clock, "core", "det_wall_clock.rs");
 fixture_test!(det_float_accum, "core", "det_float_accum.rs");
+fixture_test!(det_thread_spawn, "serve", "det_thread_spawn.rs");
 fixture_test!(err_box_error, "descriptor", "err_box_error.rs");
 fixture_test!(err_string_error, "descriptor", "err_string_error.rs");
 fixture_test!(hyg_print, "descriptor", "hyg_print.rs");
@@ -92,6 +93,12 @@ fn wall_clock_exempts_bench_and_the_disk_model() {
 }
 
 #[test]
+fn thread_spawn_exempts_the_parallel_crate() {
+    let source = include_str!("fixtures/det_thread_spawn.rs");
+    assert_eq!(findings_of("parallel", "fixture.rs", source), Vec::new());
+}
+
+#[test]
 fn every_rule_has_fixture_coverage() {
     // ≥1 positive marker per rule across the corpus, so adding a rule
     // without a fixture fails here.
@@ -102,6 +109,7 @@ fn every_rule_has_fixture_coverage() {
         include_str!("fixtures/det_hash_container.rs"),
         include_str!("fixtures/det_wall_clock.rs"),
         include_str!("fixtures/det_float_accum.rs"),
+        include_str!("fixtures/det_thread_spawn.rs"),
         include_str!("fixtures/err_box_error.rs"),
         include_str!("fixtures/err_string_error.rs"),
         include_str!("fixtures/hyg_print.rs"),

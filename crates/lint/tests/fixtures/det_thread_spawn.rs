@@ -1,0 +1,39 @@
+//! det.thread_spawn: raw OS-thread spawns outside crates/parallel. The
+//! harness also lints this file as the parallel crate, which is exempt —
+//! it owns the deterministic worker-pool wrappers everyone else must use.
+
+pub fn positive_std_path() {
+    let handle = std::thread::spawn(|| 1 + 1); //~ det.thread_spawn
+    let _ = handle.join();
+}
+
+pub fn positive_use_path() {
+    use std::thread;
+    let handle = thread::spawn(|| ()); //~ det.thread_spawn
+    let _ = handle.join();
+}
+
+pub fn negative_scoped_method(items: &[u64]) {
+    // `scope.spawn(...)` is a method call on a scope handle, not a raw
+    // `thread::spawn` path — the workspace wrappers use it internally.
+    std::thread::scope(|scope| {
+        for x in items {
+            scope.spawn(move || x + 1);
+        }
+    });
+}
+
+pub fn negative_wrapper() {
+    // The sanctioned entry point.
+    let handle = eff2_parallel::spawn(|| ());
+    let _ = handle.join();
+}
+
+pub fn negative_bare_spawn() {
+    fn spawn() {}
+    spawn();
+}
+
+pub fn negative_parallelism_probe() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}

@@ -1,0 +1,141 @@
+//! Fleet-level serving metrics: latency percentiles and quality-over-time
+//! under load.
+//!
+//! The paper reports per-query quality-vs-time; a serving layer
+//! additionally answers "how long did queries *wait* under concurrent
+//! load, and how fast did answer quality accumulate across the fleet?".
+//! These helpers are deliberately plain-data — they take seconds and
+//! (time, precision) pairs rather than scheduler types, so any layer can
+//! feed them.
+
+/// Order statistics over a set of latencies (virtual seconds).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Sample count.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean_secs: f64,
+    /// Median (nearest-rank).
+    pub p50_secs: f64,
+    /// 90th percentile (nearest-rank).
+    pub p90_secs: f64,
+    /// 99th percentile (nearest-rank).
+    pub p99_secs: f64,
+    /// Maximum.
+    pub max_secs: f64,
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice: the smallest
+/// value with at least `q`% of the sample at or below it.
+fn nearest_rank(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    let idx = rank.max(1).min(sorted.len()) - 1;
+    sorted.get(idx).copied().unwrap_or(0.0)
+}
+
+impl LatencySummary {
+    /// Summarises `latencies` (any order; an empty slice yields zeros).
+    pub fn from_secs(latencies: &[f64]) -> LatencySummary {
+        let mut sorted = latencies.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let mut total = 0.0f64;
+        for l in &sorted {
+            total += *l;
+        }
+        let n = sorted.len();
+        LatencySummary {
+            n,
+            mean_secs: if n > 0 { total / n as f64 } else { 0.0 },
+            p50_secs: nearest_rank(&sorted, 50.0),
+            p90_secs: nearest_rank(&sorted, 90.0),
+            p99_secs: nearest_rank(&sorted, 99.0),
+            max_secs: sorted.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// One point of a fleet quality-vs-time curve: after `at_secs` of fleet
+/// time, `completed` queries have finished with `mean_precision` average
+/// answer quality so far.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetQualityPoint {
+    /// Fleet-clock time of this completion.
+    pub at_secs: f64,
+    /// Queries completed at or before `at_secs`.
+    pub completed: usize,
+    /// Running mean precision over those completions.
+    pub mean_precision: f64,
+}
+
+/// Builds the cumulative fleet quality curve from per-query
+/// `(finish_secs, precision)` pairs (any order): one point per completion,
+/// sorted by finish time, carrying the running mean precision.
+pub fn fleet_quality_curve(completions: &[(f64, f64)]) -> Vec<FleetQualityPoint> {
+    let mut ordered = completions.to_vec();
+    ordered.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let mut out = Vec::with_capacity(ordered.len());
+    let mut total_precision = 0.0f64;
+    for (done, (at, precision)) in ordered.iter().enumerate() {
+        total_precision += *precision;
+        out.push(FleetQualityPoint {
+            at_secs: *at,
+            completed: done + 1,
+            mean_precision: total_precision / (done + 1) as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        assert_eq!(LatencySummary::from_secs(&[]), LatencySummary::default());
+    }
+
+    #[test]
+    fn summary_of_known_sample() {
+        // 1..=100 in shuffled order: percentiles are exact under
+        // nearest-rank.
+        let mut xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        xs.reverse();
+        let s = LatencySummary::from_secs(&xs);
+        assert_eq!(s.n, 100);
+        assert_eq!(s.p50_secs, 50.0);
+        assert_eq!(s.p90_secs, 90.0);
+        assert_eq!(s.p99_secs, 99.0);
+        assert_eq!(s.max_secs, 100.0);
+        assert!((s.mean_secs - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let s = LatencySummary::from_secs(&[0.25]);
+        assert_eq!(s.p50_secs, 0.25);
+        assert_eq!(s.p99_secs, 0.25);
+        assert_eq!(s.max_secs, 0.25);
+        assert_eq!(s.mean_secs, 0.25);
+    }
+
+    #[test]
+    fn fleet_curve_accumulates_in_time_order() {
+        let curve = fleet_quality_curve(&[(3.0, 0.5), (1.0, 1.0), (2.0, 0.0)]);
+        assert_eq!(curve.len(), 3);
+        let times: Vec<f64> = curve.iter().map(|p| p.at_secs).collect();
+        assert_eq!(times, vec![1.0, 2.0, 3.0]);
+        let counts: Vec<usize> = curve.iter().map(|p| p.completed).collect();
+        assert_eq!(counts, vec![1, 2, 3]);
+        let means: Vec<f64> = curve.iter().map(|p| p.mean_precision).collect();
+        assert_eq!(means, vec![1.0, 0.5, 0.5]);
+    }
+
+    #[test]
+    fn fleet_curve_of_empty_is_empty() {
+        assert!(fleet_quality_curve(&[]).is_empty());
+    }
+}

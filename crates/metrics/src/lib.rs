@@ -15,9 +15,11 @@
 //!   harness.
 
 pub mod curves;
+pub mod latency;
 pub mod table;
 pub mod truth;
 
 pub use curves::{precision_at, quality_curve, QualityCurve};
+pub use latency::{fleet_quality_curve, FleetQualityPoint, LatencySummary};
 pub use table::{write_csv, Table};
 pub use truth::GroundTruth;

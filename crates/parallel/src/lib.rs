@@ -23,6 +23,20 @@
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
+/// Spawns a detached worker thread.
+///
+/// Every long-lived thread in the workspace is created through this helper
+/// (the auditor's `det.thread_spawn` rule bans raw `std::thread::spawn`
+/// outside this crate), so thread provenance stays auditable in one place
+/// and future policy — naming, stack sizes, counting — has a single home.
+pub fn spawn<T, F>(f: F) -> std::thread::JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    std::thread::spawn(f)
+}
+
 /// The default worker count: `EFF2_THREADS` if set and positive, otherwise
 /// the machine's available parallelism.
 pub fn max_threads() -> usize {
@@ -85,10 +99,49 @@ where
     E: Send,
     F: Fn(usize, &T) -> Result<R, E> + Sync,
 {
+    try_par_map_scratch_threads(threads, items, || (), |(), i, t| f(i, t))
+}
+
+/// [`try_par_map_scratch_threads`] with the default worker count.
+pub fn try_par_map_scratch<T, R, E, S, I, F>(items: &[T], init: I, f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+{
+    try_par_map_scratch_threads(max_threads(), items, init, f)
+}
+
+/// [`try_par_map_threads`] with per-worker scratch state: each worker calls
+/// `init()` once and threads the resulting value through every item it
+/// claims (rayon's `map_init` shape). The scratch is for *reuse* —
+/// allocation-heavy buffers, ranking scratch — and must not influence
+/// results: output values still depend only on `(index, item)`, which is
+/// what keeps the order-preserving determinism guarantee intact.
+pub fn try_par_map_scratch_threads<T, R, E, S, I, F>(
+    threads: usize,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+{
     let n = items.len();
     let threads = threads.clamp(1, n.max(1));
     if threads == 1 || n <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut scratch = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut scratch, i, t))
+            .collect();
     }
 
     // Workers claim indices from a shared cursor and buffer (index, value)
@@ -101,6 +154,7 @@ where
         let handles: Vec<_> = (0..threads)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut scratch = init();
                     let mut local: Vec<(usize, R)> = Vec::new();
                     loop {
                         if failed.load(Ordering::Relaxed) {
@@ -113,7 +167,7 @@ where
                         let Some(item) = items.get(i) else {
                             break;
                         };
-                        match f(i, item) {
+                        match f(&mut scratch, i, item) {
                             Ok(r) => local.push((i, r)),
                             Err(e) => {
                                 let mut slot = first_err
@@ -221,6 +275,24 @@ mod tests {
             // among observed failures ⇒ equals 37 here because item 37 is
             // always claimed (claims are in order).
             assert_eq!(got, Err(37), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn scratch_variant_matches_sequential() {
+        let items: Vec<usize> = (0..300).collect();
+        let want: Vec<usize> = items.iter().map(|&x| x * 4).collect();
+        for threads in [1, 3, 8] {
+            let got = try_par_map_scratch_threads(threads, &items, Vec::<usize>::new, {
+                |scratch: &mut Vec<usize>, i, &x| {
+                    // Per-worker scratch accumulates arbitrarily; results
+                    // must still depend only on (index, item).
+                    scratch.push(x);
+                    Ok::<usize, ()>(x * 3 + i)
+                }
+            })
+            .expect("infallible");
+            assert_eq!(got, want, "threads = {threads}");
         }
     }
 

@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! # eff2-serve
+//!
+//! The multi-query serving layer: many concurrent searches over one chunk
+//! index, interleaved *chunk by chunk* by a deterministic scheduler.
+//!
+//! The paper argues that the chunk is the natural granule of the search —
+//! uniform chunks give predictable per-step cost. That is precisely what a
+//! serving scheduler needs: with every query decomposed into same-sized
+//! steps, the [`Scheduler`] can admit queries (bounded queue, an
+//! [`Overloaded`](ServeError::Overloaded) error under pressure), track
+//! per-session virtual deadlines, and pick each next chunk by
+//! [`Policy`] — round-robin fairness, earliest-deadline-first, or
+//! *most-wanted-chunk*, which serves the chunk the largest number of
+//! in-flight sessions want next so one read (and one decoded payload)
+//! feeds them all.
+//!
+//! The load-bearing property, proptested in `tests/determinism.rs`: no
+//! matter the policy, the concurrency level, or the interleaving, every
+//! per-query [`SearchResult`](eff2_core::SearchResult) is bit-identical to
+//! running that query alone. Scheduling changes *when* work happens on the
+//! shared device (latency, throughput), never what each query computes.
+
+pub mod error;
+pub mod scheduler;
+
+pub use error::{Result, ServeError};
+pub use scheduler::{Completion, Policy, Scheduler, SchedulerConfig, ServeReport, ServeStats};

@@ -1,0 +1,859 @@
+//! The interleaved session scheduler.
+//!
+//! One scheduler owns a fleet of concurrent [`SearchSession`]s over one
+//! [`Snapshot`] and advances them *chunk by chunk*: each tick it picks one
+//! chunk by policy, fetches it once through a shared [`ResidentSource`]
+//! (single-flight + byte-budgeted cache), and feeds it to the session(s)
+//! that want it via [`SearchSession::step_with`]. Because a session's own
+//! virtual-clock accounting is identical whether it pulls chunks
+//! ([`SearchSession::step`]) or is fed them, every per-query
+//! [`SearchResult`] is bit-identical to running that query alone — the
+//! scheduler only changes *fleet* timing (latency under load), never
+//! per-query figures. The determinism proptest asserts exactly that.
+//!
+//! Two clocks run here:
+//!
+//! * each session's private clock: per-query cost as if the query ran
+//!   alone — the paper's quality-vs-time figures;
+//! * the fleet clock (a [`PipelineClock`] over the shared device): when
+//!   each chunk's I/O and the fanned-out scans actually complete, which is
+//!   what arrival-to-finish latency and throughput are measured on. Cache
+//!   hits cost the fleet no I/O; every fed session costs its scan CPU.
+
+use crate::error::{Result, ServeError};
+use eff2_core::search::{SearchParams, SearchResult};
+use eff2_core::session::{ChunkRanking, SearchSession};
+use eff2_core::snapshot::Snapshot;
+use eff2_descriptor::Vector;
+use eff2_storage::diskmodel::{PipelineClock, VirtualDuration};
+use eff2_storage::source::{ResidentSource, ResidentStats};
+use eff2_storage::store::ChunkReader;
+use std::collections::{BTreeMap, VecDeque};
+
+/// How each tick picks the next chunk to read and feed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Policy {
+    /// Round-robin over active sessions: each tick serves the next
+    /// session's wanted chunk. Fair, oblivious to sharing.
+    FairShare,
+    /// Serve the session with the earliest virtual deadline
+    /// (arrival + configured deadline); ties break on session id.
+    EarliestDeadline,
+    /// Serve the chunk wanted by the *most* active sessions, feeding all
+    /// of them from one read: the chunk is fetched and decoded once and
+    /// fanned out — each waiting session scans the shared payload through
+    /// the lane kernels' block path. Ties break on the smallest chunk id.
+    MostWantedChunk,
+}
+
+impl Policy {
+    /// Every policy, in reporting order.
+    pub const ALL: [Policy; 3] = [
+        Policy::FairShare,
+        Policy::EarliestDeadline,
+        Policy::MostWantedChunk,
+    ];
+
+    /// Stable name for tables and CSV.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::FairShare => "fair-share",
+            Policy::EarliestDeadline => "earliest-deadline",
+            Policy::MostWantedChunk => "most-wanted-chunk",
+        }
+    }
+}
+
+/// Scheduler knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct SchedulerConfig {
+    /// The chunk-pick policy.
+    pub policy: Policy,
+    /// Sessions interleaved at once (the concurrency level). Clamped to a
+    /// minimum of 1.
+    pub max_active: usize,
+    /// Admitted-but-waiting queries beyond which [`Scheduler::submit`]
+    /// returns [`ServeError::Overloaded`].
+    pub max_queued: usize,
+    /// Byte budget of the shared decoded-chunk cache.
+    pub cache_budget_bytes: u64,
+    /// Per-query virtual deadline, measured from arrival — the
+    /// [`Policy::EarliestDeadline`] key and the
+    /// [`ServeStats::deadline_misses`] threshold.
+    pub deadline: VirtualDuration,
+}
+
+impl SchedulerConfig {
+    /// A config for `policy` at concurrency `max_active`, with a generous
+    /// queue (4× the active slots), an 8 MiB chunk cache and a 2 s virtual
+    /// deadline.
+    pub fn new(policy: Policy, max_active: usize) -> SchedulerConfig {
+        let active = max_active.max(1);
+        SchedulerConfig {
+            policy,
+            max_active: active,
+            max_queued: active.saturating_mul(4),
+            cache_budget_bytes: 8 << 20,
+            deadline: VirtualDuration::from_secs(2.0),
+        }
+    }
+}
+
+/// A query waiting for an execution slot.
+struct Pending {
+    id: u64,
+    query: Vector,
+    params: SearchParams,
+    arrival: VirtualDuration,
+}
+
+/// A query in flight.
+struct Active {
+    session: SearchSession,
+    arrival: VirtualDuration,
+    deadline: VirtualDuration,
+    /// Cache-attribution tag with the shared [`ResidentSource`].
+    requester: u64,
+}
+
+/// One finished query.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// Submission order (0-based).
+    pub id: u64,
+    /// Virtual arrival time.
+    pub arrival: VirtualDuration,
+    /// Virtual deadline this query was held to.
+    pub deadline: VirtualDuration,
+    /// Fleet-clock time at which the query's last chunk scan completed.
+    pub finish: VirtualDuration,
+    /// The per-query answer and log — bit-identical to a serial run.
+    pub result: SearchResult,
+}
+
+impl Completion {
+    /// Arrival-to-finish latency on the fleet clock.
+    pub fn latency(&self) -> VirtualDuration {
+        self.finish - self.arrival
+    }
+}
+
+/// Fleet-level counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Queries offered to [`Scheduler::submit`].
+    pub submitted: u64,
+    /// Queries refused by admission control.
+    pub rejected: u64,
+    /// Queries finished.
+    pub completed: u64,
+    /// Scheduling ticks (= chunk fetches issued).
+    pub ticks: u64,
+    /// Chunk deliveries from the shared source (one per tick).
+    pub fetches: u64,
+    /// Fetches that went to the disk (the rest were cache hits).
+    pub disk_reads: u64,
+    /// Session feeds: total [`SearchSession::step_with`] calls. Equal
+    /// across policies for one workload; `fetches` is what sharing
+    /// shrinks.
+    pub feeds: u64,
+    /// Completions whose finish exceeded their deadline.
+    pub deadline_misses: u64,
+    /// Shared chunk-cache counters (hits, cross-query hits, evictions …).
+    pub cache: ResidentStats,
+}
+
+/// Everything a finished scheduler run produced.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-query completions, sorted by submission id.
+    pub completions: Vec<Completion>,
+    /// Fleet counters.
+    pub stats: ServeStats,
+    /// Fleet-clock time at which the last query finished.
+    pub makespan: VirtualDuration,
+}
+
+impl ServeReport {
+    /// Completed queries per virtual second (0 for an empty run).
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.makespan.as_secs();
+        if secs > 0.0 {
+            self.stats.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Fleet latencies in virtual seconds, sorted ascending.
+    pub fn latencies_secs(&self) -> Vec<f64> {
+        let mut out: Vec<f64> = self
+            .completions
+            .iter()
+            .map(|c| c.latency().as_secs())
+            .collect();
+        out.sort_by(f64::total_cmp);
+        out
+    }
+}
+
+/// The interleaved multi-query scheduler. See the [module docs](self).
+///
+/// Drive it with [`submit`](Self::submit) in arrival order, then
+/// [`finish`](Self::finish) to drain; or hand it a whole trace via
+/// [`serve_trace`](Self::serve_trace).
+pub struct Scheduler {
+    snapshot: Snapshot,
+    config: SchedulerConfig,
+    source: ResidentSource,
+    /// One lazily-opened chunk reader reused across every cache miss.
+    reader: Option<ChunkReader>,
+    /// The shared device: disk + scan CPU the sessions contend for.
+    clock: PipelineClock,
+    last_arrival: VirtualDuration,
+    next_id: u64,
+    pending: VecDeque<Pending>,
+    active: BTreeMap<u64, Active>,
+    /// Last session id served by [`Policy::FairShare`].
+    fair_cursor: u64,
+    /// Ranking buffers recycled from retired sessions
+    /// ([`ChunkRanking::rank_into`]).
+    spare_rankings: Vec<ChunkRanking>,
+    completions: Vec<Completion>,
+    stats: ServeStats,
+}
+
+impl Scheduler {
+    /// A scheduler over `snapshot` with `config`.
+    pub fn new(snapshot: Snapshot, config: SchedulerConfig) -> Scheduler {
+        let source = snapshot.resident_source(config.cache_budget_bytes);
+        let config = SchedulerConfig {
+            max_active: config.max_active.max(1),
+            ..config
+        };
+        Scheduler {
+            snapshot,
+            config,
+            source,
+            reader: None,
+            clock: PipelineClock::start_at(VirtualDuration::ZERO),
+            last_arrival: VirtualDuration::ZERO,
+            next_id: 0,
+            pending: VecDeque::new(),
+            active: BTreeMap::new(),
+            fair_cursor: u64::MAX,
+            spare_rankings: Vec::new(),
+            completions: Vec::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// Queries waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Sessions currently interleaved.
+    pub fn active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The fleet clock.
+    pub fn now(&self) -> VirtualDuration {
+        self.clock.now()
+    }
+
+    /// Offers one query arriving at virtual time `arrival`. The scheduler
+    /// first catches up — processing backlog until the fleet clock reaches
+    /// the arrival — so admission control sees the queue as it stands *at*
+    /// the arrival instant. Returns the query's id, or
+    /// [`ServeError::Overloaded`] if the wait queue is full (the query is
+    /// counted as rejected and the run continues).
+    pub fn submit(
+        &mut self,
+        query: &Vector,
+        params: &SearchParams,
+        arrival: VirtualDuration,
+    ) -> Result<u64> {
+        if arrival.as_secs() < self.last_arrival.as_secs() {
+            return Err(ServeError::NonMonotoneArrival {
+                prev_secs: self.last_arrival.as_secs(),
+                next_secs: arrival.as_secs(),
+            });
+        }
+        self.last_arrival = arrival;
+        self.stats.submitted += 1;
+        self.advance_to(arrival)?;
+        if self.active.len() >= self.config.max_active
+            && self.pending.len() >= self.config.max_queued
+        {
+            self.stats.rejected += 1;
+            return Err(ServeError::Overloaded {
+                queued: self.pending.len(),
+                capacity: self.config.max_queued,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back(Pending {
+            id,
+            query: *query,
+            params: *params,
+            arrival,
+        });
+        self.catch_up();
+        Ok(id)
+    }
+
+    /// Drains every admitted query and returns the report.
+    pub fn finish(mut self) -> Result<ServeReport> {
+        loop {
+            self.catch_up();
+            if self.active.is_empty() {
+                if self.pending.is_empty() {
+                    break;
+                }
+                continue; // instant completions drained a wave; re-admit
+            }
+            self.tick()?;
+        }
+        let makespan = self
+            .completions
+            .iter()
+            .map(|c| c.finish)
+            .fold(VirtualDuration::ZERO, VirtualDuration::max);
+        self.stats.cache = self.source.stats();
+        let mut completions = std::mem::take(&mut self.completions);
+        completions.sort_by_key(|c| c.id);
+        Ok(ServeReport {
+            completions,
+            stats: self.stats,
+            makespan,
+        })
+    }
+
+    /// Submits a whole trace of `(query, arrival)` pairs (already in
+    /// arrival order) and drains. Overload rejections are recorded in
+    /// [`ServeStats::rejected`] rather than aborting the run.
+    pub fn serve_trace(
+        mut self,
+        trace: &[(Vector, VirtualDuration)],
+        params: &SearchParams,
+    ) -> Result<ServeReport> {
+        for (query, arrival) in trace {
+            match self.submit(query, params, *arrival) {
+                Ok(_) | Err(ServeError::Overloaded { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.finish()
+    }
+
+    /// Processes backlog until the fleet clock reaches `t` (or there is
+    /// nothing left to do before `t`).
+    fn advance_to(&mut self, t: VirtualDuration) -> Result<()> {
+        loop {
+            self.catch_up();
+            if self.active.is_empty() {
+                if self.pending.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            if self.clock.now().as_secs() >= t.as_secs() {
+                break;
+            }
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Admits eligible pending queries; when idle, jumps the fleet clock
+    /// forward to the next arrival first.
+    fn catch_up(&mut self) {
+        self.admit_eligible();
+        if self.active.is_empty() {
+            if let Some(front) = self.pending.front() {
+                if front.arrival.as_secs() > self.clock.now().as_secs() {
+                    self.clock = PipelineClock::start_at(front.arrival);
+                }
+            }
+            self.admit_eligible();
+        }
+    }
+
+    /// Moves pending queries whose arrival has passed into active slots,
+    /// charging each admission its chunk-index ranking CPU on the fleet
+    /// clock (the index itself is memory-resident in the serving layer).
+    fn admit_eligible(&mut self) {
+        while self.active.len() < self.config.max_active {
+            let eligible = self
+                .pending
+                .front()
+                .is_some_and(|p| p.arrival.as_secs() <= self.clock.now().as_secs());
+            if !eligible {
+                break;
+            }
+            let Some(p) = self.pending.pop_front() else {
+                break;
+            };
+            let mut ranking = self.spare_rankings.pop().unwrap_or_default();
+            self.snapshot.rank_into(&mut ranking, &p.query);
+            let rank_cpu = self.snapshot.model().rank_time(self.snapshot.n_chunks());
+            let ranked_at = self.clock.chunk_overlapped(VirtualDuration::ZERO, rank_cpu);
+            let session = self
+                .snapshot
+                .session_from_ranking(ranking, &p.query, &p.params);
+            let active = Active {
+                session,
+                arrival: p.arrival,
+                deadline: p.arrival + self.config.deadline,
+                requester: self.source.new_requester(),
+            };
+            if active.session.stop_satisfied() || active.session.next_wanted().is_none() {
+                // k = 0, an empty index, or a zero-chunk stop rule: done
+                // without reading anything.
+                self.retire(p.id, active, ranked_at);
+            } else {
+                self.active.insert(p.id, active);
+            }
+        }
+    }
+
+    /// One scheduling step: pick a chunk by policy, fetch it once, feed
+    /// every selected session, retire the satisfied ones.
+    fn tick(&mut self) -> Result<()> {
+        let Some((chunk_id, fed_ids)) = self.pick() else {
+            return Ok(());
+        };
+        if self.config.policy == Policy::FairShare {
+            if let Some(id) = fed_ids.first() {
+                self.fair_cursor = *id;
+            }
+        }
+        let requester = fed_ids
+            .first()
+            .and_then(|id| self.active.get(id))
+            .map_or(0, |a| a.requester);
+        let fetched = self
+            .source
+            .fetch_through(requester, chunk_id, &mut self.reader)?;
+        self.stats.ticks += 1;
+        self.stats.fetches += 1;
+        if fetched.from_disk {
+            self.stats.disk_reads += 1;
+        }
+
+        // Fleet device: the chunk's I/O (nothing on a cache hit) overlaps
+        // the previous tick's CPU; the fanned-out scans are CPU, one per
+        // fed session, summed in session-id order.
+        let io = if fetched.from_disk {
+            self.snapshot.model().io_time(fetched.chunk.bytes_read)
+        } else {
+            VirtualDuration::ZERO
+        };
+        let scan = self.snapshot.model().scan_time(fetched.chunk.payload.len());
+        let mut cpu = VirtualDuration::ZERO;
+        for _ in &fed_ids {
+            cpu += scan;
+        }
+        let done = self.clock.chunk_overlapped(io, cpu);
+
+        for id in fed_ids {
+            let Some(a) = self.active.get_mut(&id) else {
+                continue;
+            };
+            a.session.step_with(&fetched.chunk)?;
+            self.stats.feeds += 1;
+            let finished = a.session.stop_satisfied() || a.session.next_wanted().is_none();
+            if finished {
+                if let Some(a) = self.active.remove(&id) {
+                    self.retire(id, a, done);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Which chunk to serve this tick, and to which sessions.
+    fn pick(&self) -> Option<(usize, Vec<u64>)> {
+        match self.config.policy {
+            Policy::FairShare => {
+                let id = self
+                    .active
+                    .range(self.fair_cursor.saturating_add(1)..)
+                    .map(|(id, _)| *id)
+                    .next()
+                    .or_else(|| self.active.keys().next().copied())?;
+                let a = self.active.get(&id)?;
+                Some((a.session.next_wanted()?, vec![id]))
+            }
+            Policy::EarliestDeadline => {
+                let mut best: Option<(u64, f64)> = None;
+                for (id, a) in &self.active {
+                    let d = a.deadline.as_secs();
+                    let better = match best {
+                        None => true,
+                        Some((_, b)) => d.total_cmp(&b) == std::cmp::Ordering::Less,
+                    };
+                    if better {
+                        best = Some((*id, d));
+                    }
+                }
+                let (id, _) = best?;
+                let a = self.active.get(&id)?;
+                Some((a.session.next_wanted()?, vec![id]))
+            }
+            Policy::MostWantedChunk => {
+                let mut wanted: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+                for (id, a) in &self.active {
+                    if let Some(c) = a.session.next_wanted() {
+                        wanted.entry(c).or_default().push(*id);
+                    }
+                }
+                let mut best: Option<(usize, usize)> = None;
+                for (c, ids) in &wanted {
+                    let better = match best {
+                        None => true,
+                        Some((_, n)) => ids.len() > n,
+                    };
+                    if better {
+                        best = Some((*c, ids.len()));
+                    }
+                }
+                let (chunk, _) = best?;
+                let ids = wanted.remove(&chunk)?;
+                Some((chunk, ids))
+            }
+        }
+    }
+
+    /// Books a finished session: recycle its ranking buffers, record the
+    /// completion at fleet time `finish`.
+    fn retire(&mut self, id: u64, active: Active, finish: VirtualDuration) {
+        let (result, ranking) = active.session.into_result_and_ranking();
+        self.spare_rankings.push(ranking);
+        self.stats.completed += 1;
+        if finish.as_secs() > active.deadline.as_secs() {
+            self.stats.deadline_misses += 1;
+        }
+        self.completions.push(Completion {
+            id,
+            arrival: active.arrival,
+            deadline: active.deadline,
+            finish,
+            result,
+        });
+    }
+}
+
+impl std::fmt::Debug for Scheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scheduler")
+            .field("policy", &self.config.policy)
+            .field("active", &self.active.len())
+            .field("queued", &self.pending.len())
+            .field("completed", &self.stats.completed)
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eff2_core::chunkers::{ChunkFormer, SrTreeChunker};
+    use eff2_core::index::ChunkIndex;
+    use eff2_descriptor::{Descriptor, DescriptorSet};
+    use eff2_storage::diskmodel::DiskModel;
+    use eff2_storage::ChunkStore;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eff2_serve_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn lumpy_set(n: usize) -> DescriptorSet {
+        (0..n)
+            .map(|i| {
+                let blob = (i % 5) as f32 * 20.0;
+                let mut v = Vector::splat(blob);
+                v[0] += ((i * 31) % 23) as f32 * 0.3;
+                v[3] -= ((i * 17) % 19) as f32 * 0.2;
+                Descriptor::new(i as u32, v)
+            })
+            .collect()
+    }
+
+    fn snapshot(tag: &str, n: usize, leaf: usize) -> (Snapshot, DescriptorSet) {
+        let set = lumpy_set(n);
+        let formation = SrTreeChunker { leaf_size: leaf }.form(&set);
+        let store =
+            ChunkStore::create(&tmp_dir(tag), "s", &set, &formation.chunks, 512).expect("create");
+        (
+            ChunkIndex::from_store(store, DiskModel::ata_2005()).snapshot(),
+            set,
+        )
+    }
+
+    /// A trace of in-set queries with arrivals `gap_ms` apart.
+    fn trace(set: &DescriptorSet, n: usize, gap_ms: f64) -> Vec<(Vector, VirtualDuration)> {
+        (0..n)
+            .map(|i| {
+                let q = set.vector_owned((i * 37) % set.len());
+                (q, VirtualDuration::from_ms(gap_ms * i as f64))
+            })
+            .collect()
+    }
+
+    fn assert_result_bits(want: &SearchResult, got: &SearchResult, tag: &str) {
+        assert_eq!(want.neighbors.len(), got.neighbors.len(), "{tag}: k");
+        for (w, g) in want.neighbors.iter().zip(got.neighbors.iter()) {
+            assert_eq!(w.id, g.id, "{tag}: id");
+            assert_eq!(w.dist.to_bits(), g.dist.to_bits(), "{tag}: dist");
+        }
+        assert_eq!(want.log.chunks_read, got.log.chunks_read, "{tag}: chunks");
+        assert_eq!(want.log.bytes_read, got.log.bytes_read, "{tag}: bytes");
+        assert_eq!(want.log.completed, got.log.completed, "{tag}: completed");
+        assert_eq!(
+            want.log.total_virtual.as_secs().to_bits(),
+            got.log.total_virtual.as_secs().to_bits(),
+            "{tag}: total_virtual"
+        );
+        assert_eq!(want.log.events.len(), got.log.events.len(), "{tag}: events");
+        for (w, g) in want.log.events.iter().zip(got.log.events.iter()) {
+            assert_eq!(w.chunk_id, g.chunk_id, "{tag}: event chunk");
+            assert_eq!(
+                w.completed_at.as_secs().to_bits(),
+                g.completed_at.as_secs().to_bits(),
+                "{tag}: event time"
+            );
+            assert_eq!(w.kth_dist.to_bits(), g.kth_dist.to_bits(), "{tag}: kth");
+            assert_eq!(w.topk_ids, g.topk_ids, "{tag}: topk");
+        }
+    }
+
+    #[test]
+    fn per_query_results_bit_identical_to_serial_under_every_policy() {
+        let (snap, set) = snapshot("bitident", 600, 30);
+        let params = SearchParams::exact(8);
+        let queries = trace(&set, 12, 3.0);
+        let serial: Vec<SearchResult> = queries
+            .iter()
+            .map(|(q, _)| snap.search(q, &params).expect("serial"))
+            .collect();
+        for policy in Policy::ALL {
+            for max_active in [1usize, 4, 12] {
+                let mut config = SchedulerConfig::new(policy, max_active);
+                config.max_queued = queries.len();
+                let report = Scheduler::new(snap.clone(), config)
+                    .serve_trace(&queries, &params)
+                    .expect("serve");
+                assert_eq!(report.stats.rejected, 0);
+                assert_eq!(report.completions.len(), queries.len());
+                for (c, want) in report.completions.iter().zip(serial.iter()) {
+                    assert_result_bits(
+                        want,
+                        &c.result,
+                        &format!("{}/act{max_active}/q{}", policy.name(), c.id),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn most_wanted_chunk_fetches_strictly_fewer_than_fair_share() {
+        let (snap, set) = snapshot("mwc", 800, 30);
+        let params = SearchParams::exact(10);
+        // A burst of near-identical interests: everyone wants the same
+        // leading chunks at the same time.
+        let queries = trace(&set, 16, 0.5);
+        let run = |policy: Policy| {
+            let mut config = SchedulerConfig::new(policy, 8);
+            config.max_queued = queries.len();
+            Scheduler::new(snap.clone(), config)
+                .serve_trace(&queries, &params)
+                .expect("serve")
+        };
+        let fair = run(Policy::FairShare);
+        let mwc = run(Policy::MostWantedChunk);
+        assert_eq!(
+            fair.stats.feeds, mwc.stats.feeds,
+            "per-query work is policy-independent"
+        );
+        assert!(
+            mwc.stats.fetches < fair.stats.fetches,
+            "co-scheduling must fetch strictly fewer chunks: mwc {} vs fair {}",
+            mwc.stats.fetches,
+            fair.stats.fetches
+        );
+        assert!(mwc.stats.feeds > mwc.stats.fetches, "some tick fanned out");
+    }
+
+    #[test]
+    fn overloaded_rejects_when_queue_is_full_and_run_continues() {
+        let (snap, set) = snapshot("overload", 300, 25);
+        let params = SearchParams::exact(5);
+        let mut config = SchedulerConfig::new(Policy::FairShare, 1);
+        config.max_queued = 1;
+        let mut sched = Scheduler::new(snap.clone(), config);
+        let q = set.vector_owned(0);
+        // All arrive before the first chunk of work can complete.
+        let t0 = VirtualDuration::ZERO;
+        sched.submit(&q, &params, t0).expect("first admitted");
+        sched.submit(&q, &params, t0).expect("second queued");
+        let third = sched.submit(&q, &params, t0);
+        assert!(
+            matches!(
+                third,
+                Err(ServeError::Overloaded {
+                    queued: 1,
+                    capacity: 1
+                })
+            ),
+            "third must be rejected, got {third:?}"
+        );
+        let report = sched.finish().expect("finish");
+        assert_eq!(report.stats.submitted, 3);
+        assert_eq!(report.stats.rejected, 1);
+        assert_eq!(report.stats.completed, 2);
+        assert_eq!(report.completions.len(), 2);
+    }
+
+    #[test]
+    fn late_arrival_is_not_admitted_early_and_idle_clock_jumps() {
+        let (snap, set) = snapshot("late", 300, 25);
+        let params = SearchParams::exact(5);
+        let config = SchedulerConfig::new(Policy::EarliestDeadline, 4);
+        let mut sched = Scheduler::new(snap.clone(), config);
+        let far = VirtualDuration::from_secs(100.0);
+        sched
+            .submit(&set.vector_owned(3), &params, far)
+            .expect("submit");
+        let report = sched.finish().expect("finish");
+        let Some(c) = report.completions.first() else {
+            panic!("one completion expected");
+        };
+        assert!(
+            c.finish.as_secs() > 100.0,
+            "work cannot finish before it arrives"
+        );
+        assert!(
+            c.latency().as_secs() < 1.0,
+            "an idle fleet serves a lone query promptly, got {}",
+            c.latency()
+        );
+    }
+
+    #[test]
+    fn non_monotone_arrivals_are_refused() {
+        let (snap, set) = snapshot("monotone", 200, 25);
+        let params = SearchParams::exact(3);
+        let mut sched = Scheduler::new(snap, SchedulerConfig::new(Policy::FairShare, 2));
+        sched
+            .submit(
+                &set.vector_owned(0),
+                &params,
+                VirtualDuration::from_secs(1.0),
+            )
+            .expect("submit");
+        let out = sched.submit(
+            &set.vector_owned(1),
+            &params,
+            VirtualDuration::from_secs(0.5),
+        );
+        assert!(matches!(out, Err(ServeError::NonMonotoneArrival { .. })));
+    }
+
+    #[test]
+    fn k_zero_completes_without_touching_the_disk() {
+        let (snap, set) = snapshot("kzero", 200, 25);
+        let params = SearchParams {
+            k: 0,
+            ..SearchParams::exact(0)
+        };
+        let report = Scheduler::new(snap, SchedulerConfig::new(Policy::MostWantedChunk, 2))
+            .serve_trace(&trace(&set, 3, 1.0), &params)
+            .expect("serve");
+        assert_eq!(report.stats.completed, 3);
+        assert_eq!(report.stats.fetches, 0);
+        assert_eq!(report.stats.disk_reads, 0);
+        for c in &report.completions {
+            assert!(c.result.log.completed);
+            assert_eq!(c.result.log.chunks_read, 0);
+        }
+    }
+
+    #[test]
+    fn tight_deadlines_are_counted_as_misses() {
+        let (snap, set) = snapshot("deadline", 400, 25);
+        let params = SearchParams::exact(8);
+        let mut config = SchedulerConfig::new(Policy::EarliestDeadline, 4);
+        config.deadline = VirtualDuration::from_ns(1.0);
+        config.max_queued = 16;
+        let report = Scheduler::new(snap, config)
+            .serve_trace(&trace(&set, 6, 1.0), &params)
+            .expect("serve");
+        assert_eq!(report.stats.completed, 6);
+        assert_eq!(
+            report.stats.deadline_misses, 6,
+            "a nanosecond deadline is always missed"
+        );
+    }
+
+    #[test]
+    fn cross_query_cache_hits_are_visible_in_the_report() {
+        let (snap, set) = snapshot("cache", 500, 25);
+        let params = SearchParams::exact(8);
+        // The same query repeated: later sessions ride the cache the first
+        // one warmed (arrivals spaced so runs do not fully overlap).
+        let q = set.vector_owned(11);
+        let queries: Vec<(Vector, VirtualDuration)> = (0..4)
+            .map(|i| (q, VirtualDuration::from_secs(i as f64)))
+            .collect();
+        let mut config = SchedulerConfig::new(Policy::FairShare, 2);
+        config.cache_budget_bytes = u64::MAX;
+        let report = Scheduler::new(snap, config)
+            .serve_trace(&queries, &params)
+            .expect("serve");
+        assert_eq!(report.stats.completed, 4);
+        assert!(
+            report.stats.cache.cross_query_hits > 0,
+            "repeat queries must hit chunks their predecessors pinned: {:?}",
+            report.stats.cache
+        );
+        assert!(report.stats.disk_reads < report.stats.fetches);
+    }
+
+    #[test]
+    fn single_slot_policies_degenerate_to_the_same_schedule() {
+        let (snap, set) = snapshot("degenerate", 400, 30);
+        let params = SearchParams::exact(6);
+        let queries = trace(&set, 5, 2.0);
+        let mut reports = Vec::new();
+        for policy in Policy::ALL {
+            let mut config = SchedulerConfig::new(policy, 1);
+            config.max_queued = queries.len();
+            reports.push(
+                Scheduler::new(snap.clone(), config)
+                    .serve_trace(&queries, &params)
+                    .expect("serve"),
+            );
+        }
+        let Some(first) = reports.first() else {
+            return;
+        };
+        for r in &reports {
+            assert_eq!(r.stats.fetches, first.stats.fetches);
+            assert_eq!(r.stats.feeds, first.stats.feeds);
+            assert_eq!(
+                r.makespan.as_secs().to_bits(),
+                first.makespan.as_secs().to_bits(),
+                "one active slot leaves no scheduling freedom"
+            );
+        }
+    }
+}

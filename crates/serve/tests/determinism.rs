@@ -1,0 +1,217 @@
+//! The serving layer's load-bearing property: interleaving N sessions
+//! under ANY policy, ANY concurrency level and ANY worker-thread count
+//! yields per-query `SearchResult`s and `ChunkEvent` traces bit-identical
+//! to running the same queries serially, one at a time. Scheduling is
+//! allowed to change fleet timing — never what a query computes.
+
+use eff2_core::chunkers::{ChunkFormer, RoundRobinChunker, SrTreeChunker};
+use eff2_core::index::ChunkIndex;
+use eff2_core::search::{search_batch_threads, SearchParams, SearchResult, StopRule};
+use eff2_core::snapshot::Snapshot;
+use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+use eff2_serve::{Policy, Scheduler, SchedulerConfig};
+use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
+use eff2_storage::ChunkStore;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let unique = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "eff2_serve_det_{tag}_{}_{unique}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn lumpy_set(n: usize) -> DescriptorSet {
+    (0..n)
+        .map(|i| {
+            let blob = (i % 5) as f32 * 20.0;
+            let mut v = Vector::splat(blob);
+            v[0] += ((i * 31) % 23) as f32 * 0.3;
+            v[3] -= ((i * 17) % 19) as f32 * 0.2;
+            Descriptor::new(i as u32, v)
+        })
+        .collect()
+}
+
+fn vd_bits(t: VirtualDuration) -> u64 {
+    t.as_secs().to_bits()
+}
+
+fn assert_bit_identical(want: &SearchResult, got: &SearchResult, tag: &str) {
+    assert_eq!(want.neighbors.len(), got.neighbors.len(), "{tag}: k");
+    for (w, g) in want.neighbors.iter().zip(got.neighbors.iter()) {
+        assert_eq!(w.id, g.id, "{tag}: neighbor id");
+        assert_eq!(w.dist.to_bits(), g.dist.to_bits(), "{tag}: neighbor dist");
+    }
+    let (wl, gl) = (&want.log, &got.log);
+    assert_eq!(
+        vd_bits(wl.index_read_time),
+        vd_bits(gl.index_read_time),
+        "{tag}: index time"
+    );
+    assert_eq!(wl.chunks_read, gl.chunks_read, "{tag}: chunks_read");
+    assert_eq!(
+        wl.descriptors_scanned, gl.descriptors_scanned,
+        "{tag}: scanned"
+    );
+    assert_eq!(wl.bytes_read, gl.bytes_read, "{tag}: bytes");
+    assert_eq!(
+        vd_bits(wl.total_virtual),
+        vd_bits(gl.total_virtual),
+        "{tag}: total virtual"
+    );
+    assert_eq!(wl.completed, gl.completed, "{tag}: completed");
+    assert_eq!(wl.events.len(), gl.events.len(), "{tag}: event count");
+    for (w, g) in wl.events.iter().zip(gl.events.iter()) {
+        assert_eq!(w.rank, g.rank, "{tag}: rank");
+        assert_eq!(w.chunk_id, g.chunk_id, "{tag}: chunk_id");
+        assert_eq!(w.count, g.count, "{tag}: count");
+        assert_eq!(w.bytes_read, g.bytes_read, "{tag}: event bytes");
+        assert_eq!(
+            vd_bits(w.completed_at),
+            vd_bits(g.completed_at),
+            "{tag}: completed_at"
+        );
+        assert_eq!(w.kth_dist.to_bits(), g.kth_dist.to_bits(), "{tag}: kth");
+        assert_eq!(w.topk_ids, g.topk_ids, "{tag}: topk snapshot");
+    }
+}
+
+fn build_snapshot(tag: &str, set: &DescriptorSet, former: &dyn ChunkFormer) -> Snapshot {
+    let formation = former.form(set);
+    let store =
+        ChunkStore::create(&tmp_dir(tag), "ix", set, &formation.chunks, 512).expect("create");
+    ChunkIndex::from_store(store, DiskModel::ata_2005()).snapshot()
+}
+
+fn arb_former() -> impl Strategy<Value = Box<dyn ChunkFormer>> {
+    prop_oneof![
+        (15usize..50)
+            .prop_map(|leaf| Box::new(SrTreeChunker { leaf_size: leaf }) as Box<dyn ChunkFormer>),
+        (2usize..12)
+            .prop_map(|n| Box::new(RoundRobinChunker { n_chunks: n }) as Box<dyn ChunkFormer>),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::FairShare),
+        Just(Policy::EarliestDeadline),
+        Just(Policy::MostWantedChunk),
+    ]
+}
+
+fn arb_stop() -> impl Strategy<Value = StopRule> {
+    prop_oneof![
+        (1usize..8).prop_map(StopRule::Chunks),
+        (0.01f64..0.15).prop_map(|s| StopRule::VirtualTime(VirtualDuration::from_secs(s))),
+        Just(StopRule::ToCompletion),
+        (0.0f32..1.0).prop_map(StopRule::ToCompletionEps),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// N interleaved sessions ≡ serial, for every (policy, concurrency,
+    /// worker-thread) combination the strategy draws. The serial reference
+    /// itself is computed twice — single-threaded and with the drawn
+    /// thread count through `search_batch_threads` (the `EFF2_THREADS`
+    /// path) — pinning the whole stack to one answer.
+    #[test]
+    fn interleaved_equals_serial(
+        (former, policy, stop) in (arb_former(), arb_policy(), arb_stop()),
+        (n, n_queries, max_active) in (120usize..400, 2usize..10, 1usize..9),
+        (threads, gap_ms, k) in (1usize..5, 0.0f64..20.0, 1usize..10),
+    ) {
+        let set = lumpy_set(n);
+        let snap = build_snapshot("prop", &set, former.as_ref());
+        let params = SearchParams { k, stop, prefetch_depth: 2, log_snapshots: true };
+
+        let queries: Vec<Vector> = (0..n_queries)
+            .map(|i| set.vector_owned((i * 53) % set.len()))
+            .collect();
+        let trace: Vec<(Vector, VirtualDuration)> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (*q, VirtualDuration::from_ms(gap_ms * i as f64)))
+            .collect();
+
+        // Serial reference: one query at a time over its own source.
+        let serial: Vec<SearchResult> = queries
+            .iter()
+            .map(|q| snap.search(q, &params).expect("serial"))
+            .collect();
+
+        // The parallel batch path must agree at any worker-thread count.
+        let batch = search_batch_threads(snap.store(), snap.model(), &queries, &params, threads)
+            .expect("batch");
+        for (i, (want, got)) in serial.iter().zip(batch.iter()).enumerate() {
+            assert_bit_identical(want, got, &format!("batch/t{threads}/q{i}"));
+        }
+
+        // The interleaved scheduler must agree under any policy at any
+        // concurrency level.
+        let mut config = SchedulerConfig::new(policy, max_active);
+        config.max_queued = queries.len();
+        let report = Scheduler::new(snap.clone(), config)
+            .serve_trace(&trace, &params)
+            .expect("serve");
+        prop_assert_eq!(report.stats.rejected, 0u64);
+        prop_assert_eq!(report.completions.len(), queries.len());
+        for c in &report.completions {
+            let want = serial.get(c.id as usize).expect("id in range");
+            assert_bit_identical(
+                want,
+                &c.result,
+                &format!("sched/{}/act{max_active}/q{}", policy.name(), c.id),
+            );
+        }
+    }
+}
+
+/// The scheduler itself must be a pure function of (snapshot, config,
+/// trace): two runs give identical fleet figures, tick for tick.
+#[test]
+fn scheduler_replays_are_bit_identical() {
+    let set = lumpy_set(500);
+    let snap = build_snapshot("replay", &set, &SrTreeChunker { leaf_size: 30 });
+    let params = SearchParams::exact(8);
+    let trace: Vec<(Vector, VirtualDuration)> = (0..10)
+        .map(|i| {
+            (
+                set.vector_owned((i * 41) % set.len()),
+                VirtualDuration::from_ms(2.5 * i as f64),
+            )
+        })
+        .collect();
+    for policy in Policy::ALL {
+        let run = || {
+            let mut config = SchedulerConfig::new(policy, 4);
+            config.max_queued = trace.len();
+            Scheduler::new(snap.clone(), config)
+                .serve_trace(&trace, &params)
+                .expect("serve")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats.fetches, b.stats.fetches);
+        assert_eq!(a.stats.disk_reads, b.stats.disk_reads);
+        assert_eq!(a.stats.feeds, b.stats.feeds);
+        assert_eq!(
+            a.makespan.as_secs().to_bits(),
+            b.makespan.as_secs().to_bits()
+        );
+        for (x, y) in a.completions.iter().zip(b.completions.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish.as_secs().to_bits(), y.finish.as_secs().to_bits());
+            assert_bit_identical(&x.result, &y.result, &format!("replay/{}", policy.name()));
+        }
+    }
+}

@@ -35,14 +35,16 @@ pub mod diskmodel;
 pub mod error;
 pub mod indexfile;
 pub mod prefetch;
+pub mod singleflight;
 pub mod source;
 pub mod store;
 
 pub use diskmodel::{DiskModel, PipelineClock, VirtualDuration};
 pub use error::{Error, Result};
 pub use indexfile::ChunkMeta;
+pub use singleflight::{FlightOutcome, FlightStats, SingleFlight};
 pub use source::{
-    ChunkSource, ChunkStream, FileSource, PrefetchSource, ResidentSource, ResidentStats,
+    ChunkSource, ChunkStream, Fetched, FileSource, PrefetchSource, ResidentSource, ResidentStats,
     SourcedChunk,
 };
 pub use store::{ChunkData, ChunkDef, ChunkStore};

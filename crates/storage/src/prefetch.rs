@@ -10,17 +10,23 @@
 
 use crate::chunkfile::ChunkPayload;
 use crate::error::Result;
-use crate::store::ChunkStore;
+use crate::singleflight::SingleFlight;
+use crate::store::{ChunkReader, ChunkStore};
 use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// One prefetched chunk: its id, payload and on-disk (padded) byte span.
+///
+/// The payload is behind an `Arc`: when concurrent streams coalesce on one
+/// in-flight read (see [`SingleFlight`]) they all share the leader's
+/// decoded chunk without copying.
 #[derive(Debug)]
 pub struct PrefetchedChunk {
     /// Chunk id within the store.
     pub id: usize,
     /// Decoded payload.
-    pub payload: ChunkPayload,
+    pub payload: Arc<ChunkPayload>,
     /// Bytes transferred from disk (padded page span).
     pub bytes_read: u64,
 }
@@ -43,28 +49,48 @@ pub fn prefetch_chunks(
     order: Vec<usize>,
     depth: usize,
 ) -> Result<PrefetchIter> {
+    prefetch_chunks_coalesced(store, order, depth, SingleFlight::new(), 0)
+}
+
+/// [`prefetch_chunks`] coalescing reads through a shared [`SingleFlight`]
+/// table: when several streams of one source want the same chunk at the
+/// same moment, only one reader thread touches the file and the rest share
+/// its decoded payload. `requester` tags this stream in flight outcomes.
+///
+/// # Panics
+///
+/// Panics if `depth == 0`.
+pub fn prefetch_chunks_coalesced(
+    store: &ChunkStore,
+    order: Vec<usize>,
+    depth: usize,
+    flight: SingleFlight,
+    requester: u64,
+) -> Result<PrefetchIter> {
     assert!(depth > 0, "prefetch depth must be positive");
     // The reader thread needs its own handle; the store is a cheap
-    // `Arc`-backed clone, and the file itself is opened by `reader()`
-    // inside the thread.
+    // `Arc`-backed clone, and the file itself is opened lazily on the
+    // first read this thread actually leads (a fully coalesced stream
+    // never opens the file).
     let owned = store.clone();
     let (tx, rx) = sync_channel(depth);
-    let handle = std::thread::spawn(move || {
-        let mut reader = match owned.reader() {
-            Ok(r) => r,
-            Err(e) => {
-                let _ = tx.send(Err(e));
-                return;
-            }
-        };
+    let handle = eff2_parallel::spawn(move || {
+        let mut reader: Option<ChunkReader> = None;
         for id in order {
-            let mut payload = ChunkPayload::default();
-            let item = reader
-                .read_chunk(id, &mut payload)
-                .map(|bytes_read| PrefetchedChunk {
+            let item = flight
+                .read(id, requester, || {
+                    let r = match reader.as_mut() {
+                        Some(r) => r,
+                        None => reader.insert(owned.reader()?),
+                    };
+                    let mut payload = ChunkPayload::default();
+                    let bytes_read = r.read_chunk(id, &mut payload)?;
+                    Ok((Arc::new(payload), bytes_read))
+                })
+                .map(|outcome| PrefetchedChunk {
                     id,
-                    payload,
-                    bytes_read,
+                    payload: outcome.payload,
+                    bytes_read: outcome.bytes_read,
                 });
             let failed = item.is_err();
             if tx.send(item).is_err() {
@@ -152,7 +178,7 @@ mod tests {
             let chunk = item.expect("chunk");
             let mut direct = ChunkPayload::default();
             let bytes = reader.read_chunk(chunk.id, &mut direct).expect("direct");
-            assert_eq!(chunk.payload, direct);
+            assert_eq!(*chunk.payload, direct);
             assert_eq!(chunk.bytes_read, bytes);
         }
     }

@@ -12,9 +12,11 @@
 
 use crate::chunkfile::ChunkPayload;
 use crate::error::Result;
-use crate::prefetch::{prefetch_chunks, PrefetchIter};
+use crate::prefetch::{prefetch_chunks_coalesced, PrefetchIter};
+use crate::singleflight::{FlightStats, SingleFlight};
 use crate::store::{ChunkReader, ChunkStore};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Recovers the cache guard even if another stream panicked mid-update.
@@ -132,12 +134,17 @@ impl ChunkStream for FileStream {
 pub struct PrefetchSource {
     store: ChunkStore,
     depth: usize,
+    /// Shared across clones: streams of the same source coalesce
+    /// overlapping in-flight reads into one.
+    flight: SingleFlight,
+    next_requester: Arc<AtomicU64>,
 }
 
 impl PrefetchSource {
     /// A prefetching source over `store` with the given window depth.
     ///
-    /// A zero depth is rejected by [`prefetch_chunks`] when the first
+    /// A zero depth is rejected by
+    /// [`prefetch_chunks`](crate::prefetch::prefetch_chunks) when the first
     /// stream is opened (a search that never opens a stream — `k = 0`, an
     /// empty budget — tolerates it, matching the in-loop reader it
     /// replaced).
@@ -145,14 +152,30 @@ impl PrefetchSource {
         PrefetchSource {
             store: store.clone(),
             depth,
+            flight: SingleFlight::new(),
+            next_requester: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Read-coalescing counters across every stream of this source (and its
+    /// clones): how many chunk reads actually hit the file versus joined a
+    /// read already in flight.
+    pub fn flight_stats(&self) -> FlightStats {
+        self.flight.stats()
     }
 }
 
 impl ChunkSource for PrefetchSource {
     fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+        let requester = self.next_requester.fetch_add(1, Ordering::Relaxed);
         Ok(Box::new(PrefetchStream {
-            iter: prefetch_chunks(&self.store, order, self.depth)?,
+            iter: prefetch_chunks_coalesced(
+                &self.store,
+                order,
+                self.depth,
+                self.flight.clone(),
+                requester,
+            )?,
             failed: false,
         }))
     }
@@ -171,7 +194,7 @@ impl ChunkStream for PrefetchStream {
         match self.iter.next()? {
             Ok(chunk) => Some(Ok(SourcedChunk {
                 id: chunk.id,
-                payload: Arc::new(chunk.payload),
+                payload: chunk.payload,
                 bytes_read: chunk.bytes_read,
             })),
             Err(e) => {
@@ -189,8 +212,13 @@ impl ChunkStream for PrefetchStream {
 /// Counters describing a [`ResidentSource`]'s cache behaviour.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ResidentStats {
-    /// Chunk requests served from memory.
+    /// Chunk requests served from memory (pinned entry, or a payload shared
+    /// from a read another requester had in flight).
     pub hits: u64,
+    /// Of those hits, how many were served by a chunk a *different*
+    /// requester brought in — the cross-query sharing a serving scheduler
+    /// exists to maximise.
+    pub cross_query_hits: u64,
     /// Chunk requests that went to disk.
     pub misses: u64,
     /// Chunks evicted to respect the byte budget.
@@ -207,6 +235,8 @@ struct ResidentEntry {
     bytes_read: u64,
     cost: u64,
     last_used: u64,
+    /// Requester tag of whoever paid the miss — hit attribution.
+    inserted_by: u64,
 }
 
 /// The shared LRU state. Entries live in a `BTreeMap` so every traversal
@@ -223,28 +253,42 @@ struct ResidentCache {
     used: u64,
     tick: u64,
     hits: u64,
+    cross_query_hits: u64,
     misses: u64,
     evictions: u64,
 }
 
 impl ResidentCache {
-    fn lookup(&mut self, id: usize) -> Option<(Arc<ChunkPayload>, u64)> {
+    /// A pinned-entry hit, counted and attributed; `None` says nothing
+    /// about miss accounting — the caller charges the miss (or a
+    /// coalesced hit) once it knows who actually performed the read.
+    fn lookup(&mut self, id: usize, requester: u64) -> Option<(Arc<ChunkPayload>, u64)> {
         self.tick += 1;
         let tick = self.tick;
-        match self.entries.get_mut(&id) {
-            Some(e) => {
-                e.last_used = tick;
-                self.hits += 1;
-                Some((Arc::clone(&e.payload), e.bytes_read))
-            }
-            None => {
-                self.misses += 1;
-                None
-            }
+        let e = self.entries.get_mut(&id)?;
+        e.last_used = tick;
+        self.hits += 1;
+        if e.inserted_by != requester {
+            self.cross_query_hits += 1;
+        }
+        Some((Arc::clone(&e.payload), e.bytes_read))
+    }
+
+    /// Charges a disk read to whoever led it.
+    fn note_miss(&mut self) {
+        self.misses += 1;
+    }
+
+    /// Charges a request that shared another requester's in-flight read —
+    /// served from memory, so it counts as a hit.
+    fn note_coalesced_hit(&mut self, cross_query: bool) {
+        self.hits += 1;
+        if cross_query {
+            self.cross_query_hits += 1;
         }
     }
 
-    fn insert(&mut self, id: usize, payload: Arc<ChunkPayload>, bytes_read: u64) {
+    fn insert(&mut self, id: usize, payload: Arc<ChunkPayload>, bytes_read: u64, inserted_by: u64) {
         let cost = payload_bytes(&payload);
         if cost > self.budget {
             return; // a chunk larger than the whole budget stays uncached
@@ -278,6 +322,7 @@ impl ResidentCache {
                 bytes_read,
                 cost,
                 last_used: self.tick,
+                inserted_by,
             },
         );
     }
@@ -300,6 +345,21 @@ fn payload_bytes(p: &ChunkPayload) -> u64 {
 pub struct ResidentSource {
     store: ChunkStore,
     cache: Arc<Mutex<ResidentCache>>,
+    /// Concurrent misses for one chunk coalesce into one read: the leader
+    /// pays the miss, everyone else records a (cross-query) hit.
+    flight: SingleFlight,
+    next_requester: Arc<AtomicU64>,
+}
+
+/// One chunk delivered by [`ResidentSource::fetch`], tagged with whether it
+/// came off the disk (this requester led the read) or from memory (pinned
+/// entry or a read someone else had in flight).
+#[derive(Clone, Debug)]
+pub struct Fetched {
+    /// The delivered chunk.
+    pub chunk: SourcedChunk,
+    /// Whether this request performed the underlying disk read.
+    pub from_disk: bool,
 }
 
 impl ResidentSource {
@@ -314,9 +374,12 @@ impl ResidentSource {
                 used: 0,
                 tick: 0,
                 hits: 0,
+                cross_query_hits: 0,
                 misses: 0,
                 evictions: 0,
             })),
+            flight: SingleFlight::new(),
+            next_requester: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -325,19 +388,89 @@ impl ResidentSource {
         let cache = lock_cache(&self.cache);
         ResidentStats {
             hits: cache.hits,
+            cross_query_hits: cache.cross_query_hits,
             misses: cache.misses,
             evictions: cache.evictions,
             resident_bytes: cache.used,
             resident_chunks: cache.entries.len(),
         }
     }
+
+    /// A fresh requester tag for hit attribution. Streams draw one per
+    /// [`open_stream`](ChunkSource::open_stream); random-access callers
+    /// (the serving scheduler) draw one per query session.
+    pub fn new_requester(&self) -> u64 {
+        self.next_requester.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Random-access delivery of chunk `id` on behalf of `requester`:
+    /// cache lookup, then a single-flight read on a miss. This is the
+    /// entry point the serving scheduler uses — no stream, no fixed order.
+    pub fn fetch(&self, requester: u64, id: usize) -> Result<Fetched> {
+        self.fetch_through(requester, id, &mut None)
+    }
+
+    /// [`fetch`](Self::fetch) reusing a caller-held reader across calls
+    /// (opened lazily on the first miss; an all-hit caller never touches
+    /// the disk).
+    pub fn fetch_through(
+        &self,
+        requester: u64,
+        id: usize,
+        reader: &mut Option<ChunkReader>,
+    ) -> Result<Fetched> {
+        if let Some((payload, bytes_read)) = lock_cache(&self.cache).lookup(id, requester) {
+            return Ok(Fetched {
+                chunk: SourcedChunk {
+                    id,
+                    payload,
+                    bytes_read,
+                },
+                from_disk: false,
+            });
+        }
+
+        // Miss: read outside the lock, coalescing with any read of the
+        // same chunk already in flight.
+        let outcome = self.flight.read(id, requester, || {
+            let r = match reader.as_mut() {
+                Some(r) => r,
+                None => reader.insert(self.store.reader()?),
+            };
+            let mut payload = ChunkPayload::default();
+            let bytes_read = r.read_chunk(id, &mut payload)?;
+            Ok((Arc::new(payload), bytes_read))
+        })?;
+
+        let mut cache = lock_cache(&self.cache);
+        if outcome.led {
+            cache.note_miss();
+            cache.insert(
+                id,
+                Arc::clone(&outcome.payload),
+                outcome.bytes_read,
+                requester,
+            );
+        } else {
+            cache.note_coalesced_hit(outcome.leader != requester);
+        }
+        drop(cache);
+        Ok(Fetched {
+            chunk: SourcedChunk {
+                id,
+                payload: outcome.payload,
+                bytes_read: outcome.bytes_read,
+            },
+            from_disk: outcome.led,
+        })
+    }
 }
 
 impl ChunkSource for ResidentSource {
     fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
         Ok(Box::new(ResidentStream {
-            store: self.store.clone(),
-            cache: Arc::clone(&self.cache),
+            source: self.clone(),
+            requester: self.new_requester(),
             reader: None,
             order,
             pos: 0,
@@ -347,8 +480,8 @@ impl ChunkSource for ResidentSource {
 }
 
 struct ResidentStream {
-    store: ChunkStore,
-    cache: Arc<Mutex<ResidentCache>>,
+    source: ResidentSource,
+    requester: u64,
     /// Opened on the first cache miss — an all-hit stream never touches disk.
     reader: Option<ChunkReader>,
     order: Vec<usize>,
@@ -363,39 +496,11 @@ impl ChunkStream for ResidentStream {
         }
         let id = self.order.get(self.pos).copied()?;
         self.pos += 1;
-
-        let cached = lock_cache(&self.cache).lookup(id);
-        if let Some((payload, bytes_read)) = cached {
-            return Some(Ok(SourcedChunk {
-                id,
-                payload,
-                bytes_read,
-            }));
-        }
-
-        // Miss: read outside the lock, then pin. The reader is opened
-        // lazily so an all-hit stream never touches disk.
-        let reader = match self.reader.as_mut() {
-            Some(r) => r,
-            None => match self.store.reader() {
-                Ok(r) => self.reader.insert(r),
-                Err(e) => {
-                    self.failed = true;
-                    return Some(Err(e));
-                }
-            },
-        };
-        let mut payload = ChunkPayload::default();
-        match reader.read_chunk(id, &mut payload) {
-            Ok(bytes_read) => {
-                let payload = Arc::new(payload);
-                lock_cache(&self.cache).insert(id, Arc::clone(&payload), bytes_read);
-                Some(Ok(SourcedChunk {
-                    id,
-                    payload,
-                    bytes_read,
-                }))
-            }
+        match self
+            .source
+            .fetch_through(self.requester, id, &mut self.reader)
+        {
+            Ok(fetched) => Some(Ok(fetched.chunk)),
             Err(e) => {
                 self.failed = true;
                 Some(Err(e))
@@ -544,6 +649,69 @@ mod tests {
         assert_eq!(stats.misses, 2, "oversized chunk never hits");
         assert_eq!(stats.resident_chunks, 0);
         assert_eq!(stats.resident_bytes, 0);
+    }
+
+    #[test]
+    fn cross_query_hits_are_attributed() {
+        let store = store_with_chunks("xquery", &[3]);
+        let resident = ResidentSource::new(&store, u64::MAX);
+        let tag_a = resident.new_requester();
+        let first = resident.fetch(tag_a, 0).expect("fetch a");
+        assert!(first.from_disk);
+        let again = resident.fetch(tag_a, 0).expect("refetch a");
+        assert!(!again.from_disk);
+        let tag_b = resident.new_requester();
+        let other = resident.fetch(tag_b, 0).expect("fetch b");
+        assert!(!other.from_disk);
+        assert_eq!(first.chunk.payload, other.chunk.payload);
+        let stats = resident.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 2);
+        assert_eq!(
+            stats.cross_query_hits, 1,
+            "only the hit from requester b crossed queries"
+        );
+    }
+
+    #[test]
+    fn concurrent_same_chunk_requests_charge_one_miss() {
+        let store = store_with_chunks("oneflight", &[4]);
+        let resident = ResidentSource::new(&store, u64::MAX);
+        let n = 8usize;
+        let barrier = std::sync::Barrier::new(n);
+        std::thread::scope(|scope| {
+            for _ in 0..n {
+                let resident = resident.clone();
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let got = drain(&resident, vec![0]);
+                    assert_eq!(got.len(), 1);
+                    assert_eq!(got[0].payload.len(), 4);
+                });
+            }
+        });
+        let stats = resident.stats();
+        assert_eq!(stats.misses, 1, "coalesced: only the leader pays the read");
+        assert_eq!(stats.hits, n as u64 - 1);
+        assert_eq!(
+            stats.cross_query_hits,
+            n as u64 - 1,
+            "every stream carries its own requester tag"
+        );
+    }
+
+    #[test]
+    fn prefetch_clones_share_flight_accounting() {
+        let store = store_with_chunks("pf_flight", &[2, 2, 2]);
+        let source = PrefetchSource::new(&store, 2);
+        let a = drain(&source, vec![0, 1, 2]);
+        let b = drain(&source.clone(), vec![2, 1, 0]);
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 3);
+        let stats = source.flight_stats();
+        assert_eq!(stats.reads + stats.coalesced, 6);
+        assert!(stats.reads >= 3, "distinct chunks cannot coalesce");
     }
 
     #[test]

@@ -15,6 +15,10 @@
 //! index round-robin, and averages the metrics; [`Workload`] is the query
 //! container those experiments iterate over.
 
+pub mod arrivals;
+
+pub use arrivals::{burst_arrivals, poisson_arrivals, ArrivalTrace};
+
 use eff2_descriptor::{DescriptorSet, TrimmedRanges, Vector, DIM};
 use eff2_json::Json;
 use rand::rngs::StdRng;

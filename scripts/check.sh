@@ -21,6 +21,13 @@ cargo test -q
 echo "==> eff2-lint --deny (workspace invariant audit)"
 cargo run --release -p eff2-lint -- --deny
 
+echo "==> eval exp4 smoke (tiny-scale serving sweep)"
+EXP4_OUT="$(mktemp -d)"
+EFF2_SCALE=2500 EFF2_QUERIES=6 cargo run --release -p eff2-eval -- exp4 \
+  --out "$EXP4_OUT" | tee "$EXP4_OUT/exp4.txt"
+grep -q "bit-identical to serial under every policy: yes" "$EXP4_OUT/exp4.txt"
+rm -rf "$EXP4_OUT"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
