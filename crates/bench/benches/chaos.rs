@@ -1,0 +1,106 @@
+//! Chaos benches: what the fault-injection decorators cost on the read
+//! path. The quiet stack (rate 0 everywhere) is the number that matters —
+//! it is the overhead every chaos-enabled run pays even when nothing
+//! faults — with a lossy degraded scan alongside for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use eff2_bench::fixtures;
+use eff2_chaos::{FaultConfig, FaultPlan, FaultSource, RetryPolicy, RetrySource};
+use eff2_core::search::search;
+use eff2_core::session::{SearchSession, SkipPolicy};
+use eff2_core::{SearchParams, StopRule};
+use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
+use eff2_storage::source::{ChunkSource, FileSource};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn params() -> SearchParams {
+    SearchParams {
+        k: 10,
+        stop: StopRule::Chunks(usize::MAX),
+        prefetch_depth: 2,
+        log_snapshots: false,
+    }
+}
+
+/// Full-store scan through the undecorated source vs the quiet chaos
+/// stack: the decorators' passthrough overhead.
+fn quiet_stack_overhead(c: &mut Criterion) {
+    let store = fixtures::sr_index().store();
+    let model = DiskModel::ata_2005();
+    let q = fixtures::collection().vector_owned(11);
+    let params = params();
+
+    let mut g = c.benchmark_group("chaos_quiet_stack");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(store.total_descriptors()));
+    g.bench_function("undecorated", |b| {
+        b.iter(|| black_box(search(store, &model, &q, &params).expect("search")))
+    });
+    g.bench_function("fault_retry_stack_rate0", |b| {
+        b.iter(|| {
+            let stack = Arc::new(RetrySource::new(
+                Arc::new(FaultSource::new(
+                    Arc::new(FileSource::new(store)),
+                    FaultPlan::new(FaultConfig::quiet(7)),
+                )),
+                RetryPolicy::new(
+                    4,
+                    VirtualDuration::from_ms(5.0),
+                    VirtualDuration::from_ms(1.0),
+                ),
+            ));
+            let mut session = SearchSession::with_source(
+                store,
+                &model,
+                &q,
+                &params,
+                stack as Arc<dyn ChunkSource>,
+            );
+            session.run_to_stop().expect("run");
+            black_box(session.into_result())
+        })
+    });
+    g.finish();
+}
+
+/// A degraded scan: 20% of chunks permanently lost, retries charged, the
+/// session skipping past every loss.
+fn degraded_scan(c: &mut Criterion) {
+    let store = fixtures::sr_index().store();
+    let model = DiskModel::ata_2005();
+    let q = fixtures::collection().vector_owned(11);
+    let params = params();
+
+    let mut g = c.benchmark_group("chaos_degraded_scan");
+    g.sample_size(10);
+    g.bench_function("lossy_0.2_skip", |b| {
+        b.iter(|| {
+            let stack = Arc::new(RetrySource::new(
+                Arc::new(FaultSource::new(
+                    Arc::new(FileSource::new(store)),
+                    FaultPlan::new(FaultConfig::lossy(7, 0.2)),
+                )),
+                RetryPolicy::new(
+                    2,
+                    VirtualDuration::from_ms(5.0),
+                    VirtualDuration::from_ms(1.0),
+                ),
+            ));
+            let mut session = SearchSession::with_source(
+                store,
+                &model,
+                &q,
+                &params,
+                stack as Arc<dyn ChunkSource>,
+            );
+            session.set_skip_policy(SkipPolicy::SkipUnavailable);
+            session.run_to_stop().expect("run");
+            black_box(session.into_result())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, quiet_stack_overhead, degraded_scan);
+criterion_main!(benches);

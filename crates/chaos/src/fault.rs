@@ -1,0 +1,243 @@
+//! [`FaultSource`]: a chunk-source decorator that injects the planned
+//! faults into any stack.
+//!
+//! The decorator pulls each chunk from the inner source as usual, then
+//! consults the [`FaultPlan`] for the current attempt at that chunk:
+//! deliveries pass through (possibly with an injected latency spike,
+//! surfaced via [`ChunkStream::take_injected_delay`]), faults replace the
+//! successfully-read payload with the planned error. A faulted chunk is
+//! *consumed* — the stream does not fuse and continues with the next
+//! chunk — so retry layers re-request the chunk through a fresh stream
+//! and skipping sessions advance cleanly past it.
+//!
+//! Attempt counters are shared at the source level: a retry that re-opens
+//! a stream over the remaining order observes attempt `n + 1` for the
+//! chunk that just failed, which is what lets transient faults clear.
+
+use crate::plan::{Fault, FaultPlan};
+use eff2_storage::source::{ChunkSource, ChunkStream, SourcedChunk};
+use eff2_storage::{Error, Result, VirtualDuration};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Recovers the attempt-counter guard past a poisoned lock; the map is
+/// only ever incremented, so continuing is sound.
+fn lock_counters(m: &Mutex<BTreeMap<usize, u32>>) -> MutexGuard<'_, BTreeMap<usize, u32>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A [`ChunkSource`] decorator injecting the faults of a [`FaultPlan`].
+pub struct FaultSource {
+    inner: Arc<dyn ChunkSource>,
+    plan: FaultPlan,
+    /// Read attempts per chunk, shared across this source's streams.
+    attempts: Arc<Mutex<BTreeMap<usize, u32>>>,
+}
+
+impl FaultSource {
+    /// Decorates `inner` with the faults of `plan`.
+    pub fn new(inner: Arc<dyn ChunkSource>, plan: FaultPlan) -> FaultSource {
+        FaultSource {
+            inner,
+            plan,
+            attempts: Arc::new(Mutex::new(BTreeMap::new())),
+        }
+    }
+
+    /// The plan this source injects.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Read attempts observed so far for `chunk`.
+    pub fn attempts_for(&self, chunk: usize) -> u32 {
+        lock_counters(&self.attempts)
+            .get(&chunk)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+impl ChunkSource for FaultSource {
+    fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+        Ok(Box::new(FaultStream {
+            inner: self.inner.open_stream(order)?,
+            plan: self.plan,
+            attempts: Arc::clone(&self.attempts),
+            pending_delay: VirtualDuration::ZERO,
+        }))
+    }
+}
+
+struct FaultStream {
+    inner: Box<dyn ChunkStream>,
+    plan: FaultPlan,
+    attempts: Arc<Mutex<BTreeMap<usize, u32>>>,
+    pending_delay: VirtualDuration,
+}
+
+impl ChunkStream for FaultStream {
+    fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
+        let chunk = match self.inner.next_chunk()? {
+            // A real inner error passes through untouched (the inner
+            // stream fuses itself, so the next pull ends the stream).
+            Err(e) => return Some(Err(e)),
+            Ok(chunk) => chunk,
+        };
+        let attempt = {
+            let mut counters = lock_counters(&self.attempts);
+            let slot = counters.entry(chunk.id).or_insert(0);
+            let attempt = *slot;
+            *slot += 1;
+            attempt
+        };
+        match self.plan.fault_for(chunk.id, attempt) {
+            Fault::Deliver { delay } => {
+                self.pending_delay += self.inner.take_injected_delay() + delay;
+                Some(Ok(chunk))
+            }
+            Fault::Transient => Some(Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::Interrupted,
+                format!("injected transient fault on chunk {}", chunk.id),
+            )))),
+            Fault::ShortRead => Some(Err(Error::Truncated("chunk body"))),
+            Fault::Corrupt => {
+                // Models corruption *detected by the chunk checksum*: the
+                // bytes arrived but failed verification.
+                let sum = chunk.id as u32 ^ 0xdead_beef;
+                Some(Err(Error::Corrupt {
+                    offset: chunk.id as u64,
+                    expected: sum,
+                    found: !sum,
+                }))
+            }
+            Fault::Permanent => Some(Err(Error::ChunkLost {
+                chunk: chunk.id,
+                attempts: attempt + 1,
+                spent: VirtualDuration::ZERO,
+            })),
+        }
+    }
+
+    fn take_injected_delay(&mut self) -> VirtualDuration {
+        std::mem::replace(&mut self.pending_delay, VirtualDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultConfig;
+    use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+    use eff2_storage::source::FileSource;
+    use eff2_storage::{ChunkDef, ChunkStore};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn store_with_chunks(tag: &str, sizes: &[usize]) -> ChunkStore {
+        let unique = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "eff2_chaos_fault_{tag}_{}_{unique}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let total: usize = sizes.iter().sum();
+        let set: DescriptorSet = (0..total)
+            .map(|i| Descriptor::new(i as u32, Vector::splat(i as f32)))
+            .collect();
+        let mut next = 0u32;
+        let chunks: Vec<ChunkDef> = sizes
+            .iter()
+            .map(|&n| {
+                let positions: Vec<u32> = (next..next + n as u32).collect();
+                next += n as u32;
+                ChunkDef {
+                    positions,
+                    centroid: Vector::ZERO,
+                    radius: 1e9,
+                }
+            })
+            .collect();
+        ChunkStore::create(&dir, "ix", &set, &chunks, 512).expect("create")
+    }
+
+    fn drain(stream: &mut dyn ChunkStream) -> Vec<std::result::Result<usize, String>> {
+        let mut out = Vec::new();
+        while let Some(item) = stream.next_chunk() {
+            out.push(item.map(|c| c.id).map_err(|e| e.to_string()));
+        }
+        out
+    }
+
+    #[test]
+    fn quiet_plan_is_a_passthrough() {
+        let store = store_with_chunks("quiet", &[3, 4, 2]);
+        let source = FaultSource::new(
+            Arc::new(FileSource::new(&store)),
+            FaultPlan::new(FaultConfig::quiet(1)),
+        );
+        let mut stream = source.open_stream(vec![2, 0, 1]).expect("open");
+        assert_eq!(
+            drain(stream.as_mut()),
+            vec![Ok(2), Ok(0), Ok(1)],
+            "rate-0 delivers every chunk in order"
+        );
+        assert_eq!(stream.take_injected_delay(), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn permanent_loss_surfaces_chunk_lost_without_fusing() {
+        let store = store_with_chunks("perm", &[2, 2, 2, 2]);
+        // Find a seed losing exactly chunk 1 among ids 0..4 at rate 0.3.
+        let plan = (0..10_000u64)
+            .map(|seed| FaultPlan::new(FaultConfig::lossy(seed, 0.3)))
+            .find(|p| p.permanent_losses(4) == vec![1])
+            .expect("a seed losing only chunk 1 exists");
+        let source = FaultSource::new(Arc::new(FileSource::new(&store)), plan);
+        let mut stream = source.open_stream(vec![0, 1, 2, 3]).expect("open");
+        let got = drain(stream.as_mut());
+        assert_eq!(got.len(), 4, "faulted chunk is consumed, stream continues");
+        assert_eq!(got[0], Ok(0));
+        assert!(got[1].as_ref().is_err_and(|m| m.contains("chunk 1 lost")));
+        assert_eq!(got[2], Ok(2));
+        assert_eq!(got[3], Ok(3));
+    }
+
+    #[test]
+    fn transient_faults_clear_on_a_fresh_stream() {
+        let store = store_with_chunks("transient", &[2]);
+        let source = FaultSource::new(
+            Arc::new(FileSource::new(&store)),
+            FaultPlan::new(FaultConfig::flaky(17, 1.0)),
+        );
+        // Attempts 0..TRANSIENT_CLEAR fail; the next fresh stream reads clean.
+        for _ in 0..crate::plan::TRANSIENT_CLEAR {
+            let mut stream = source.open_stream(vec![0]).expect("open");
+            assert!(stream.next_chunk().expect("item").is_err());
+        }
+        let mut stream = source.open_stream(vec![0]).expect("open");
+        assert!(stream.next_chunk().expect("item").is_ok());
+        assert_eq!(source.attempts_for(0), crate::plan::TRANSIENT_CLEAR + 1);
+    }
+
+    #[test]
+    fn spikes_accumulate_into_the_injected_delay() {
+        let store = store_with_chunks("spike", &[1, 1]);
+        let config = FaultConfig {
+            spike_rate: 1.0,
+            spike_ms: 4.0,
+            ..FaultConfig::quiet(3)
+        };
+        let source = FaultSource::new(
+            Arc::new(FileSource::new(&store)),
+            FaultPlan::new(FaultConfig { ..config }),
+        );
+        let mut stream = source.open_stream(vec![0, 1]).expect("open");
+        stream.next_chunk().expect("item").expect("chunk");
+        let delay = stream.take_injected_delay();
+        assert_eq!(delay.as_secs().to_bits(), 0.004f64.to_bits());
+        // Taking resets the accumulator.
+        assert_eq!(stream.take_injected_delay(), VirtualDuration::ZERO);
+    }
+}

@@ -1,0 +1,302 @@
+//! [`RetrySource`]: typed retry/backoff around any chunk source.
+//!
+//! Each failed read attempt is charged to the *modelled* clock — a
+//! per-read timeout plus exponential backoff — never the wall clock, so
+//! chaos runs stay deterministic and the virtual-time figures honestly
+//! include the cost of recovering from faults. Errors are classified via
+//! [`Error::class`]: transient and corrupt reads are retried up to the
+//! budget; permanent errors (and an exhausted budget) become
+//! [`Error::ChunkLost`] with the accumulated modelled time attached, and
+//! the chunk's position is consumed so a skipping session continues with
+//! the next chunk instead of stalling.
+
+use eff2_storage::source::{ChunkSource, ChunkStream, SourcedChunk};
+use eff2_storage::{Error, ErrorClass, Result, VirtualDuration};
+use std::sync::Arc;
+
+/// How hard a [`RetrySource`] tries before declaring a chunk lost.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total read attempts per chunk (1 = no retries).
+    pub max_attempts: u32,
+    /// Modelled time charged per failed attempt (the read timeout).
+    pub timeout: VirtualDuration,
+    /// Modelled backoff before retry `n` is `backoff_base * 2^n`.
+    pub backoff_base: VirtualDuration,
+}
+
+impl RetryPolicy {
+    /// One attempt, nothing charged: a passthrough policy.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 1,
+            timeout: VirtualDuration::ZERO,
+            backoff_base: VirtualDuration::ZERO,
+        }
+    }
+
+    /// `max_attempts` attempts with `timeout` per failure and exponential
+    /// backoff from `backoff_base`.
+    pub fn new(
+        max_attempts: u32,
+        timeout: VirtualDuration,
+        backoff_base: VirtualDuration,
+    ) -> RetryPolicy {
+        assert!(max_attempts >= 1, "at least one attempt is required");
+        RetryPolicy {
+            max_attempts,
+            timeout,
+            backoff_base,
+        }
+    }
+
+    /// Modelled cost of failed attempt `attempt` (0-based): the timeout
+    /// plus this attempt's backoff.
+    pub fn attempt_cost(&self, attempt: u32) -> VirtualDuration {
+        let scale = f64::from(2u32.checked_pow(attempt).unwrap_or(u32::MAX));
+        self.timeout + VirtualDuration::from_secs(self.backoff_base.as_secs() * scale)
+    }
+}
+
+/// A [`ChunkSource`] decorator retrying failed reads per [`RetryPolicy`].
+pub struct RetrySource {
+    inner: Arc<dyn ChunkSource>,
+    policy: RetryPolicy,
+}
+
+impl RetrySource {
+    /// Decorates `inner` with `policy`.
+    pub fn new(inner: Arc<dyn ChunkSource>, policy: RetryPolicy) -> RetrySource {
+        RetrySource { inner, policy }
+    }
+
+    /// The policy this source retries under.
+    pub fn policy(&self) -> &RetryPolicy {
+        &self.policy
+    }
+}
+
+impl ChunkSource for RetrySource {
+    fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+        let stream = self.inner.open_stream(order.clone())?;
+        Ok(Box::new(RetryStream {
+            source: Arc::clone(&self.inner),
+            policy: self.policy,
+            order,
+            pos: 0,
+            inner: Some(stream),
+            pending_delay: VirtualDuration::ZERO,
+            failed: false,
+        }))
+    }
+}
+
+struct RetryStream {
+    source: Arc<dyn ChunkSource>,
+    policy: RetryPolicy,
+    order: Vec<usize>,
+    pos: usize,
+    /// Current inner stream over `order[pos..]`; dropped on error and
+    /// re-opened for the retry (every retry is a fresh read).
+    inner: Option<Box<dyn ChunkStream>>,
+    pending_delay: VirtualDuration,
+    failed: bool,
+}
+
+impl ChunkStream for RetryStream {
+    fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
+        if self.failed {
+            return None;
+        }
+        let id = self.order.get(self.pos).copied()?;
+        let mut attempts = 0u32;
+        let mut spent = VirtualDuration::ZERO;
+        loop {
+            let stream = match &mut self.inner {
+                Some(stream) => stream,
+                None => match self
+                    .source
+                    .open_stream(self.order.get(self.pos..).unwrap_or_default().to_vec())
+                {
+                    Ok(stream) => self.inner.insert(stream),
+                    Err(e) => {
+                        // The source itself is broken; no per-chunk retry
+                        // can help, so the stream fuses.
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                },
+            };
+            match stream.next_chunk() {
+                None => return None,
+                Some(Ok(chunk)) => {
+                    // Surface both the inner stream's delay and the cost
+                    // of the failed attempts that preceded this success.
+                    self.pending_delay += stream.take_injected_delay() + spent;
+                    self.pos += 1;
+                    return Some(Ok(chunk));
+                }
+                Some(Err(e)) => {
+                    // Every retry is a fresh read through a fresh stream.
+                    self.inner = None;
+                    spent += self.policy.attempt_cost(attempts);
+                    attempts += 1;
+                    let give_up =
+                        e.class() == ErrorClass::Permanent || attempts >= self.policy.max_attempts;
+                    if give_up {
+                        // Consume the position: callers holding a skip
+                        // policy continue with the next chunk.
+                        self.pos += 1;
+                        return Some(Err(Error::ChunkLost {
+                            chunk: id,
+                            attempts,
+                            spent,
+                        }));
+                    }
+                }
+            }
+        }
+    }
+
+    fn take_injected_delay(&mut self) -> VirtualDuration {
+        std::mem::replace(&mut self.pending_delay, VirtualDuration::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultSource;
+    use crate::plan::{FaultConfig, FaultPlan, TRANSIENT_CLEAR};
+    use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+    use eff2_storage::source::FileSource;
+    use eff2_storage::{ChunkDef, ChunkStore};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn store_with_chunks(tag: &str, sizes: &[usize]) -> ChunkStore {
+        let unique = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!(
+            "eff2_chaos_retry_{tag}_{}_{unique}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let total: usize = sizes.iter().sum();
+        let set: DescriptorSet = (0..total)
+            .map(|i| Descriptor::new(i as u32, Vector::splat(i as f32)))
+            .collect();
+        let mut next = 0u32;
+        let chunks: Vec<ChunkDef> = sizes
+            .iter()
+            .map(|&n| {
+                let positions: Vec<u32> = (next..next + n as u32).collect();
+                next += n as u32;
+                ChunkDef {
+                    positions,
+                    centroid: Vector::ZERO,
+                    radius: 1e9,
+                }
+            })
+            .collect();
+        ChunkStore::create(&dir, "ix", &set, &chunks, 512).expect("create")
+    }
+
+    fn recovering_policy() -> RetryPolicy {
+        RetryPolicy::new(
+            TRANSIENT_CLEAR + 1,
+            VirtualDuration::from_ms(5.0),
+            VirtualDuration::from_ms(1.0),
+        )
+    }
+
+    #[test]
+    fn passthrough_policy_is_transparent() {
+        let store = store_with_chunks("pass", &[2, 3, 1]);
+        let source = RetrySource::new(Arc::new(FileSource::new(&store)), RetryPolicy::none());
+        let mut stream = source.open_stream(vec![1, 2, 0]).expect("open");
+        let mut ids = Vec::new();
+        while let Some(item) = stream.next_chunk() {
+            ids.push(item.expect("chunk").id);
+        }
+        assert_eq!(ids, vec![1, 2, 0]);
+        assert_eq!(stream.take_injected_delay(), VirtualDuration::ZERO);
+    }
+
+    #[test]
+    fn transient_faults_recover_with_the_time_charged() {
+        let store = store_with_chunks("recover", &[2, 2]);
+        let plan = FaultPlan::new(FaultConfig::flaky(23, 1.0));
+        let source = RetrySource::new(
+            Arc::new(FaultSource::new(Arc::new(FileSource::new(&store)), plan)),
+            recovering_policy(),
+        );
+        let mut stream = source.open_stream(vec![0, 1]).expect("open");
+        let policy = recovering_policy();
+        for want in [0usize, 1] {
+            let chunk = stream.next_chunk().expect("item").expect("recovered");
+            assert_eq!(chunk.id, want);
+            // All TRANSIENT_CLEAR failed attempts were charged.
+            let want_spent: VirtualDuration = (0..TRANSIENT_CLEAR)
+                .map(|a| policy.attempt_cost(a))
+                .fold(VirtualDuration::ZERO, |acc, c| acc + c);
+            let delay = stream.take_injected_delay();
+            assert_eq!(delay.as_secs().to_bits(), want_spent.as_secs().to_bits());
+        }
+        assert!(stream.next_chunk().is_none());
+    }
+
+    #[test]
+    fn exhausted_budget_becomes_chunk_lost_and_the_stream_continues() {
+        let store = store_with_chunks("exhaust", &[1, 1, 1]);
+        let plan = FaultPlan::new(FaultConfig::flaky(29, 1.0));
+        // Budget below TRANSIENT_CLEAR: chunk reads never recover.
+        let policy = RetryPolicy::new(2, VirtualDuration::from_ms(5.0), VirtualDuration::ZERO);
+        let source = RetrySource::new(
+            Arc::new(FaultSource::new(Arc::new(FileSource::new(&store)), plan)),
+            policy,
+        );
+        let mut stream = source.open_stream(vec![0, 1, 2]).expect("open");
+        for want in 0..3usize {
+            match stream.next_chunk().expect("item") {
+                Err(Error::ChunkLost {
+                    chunk,
+                    attempts,
+                    spent,
+                }) => {
+                    assert_eq!(chunk, want);
+                    assert_eq!(attempts, 2);
+                    assert_eq!(spent.as_ms().to_bits(), 10.0f64.to_bits());
+                }
+                other => panic!("expected ChunkLost, got {other:?}"),
+            }
+        }
+        assert!(stream.next_chunk().is_none());
+    }
+
+    #[test]
+    fn permanent_errors_are_not_retried() {
+        let store = store_with_chunks("perm", &[1, 1]);
+        let plan = (0..10_000u64)
+            .map(|seed| FaultPlan::new(FaultConfig::lossy(seed, 0.4)))
+            .find(|p| p.permanent_losses(2) == vec![0])
+            .expect("a seed losing only chunk 0 exists");
+        let fault = Arc::new(FaultSource::new(Arc::new(FileSource::new(&store)), plan));
+        let source = RetrySource::new(
+            Arc::clone(&fault) as Arc<dyn ChunkSource>,
+            RetryPolicy::new(5, VirtualDuration::from_ms(5.0), VirtualDuration::ZERO),
+        );
+        let mut stream = source.open_stream(vec![0, 1]).expect("open");
+        match stream.next_chunk().expect("item") {
+            Err(Error::ChunkLost {
+                chunk, attempts, ..
+            }) => {
+                assert_eq!(chunk, 0);
+                assert_eq!(attempts, 1, "permanent loss must not burn the retry budget");
+            }
+            other => panic!("expected ChunkLost, got {other:?}"),
+        }
+        assert_eq!(stream.next_chunk().expect("item").expect("chunk").id, 1);
+        assert_eq!(fault.attempts_for(0), 1);
+    }
+}

@@ -46,7 +46,7 @@ pub use neighbors::{Neighbor, NeighborSet};
 pub use scan::{scan_knn, scan_store_knn};
 pub use search::{
     search_batch, search_batch_threads, search_batch_with_source, search_with_source, ChunkEvent,
-    SearchLog, SearchParams, SearchResult, StopRule,
+    Degradation, ResultFidelity, SearchLog, SearchParams, SearchResult, StopRule,
 };
-pub use session::{evaluate_stop_rules, ChunkRanking, SearchSession};
+pub use session::{evaluate_stop_rules, ChunkRanking, SearchSession, SkipPolicy};
 pub use snapshot::Snapshot;

@@ -108,6 +108,41 @@ pub struct ChunkEvent {
     pub topk_ids: Vec<u32>,
 }
 
+/// What a search lost to unreadable chunks.
+///
+/// Stays all-zero unless a [`SkipPolicy`](crate::session::SkipPolicy)
+/// allowed the session to continue past a permanently failed chunk — an
+/// honest record of everything the answer was *not* computed over.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Ranked chunks that could not be read and were skipped.
+    pub chunks_lost: usize,
+    /// Descriptors those chunks would have contributed to the scan.
+    pub descriptors_lost: u64,
+    /// Ids of the skipped chunks, in ranked (skip) order.
+    pub lost_chunks: Vec<usize>,
+}
+
+impl Degradation {
+    /// Whether anything was lost.
+    pub fn is_degraded(&self) -> bool {
+        self.chunks_lost > 0
+    }
+}
+
+/// How much the result can be trusted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResultFidelity {
+    /// Completion was proved over every ranked chunk: the answer is exact.
+    Exact,
+    /// The stop rule ended the scan early; the answer is the paper's
+    /// approximate result.
+    Approximate,
+    /// Chunks were lost to faults: the answer omits data it should have
+    /// seen, beyond what the stop rule alone would discard.
+    Degraded,
+}
+
 /// Everything observed while executing one query.
 #[derive(Clone, Debug, Default)]
 pub struct SearchLog {
@@ -127,6 +162,22 @@ pub struct SearchLog {
     pub wall: std::time::Duration,
     /// Whether the search proved its result exact (completion reached).
     pub completed: bool,
+    /// What was lost to unreadable chunks (all-zero in fault-free runs).
+    pub degradation: Degradation,
+}
+
+impl SearchLog {
+    /// Classifies the result: [`ResultFidelity::Degraded`] if any chunk
+    /// was lost, otherwise exact/approximate per the completion proof.
+    pub fn fidelity(&self) -> ResultFidelity {
+        if self.degradation.is_degraded() {
+            ResultFidelity::Degraded
+        } else if self.completed {
+            ResultFidelity::Exact
+        } else {
+            ResultFidelity::Approximate
+        }
+    }
 }
 
 /// A query's answer plus its log.

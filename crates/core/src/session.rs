@@ -31,8 +31,24 @@ use crate::search::{ChunkEvent, SearchLog, SearchParams, SearchResult, StopRule}
 use eff2_descriptor::{scan_block_into, Vector};
 use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
 use eff2_storage::source::{ChunkSource, ChunkStream, PrefetchSource, SourcedChunk};
-use eff2_storage::{ChunkStore, Result};
+use eff2_storage::{ChunkStore, ErrorClass, Result};
 use std::sync::Arc;
+
+/// What a session does when its stream reports a chunk permanently
+/// unreadable (an error whose [`ErrorClass`] is `Permanent`, e.g.
+/// [`ChunkLost`](eff2_storage::Error::ChunkLost) from a retry layer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SkipPolicy {
+    /// Propagate the error; the search fails (the historical behaviour).
+    #[default]
+    Abort,
+    /// Record the chunk in the log's [`Degradation`] report and continue
+    /// with the next ranked chunk. Transient-class errors still propagate
+    /// — only a *permanent* loss is skippable.
+    ///
+    /// [`Degradation`]: crate::search::Degradation
+    SkipUnavailable,
+}
 
 /// Step 1 of the search (§4.3): every chunk ranked by the distance from
 /// the query to its centroid, plus the suffix-minimum of the chunk lower
@@ -49,6 +65,9 @@ pub struct ChunkRanking {
     /// `suffix_min_bound[i]` = best lower bound among ranks `i..`; the
     /// final entry is `+∞`.
     suffix_min_bound: Vec<f32>,
+    /// Descriptor count per chunk id (store order) — what a skipped chunk
+    /// costs the degradation report.
+    counts: Vec<u32>,
     /// Modelled cost of reading and ranking the chunk index.
     index_read_time: VirtualDuration,
 }
@@ -60,6 +79,7 @@ impl Default for ChunkRanking {
         ChunkRanking {
             ranked: Vec::new(),
             suffix_min_bound: Vec::new(),
+            counts: Vec::new(),
             index_read_time: VirtualDuration::ZERO,
         }
     }
@@ -90,6 +110,8 @@ impl ChunkRanking {
         );
         self.ranked
             .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        self.counts.clear();
+        self.counts.extend(metas.iter().map(|m| m.count));
         self.index_read_time = model.index_read_time(n_chunks, store.index_bytes());
 
         // Walk the ranked order back to front carrying the running minimum;
@@ -152,6 +174,11 @@ impl ChunkRanking {
         self.ranked[rank].0
     }
 
+    /// Descriptors held by chunk `chunk_id` (0 for out-of-range ids).
+    pub fn count_of(&self, chunk_id: usize) -> u32 {
+        self.counts.get(chunk_id).copied().unwrap_or(0)
+    }
+
     /// Best lower bound on any descriptor in the chunks still unread after
     /// `processed` chunks (`+∞` once every chunk has been read).
     pub fn remaining_bound(&self, processed: usize) -> f32 {
@@ -193,7 +220,7 @@ impl StepInvariants {
         }
     }
 
-    fn on_step(&mut self, chunk_id: usize, kth: f32, completed_at: VirtualDuration) {
+    fn mark_seen(&mut self, chunk_id: usize) {
         match self.seen.get_mut(chunk_id) {
             Some(flag) => {
                 debug_assert!(!*flag, "chunk {chunk_id} scanned twice in one session");
@@ -201,6 +228,16 @@ impl StepInvariants {
             }
             None => debug_assert!(false, "chunk id {chunk_id} out of ranked range"),
         }
+    }
+
+    /// A skipped chunk is consumed exactly like a scanned one: it can
+    /// never be scanned (or skipped) again.
+    fn on_skip(&mut self, chunk_id: usize) {
+        self.mark_seen(chunk_id);
+    }
+
+    fn on_step(&mut self, chunk_id: usize, kth: f32, completed_at: VirtualDuration) {
+        self.mark_seen(chunk_id);
         debug_assert!(
             kth <= self.last_kth,
             "kth-best distance increased across a step ({} -> {kth})",
@@ -242,6 +279,7 @@ pub struct SearchSession {
     log: SearchLog,
     wall_start: std::time::Instant,
     exhausted: bool,
+    skip: SkipPolicy,
     #[cfg(debug_assertions)]
     invariants: StepInvariants,
 }
@@ -340,9 +378,21 @@ impl SearchSession {
             // lint:allow(det.wall_clock): log.wall is informational; it never feeds the virtual clock or modelled figures
             wall_start: std::time::Instant::now(),
             exhausted: false,
+            skip: SkipPolicy::Abort,
             #[cfg(debug_assertions)]
             invariants,
         }
+    }
+
+    /// Sets how the session reacts to permanently unreadable chunks (the
+    /// default is [`SkipPolicy::Abort`], the historical fail-fast).
+    pub fn set_skip_policy(&mut self, policy: SkipPolicy) {
+        self.skip = policy;
+    }
+
+    /// The session's current [`SkipPolicy`].
+    pub fn skip_policy(&self) -> SkipPolicy {
+        self.skip
     }
 
     /// The ranking this session scans in.
@@ -372,9 +422,17 @@ impl SearchSession {
         self.neighbors.kth_dist()
     }
 
-    /// Whether every ranked chunk has been processed.
+    /// Position in the ranked order the scan has consumed up to: chunks
+    /// actually scanned plus chunks lost to faults and skipped. With zero
+    /// faults this is exactly `chunks_read` — the fault-free path is
+    /// untouched.
+    fn rank_cursor(&self) -> usize {
+        self.log.chunks_read + self.log.degradation.chunks_lost
+    }
+
+    /// Whether every ranked chunk has been processed (scanned or skipped).
     pub fn is_exhausted(&self) -> bool {
-        self.exhausted || self.log.chunks_read == self.ranking.len()
+        self.exhausted || self.rank_cursor() == self.ranking.len()
     }
 
     /// The chunk id this session wants next (the next unread chunk in its
@@ -389,8 +447,33 @@ impl SearchSession {
         if self.is_exhausted() {
             None
         } else {
-            Some(self.ranking.chunk_at(self.log.chunks_read))
+            Some(self.ranking.chunk_at(self.rank_cursor()))
         }
+    }
+
+    /// Consumes the next ranked chunk *without scanning it*: the chunk is
+    /// recorded in the log's degradation report and the scan continues
+    /// with the following chunk. `charge` is the modelled time the failed
+    /// delivery cost (retry timeouts, backoff), charged to the pipeline
+    /// clock as I/O with no overlapping CPU. Returns the skipped chunk id.
+    ///
+    /// This is the primitive behind [`SkipPolicy::SkipUnavailable`]; an
+    /// external driver (the serving scheduler) calls it directly when it
+    /// abandons a fetch.
+    pub fn skip_unavailable(&mut self, charge: VirtualDuration) -> Result<usize> {
+        if self.is_exhausted() {
+            return Err(eff2_storage::Error::Inconsistent(
+                "no ranked chunk left to skip".to_string(),
+            ));
+        }
+        let id = self.ranking.chunk_at(self.rank_cursor());
+        #[cfg(debug_assertions)]
+        self.invariants.on_skip(id);
+        let _ = self.clock.chunk_overlapped(charge, VirtualDuration::ZERO);
+        self.log.degradation.chunks_lost += 1;
+        self.log.degradation.descriptors_lost += u64::from(self.ranking.count_of(id));
+        self.log.degradation.lost_chunks.push(id);
+        Ok(id)
     }
 
     /// Advances the scan by exactly one chunk and returns its event, or
@@ -402,35 +485,60 @@ impl SearchSession {
     /// [`stop_satisfied`](Self::stop_satisfied) to drive a rule-respecting
     /// loop, or [`run_to_stop`](Self::run_to_stop) to do both at once.
     pub fn step(&mut self) -> Result<Option<&ChunkEvent>> {
-        if self.is_exhausted() {
-            self.exhausted = true;
-            return Ok(None);
-        }
         #[cfg(debug_assertions)]
         let stop_was_fired = self.stop_satisfied();
-        let Some(source) = self.source.as_ref() else {
-            return Err(eff2_storage::Error::Inconsistent(
-                "detached session has no chunk source: drive it with step_with".to_string(),
-            ));
-        };
-        let stream = match self.stream.as_mut() {
-            Some(s) => s,
-            None => self
-                .stream
-                .insert(source.open_stream(self.ranking.order())?),
-        };
-        let Some(item) = stream.next_chunk() else {
-            self.exhausted = true;
-            return Ok(None);
-        };
-        let chunk = item?;
-        self.ingest(&chunk);
-        #[cfg(debug_assertions)]
-        debug_assert!(
-            !stop_was_fired || self.stop_satisfied(),
-            "stop rules must be monotone: a fired rule stays fired"
-        );
-        Ok(self.log.events.last())
+        loop {
+            if self.is_exhausted() {
+                self.exhausted = true;
+                return Ok(None);
+            }
+            let Some(source) = self.source.as_ref() else {
+                return Err(eff2_storage::Error::Inconsistent(
+                    "detached session has no chunk source: drive it with step_with".to_string(),
+                ));
+            };
+            let stream = match self.stream.as_mut() {
+                Some(s) => s,
+                None => self
+                    .stream
+                    .insert(source.open_stream(self.ranking.order())?),
+            };
+            let Some(item) = stream.next_chunk() else {
+                self.exhausted = true;
+                return Ok(None);
+            };
+            match item {
+                Ok(chunk) => {
+                    let delay = stream.take_injected_delay();
+                    self.ingest(&chunk, delay);
+                    #[cfg(debug_assertions)]
+                    debug_assert!(
+                        !stop_was_fired || self.stop_satisfied(),
+                        "stop rules must be monotone: a fired rule stays fired"
+                    );
+                    return Ok(self.log.events.last());
+                }
+                Err(e)
+                    if self.skip == SkipPolicy::SkipUnavailable
+                        && e.class() == ErrorClass::Permanent =>
+                {
+                    // The failed delivery's modelled cost travels on the
+                    // error when a retry layer produced it.
+                    let spent = match &e {
+                        eff2_storage::Error::ChunkLost { spent, .. } => *spent,
+                        _ => VirtualDuration::ZERO,
+                    };
+                    self.skip_unavailable(spent)?;
+                    // A lost chunk yields no event but does consume the
+                    // ranked order (and any chunk budget): re-check the
+                    // stop rule before scanning the next chunk.
+                    if self.stop_satisfied() {
+                        return Ok(None);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Advances the scan by feeding `chunk` in from outside — the
@@ -453,14 +561,14 @@ impl SearchSession {
         }
         #[cfg(debug_assertions)]
         let stop_was_fired = self.stop_satisfied();
-        let wanted = self.ranking.chunk_at(self.log.chunks_read);
+        let wanted = self.ranking.chunk_at(self.rank_cursor());
         if chunk.id != wanted {
             return Err(eff2_storage::Error::Inconsistent(format!(
                 "session wants chunk {wanted} next, was fed chunk {}",
                 chunk.id
             )));
         }
-        self.ingest(chunk);
+        self.ingest(chunk, VirtualDuration::ZERO);
         #[cfg(debug_assertions)]
         debug_assert!(
             !stop_was_fired || self.stop_satisfied(),
@@ -470,7 +578,11 @@ impl SearchSession {
     }
 
     /// The shared advance: scan `chunk`, charge the clock, log the event.
-    fn ingest(&mut self, chunk: &SourcedChunk) {
+    /// `injected_delay` is extra modelled I/O latency the delivery
+    /// suffered (fault-injection spikes, retry costs); it is zero on every
+    /// fault-free path, and `x + 0.0` is bit-identical to `x`, so the
+    /// fault-free accounting is untouched.
+    fn ingest(&mut self, chunk: &SourcedChunk, injected_delay: VirtualDuration) {
         // Scan the chunk against the query (fused block kernel: blocked
         // distances offered straight into the set).
         scan_block_into(
@@ -480,7 +592,7 @@ impl SearchSession {
             &mut self.neighbors,
         );
 
-        let io = self.model.io_time(chunk.bytes_read);
+        let io = self.model.io_time(chunk.bytes_read) + injected_delay;
         let cpu = self.model.scan_time(chunk.payload.len());
         let completed_at = self.clock.chunk_overlapped(io, cpu);
 
@@ -518,7 +630,11 @@ impl SearchSession {
     /// [`evaluate_rules`](Self::evaluate_rules) serve many rules from one
     /// scan.
     pub fn evaluate_rule(&self, rule: StopRule) -> Option<bool> {
-        let read = self.log.chunks_read;
+        // Lost chunks consume the scan budget exactly like scanned ones:
+        // `Chunks(n)` counts them toward n, and the remaining bound is
+        // taken past them (an honest account — their descriptors are
+        // reported lost, not silently still pending).
+        let read = self.rank_cursor();
         match rule {
             StopRule::Chunks(n) => (read >= n).then_some(false),
             StopRule::VirtualTime(t) => self
@@ -559,7 +675,7 @@ impl SearchSession {
     /// own stop.
     fn completed_for(&self, rule: StopRule) -> bool {
         self.params.k == 0
-            || self.log.chunks_read == self.ranking.len()
+            || self.rank_cursor() == self.ranking.len()
             || self.evaluate_rule(rule) == Some(true)
     }
 
@@ -876,6 +992,178 @@ mod tests {
         let mut session =
             SearchSession::detached(&store, &model, &Vector::ZERO, &SearchParams::exact(3));
         assert!(session.step().is_err(), "no source to pull from");
+    }
+
+    /// Delivers through an inner source but replaces the listed chunk ids
+    /// with a permanent [`Error::ChunkLost`], consuming their position —
+    /// the shape eff2-chaos's retry layer produces.
+    ///
+    /// [`Error::ChunkLost`]: eff2_storage::Error::ChunkLost
+    struct LosingSource {
+        inner: Arc<dyn ChunkSource>,
+        lost: Vec<usize>,
+        spent: VirtualDuration,
+    }
+
+    struct LosingStream {
+        inner: Box<dyn ChunkStream>,
+        lost: Vec<usize>,
+        spent: VirtualDuration,
+    }
+
+    impl ChunkSource for LosingSource {
+        fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+            Ok(Box::new(LosingStream {
+                inner: self.inner.open_stream(order)?,
+                lost: self.lost.clone(),
+                spent: self.spent,
+            }))
+        }
+    }
+
+    impl ChunkStream for LosingStream {
+        fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
+            match self.inner.next_chunk()? {
+                Ok(chunk) if self.lost.contains(&chunk.id) => {
+                    Some(Err(eff2_storage::Error::ChunkLost {
+                        chunk: chunk.id,
+                        attempts: 3,
+                        spent: self.spent,
+                    }))
+                }
+                item => Some(item),
+            }
+        }
+    }
+
+    #[test]
+    fn default_policy_aborts_on_a_lost_chunk() {
+        let set = lumpy_set(200);
+        let store = build_store("abort", &set, 20);
+        let model = DiskModel::ata_2005();
+        let q = Vector::splat(40.0);
+        let ranking = ChunkRanking::rank(&store, &model, &q);
+        let source = Arc::new(LosingSource {
+            inner: Arc::new(FileSource::new(&store)),
+            lost: vec![ranking.chunk_at(0)],
+            spent: VirtualDuration::ZERO,
+        });
+        let mut session =
+            SearchSession::with_source(&store, &model, &q, &SearchParams::exact(5), source);
+        assert_eq!(session.skip_policy(), SkipPolicy::Abort);
+        assert!(matches!(
+            session.step(),
+            Err(eff2_storage::Error::ChunkLost { .. })
+        ));
+    }
+
+    #[test]
+    fn skip_policy_completes_with_an_exact_degradation_report() {
+        let set = lumpy_set(300);
+        let store = build_store("skip", &set, 20);
+        let model = DiskModel::ata_2005();
+        let q = Vector::splat(40.0);
+        let ranking = ChunkRanking::rank(&store, &model, &q);
+        // Lose the first two ranked chunks: they are consumed before any
+        // completion proof can fire, whatever the data looks like.
+        let lost = vec![ranking.chunk_at(0), ranking.chunk_at(1)];
+        let source = Arc::new(LosingSource {
+            inner: Arc::new(FileSource::new(&store)),
+            lost: lost.clone(),
+            spent: VirtualDuration::from_ms(15.0),
+        });
+        let params = SearchParams {
+            k: 5,
+            stop: StopRule::ToCompletion,
+            prefetch_depth: 1,
+            log_snapshots: false,
+        };
+        let mut session = SearchSession::with_source(&store, &model, &q, &params, source);
+        session.set_skip_policy(SkipPolicy::SkipUnavailable);
+        session
+            .run_to_stop()
+            .expect("degraded search must not error");
+        let result = session.into_result();
+        let d = &result.log.degradation;
+        assert_eq!(d.chunks_lost, 2);
+        assert_eq!(d.lost_chunks, lost);
+        let want_lost: u64 = lost
+            .iter()
+            .map(|&c| u64::from(store.metas()[c].count))
+            .sum();
+        assert_eq!(d.descriptors_lost, want_lost);
+        assert_eq!(
+            result.log.fidelity(),
+            crate::search::ResultFidelity::Degraded
+        );
+        // Scanned + lost covers the consumed prefix of the ranked order.
+        assert!(result.log.chunks_read + d.chunks_lost <= store.n_chunks());
+        // No lost chunk appears among the scanned events.
+        for e in &result.log.events {
+            assert!(!lost.contains(&e.chunk_id));
+        }
+    }
+
+    #[test]
+    fn lost_chunks_consume_the_chunks_stop_budget() {
+        let set = lumpy_set(300);
+        let store = build_store("skipbudget", &set, 20);
+        let model = DiskModel::ata_2005();
+        let q = Vector::splat(40.0);
+        let ranking = ChunkRanking::rank(&store, &model, &q);
+        let lost = vec![ranking.chunk_at(0), ranking.chunk_at(2)];
+        let source = Arc::new(LosingSource {
+            inner: Arc::new(FileSource::new(&store)),
+            lost: lost.clone(),
+            spent: VirtualDuration::ZERO,
+        });
+        let params = SearchParams {
+            k: 5,
+            stop: StopRule::Chunks(4),
+            prefetch_depth: 1,
+            log_snapshots: false,
+        };
+        let mut session = SearchSession::with_source(&store, &model, &q, &params, source);
+        session.set_skip_policy(SkipPolicy::SkipUnavailable);
+        session.run_to_stop().expect("run");
+        let result = session.into_result();
+        // Budget of 4 ranked chunks: 2 lost + 2 scanned, honestly.
+        assert_eq!(result.log.degradation.chunks_lost, 2);
+        assert_eq!(result.log.chunks_read, 2);
+        assert!(!result.log.completed);
+    }
+
+    #[test]
+    fn skip_charge_advances_the_virtual_clock() {
+        let set = lumpy_set(200);
+        let store = build_store("skipcharge", &set, 20);
+        let model = DiskModel::ata_2005();
+        let q = Vector::splat(40.0);
+        let ranking = ChunkRanking::rank(&store, &model, &q);
+        let lost = vec![ranking.chunk_at(0)];
+        let params = SearchParams {
+            k: 5,
+            stop: StopRule::Chunks(3),
+            prefetch_depth: 1,
+            log_snapshots: false,
+        };
+        let run = |spent: VirtualDuration| {
+            let source = Arc::new(LosingSource {
+                inner: Arc::new(FileSource::new(&store)),
+                lost: lost.clone(),
+                spent,
+            });
+            let mut session = SearchSession::with_source(&store, &model, &q, &params, source);
+            session.set_skip_policy(SkipPolicy::SkipUnavailable);
+            session.run_to_stop().expect("run");
+            session.into_result().log.total_virtual
+        };
+        let free = run(VirtualDuration::ZERO);
+        let charged = run(VirtualDuration::from_ms(25.0));
+        assert!(
+            charged.as_secs() >= free.as_secs() + 0.024,
+            "retry time must be charged to the modelled clock ({free} vs {charged})"
+        );
     }
 
     #[test]

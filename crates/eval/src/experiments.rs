@@ -3,16 +3,20 @@
 //! them.
 // lint:allow-file(panic.index): result tables are sized by the experiment grid that indexes them
 
-use crate::lab::Lab;
+use crate::lab::{IndexHandle, Lab};
 use crate::EvalResult;
+use eff2_chaos::plan::TRANSIENT_CLEAR;
+use eff2_chaos::{Fault, FaultConfig, FaultPlan, FaultSource, RetryPolicy, RetrySource};
 use eff2_core::search::{SearchParams, SearchResult, StopRule};
-use eff2_core::session::evaluate_stop_rules;
+use eff2_core::session::{evaluate_stop_rules, SearchSession, SkipPolicy};
 use eff2_core::snapshot::Snapshot;
 use eff2_descriptor::Vector;
 use eff2_metrics::{fleet_quality_curve, precision_at, LatencySummary, QualityCurve, Table};
 use eff2_serve::{Policy, Scheduler, SchedulerConfig};
 use eff2_storage::diskmodel::VirtualDuration;
+use eff2_storage::source::{ChunkSource, FileSource};
 use eff2_workload::poisson_arrivals;
+use std::sync::Arc;
 
 /// The neighbour counts Figures 6/7 trace (scaled to the configured k).
 pub fn sweep_neighbor_marks(k: usize) -> Vec<usize> {
@@ -613,6 +617,200 @@ pub fn exp4(lab: &Lab) -> EvalResult<String> {
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 5: search under chunk loss (the chaos sweep)
+// ---------------------------------------------------------------------------
+
+/// The fault rates experiment 5 sweeps (permanent loss at the rate,
+/// transient faults at half of it).
+pub fn exp5_rates() -> Vec<f64> {
+    vec![0.0, 0.05, 0.1, 0.2, 0.4]
+}
+
+/// The retry policies experiment 5 compares: give up on the first failure
+/// vs a budget that always clears transient faults
+/// ([`TRANSIENT_CLEAR`]` + 1` attempts).
+pub fn exp5_policies() -> Vec<(&'static str, RetryPolicy)> {
+    vec![
+        ("none", RetryPolicy::none()),
+        (
+            "retry",
+            RetryPolicy::new(
+                TRANSIENT_CLEAR + 1,
+                VirtualDuration::from_ms(5.0),
+                VirtualDuration::from_ms(1.0),
+            ),
+        ),
+    ]
+}
+
+/// The fault schedule for one exp5 cell: permanent loss at `rate`,
+/// transient faults at half the rate, keyed by the lab seed so every run
+/// of the experiment observes the same schedule.
+fn exp5_plan(lab: &Lab, rate: f64) -> FaultPlan {
+    FaultPlan::new(FaultConfig {
+        permanent_rate: rate,
+        transient_rate: rate * 0.5,
+        ..FaultConfig::quiet(lab.scale.seed ^ 0xC5)
+    })
+}
+
+/// Runs every query of `queries` against `handle`, either undecorated
+/// (`plan: None`, the baseline) or through the
+/// `RetrySource(FaultSource(FileSource))` chaos stack with a skipping
+/// session.
+fn exp5_run(
+    lab: &Lab,
+    handle: &IndexHandle,
+    queries: &[Vector],
+    params: &SearchParams,
+    plan: Option<FaultPlan>,
+    retry: RetryPolicy,
+) -> EvalResult<Vec<SearchResult>> {
+    let mut out = Vec::with_capacity(queries.len());
+    for query in queries {
+        // A fresh fault source per query: attempt counters reset, so each
+        // query observes the plan's schedule from attempt zero.
+        let source: Arc<dyn ChunkSource> = match plan {
+            None => Arc::new(FileSource::new(&handle.store)),
+            Some(plan) => Arc::new(RetrySource::new(
+                Arc::new(FaultSource::new(
+                    Arc::new(FileSource::new(&handle.store)),
+                    plan,
+                )),
+                retry,
+            )),
+        };
+        let mut session =
+            SearchSession::with_source(&handle.store, &lab.model, query, params, source);
+        session.set_skip_policy(SkipPolicy::SkipUnavailable);
+        session.run_to_stop()?;
+        out.push(session.into_result());
+    }
+    Ok(out)
+}
+
+/// Whether the plan dooms `chunk` under `policy`: every attempt the
+/// budget allows draws a fault, so the chunk must be reported lost.
+fn exp5_doomed(plan: &FaultPlan, policy: &RetryPolicy, chunk: usize) -> bool {
+    (0..policy.max_attempts).all(|a| !matches!(plan.fault_for(chunk, a), Fault::Deliver { .. }))
+}
+
+/// Regenerates **Experiment 5**: the quality-degradation curve under
+/// injected chunk loss. For two chunk granularities the DQ workload runs
+/// under a fixed chunk-budget stop rule while the fault rate sweeps
+/// upward, once per retry policy. Every faulted search must complete with
+/// an honest [`Degradation`](eff2_core::search::Degradation) report; the
+/// rate-0 stack must be bit-identical to the undecorated search; and
+/// because the injected loss sets are nested across rates, precision must
+/// be monotonically non-increasing in the fault rate.
+pub fn exp5(lab: &Lab) -> EvalResult<String> {
+    let handles = [lab.serving_index()?, lab.chaos_index()?];
+    let dq = lab.dq()?;
+    if dq.is_empty() {
+        return Err("exp5 needs a non-empty DQ workload".into());
+    }
+    let rates = exp5_rates();
+    let policies = exp5_policies();
+
+    let mut t = Table::new(
+        "Experiment 5. Quality degradation under chunk loss (DQ, fixed chunk budget)",
+        &[
+            "Index",
+            "Retry",
+            "Fault rate",
+            "Precision",
+            "Chunks lost",
+            "Desc lost",
+            "Avg virtual s",
+            "Degraded %",
+        ],
+    );
+    let mut bit_identical = true;
+    let mut all_reported = true;
+    let mut monotone = true;
+
+    for handle in &handles {
+        let n_chunks = handle.store.n_chunks();
+        // A fixed budget strictly inside the collection: lost chunks
+        // consume it, so quality honestly pays for every loss.
+        let budget = (n_chunks * 3 / 5).max(1);
+        let params = SearchParams {
+            k: lab.scale.k,
+            stop: StopRule::Chunks(budget),
+            prefetch_depth: 2,
+            log_snapshots: false,
+        };
+        let truth = lab.truth(handle, &dq)?;
+        eprintln!(
+            "[exp5] {} baseline ({} chunks, budget {budget}) …",
+            handle.meta.label, n_chunks
+        );
+        let baseline = exp5_run(lab, handle, &dq.queries, &params, None, RetryPolicy::none())?;
+
+        for (policy_name, policy) in &policies {
+            let mut prev_precision = f64::INFINITY;
+            for &rate in &rates {
+                eprintln!("[exp5] {} {policy_name} rate {rate} …", handle.meta.label);
+                let plan = exp5_plan(lab, rate);
+                let results = exp5_run(lab, handle, &dq.queries, &params, Some(plan), *policy)?;
+
+                if rate == 0.0 {
+                    for (b, r) in baseline.iter().zip(results.iter()) {
+                        bit_identical = bit_identical && results_bit_identical(b, r);
+                    }
+                }
+                let mut precision = 0.0f64;
+                let mut lost_chunks = 0usize;
+                let mut lost_descriptors = 0u64;
+                let mut secs = 0.0f64;
+                let mut degraded = 0usize;
+                for (qi, r) in results.iter().enumerate() {
+                    let ids: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+                    precision += precision_at(&ids, &truth.ids[qi]);
+                    let d = &r.log.degradation;
+                    lost_chunks += d.chunks_lost;
+                    lost_descriptors += d.descriptors_lost;
+                    secs += r.log.total_virtual.as_secs();
+                    degraded += usize::from(d.is_degraded());
+                    // An honest report: the consumed budget is exactly
+                    // scanned + lost, and each lost chunk is one the plan
+                    // doomed under this retry budget.
+                    let consumed = r.log.chunks_read + d.chunks_lost;
+                    all_reported = all_reported
+                        && consumed == budget.min(n_chunks)
+                        && d.lost_chunks.iter().all(|&c| exp5_doomed(&plan, policy, c));
+                }
+                let nq = dq.len() as f64;
+                precision /= nq;
+                monotone = monotone && precision <= prev_precision;
+                prev_precision = precision;
+                t.row(vec![
+                    handle.meta.label.clone(),
+                    (*policy_name).to_string(),
+                    fmt_f(rate, 2),
+                    fmt_f(precision, 3),
+                    fmt_f(lost_chunks as f64 / nq, 1),
+                    fmt_f(lost_descriptors as f64 / nq, 0),
+                    fmt_f(secs / nq, 3),
+                    format!("{:.0}%", 100.0 * degraded as f64 / nq),
+                ]);
+            }
+        }
+    }
+
+    let rendered = t.render();
+    t.save_csv(&lab.results_dir()?.join("exp5.csv"))?;
+    Ok(format!(
+        "{rendered}\nRate-0 chaos stack bit-identical to the undecorated search: {}.\n\
+         All faulted searches completed with degradation reports: {}.\n\
+         Precision monotonically non-increasing in fault rate: {}.\n",
+        if bit_identical { "yes" } else { "NO" },
+        if all_reported { "yes" } else { "NO" },
+        if monotone { "yes" } else { "NO" },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -703,6 +901,26 @@ mod tests {
             nums[1] < nums[2],
             "most-wanted-chunk should fetch strictly fewer chunks: {summary}"
         );
+    }
+
+    #[test]
+    fn exp5_smoke() {
+        let lab = tiny_lab("e5");
+        let report = exp5(&lab).expect("exp5");
+        assert!(report.contains("Experiment 5"));
+        assert!(
+            report.contains("Rate-0 chaos stack bit-identical to the undecorated search: yes"),
+            "rate-0 decoration changed an answer:\n{report}"
+        );
+        assert!(
+            report.contains("All faulted searches completed with degradation reports: yes"),
+            "a faulted search aborted or lied about its losses:\n{report}"
+        );
+        assert!(
+            report.contains("Precision monotonically non-increasing in fault rate: yes"),
+            "quality rose with the fault rate:\n{report}"
+        );
+        assert!(lab.results_dir().unwrap().join("exp5.csv").exists());
     }
 
     #[test]

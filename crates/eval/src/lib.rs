@@ -14,6 +14,7 @@
 //! | Table 2 (time to completion) | [`experiments::exp1`] |
 //! | Figures 6–7 (optimal chunk size, DQ/SQ) | [`experiments::exp2`] |
 //! | Serving under load (beyond the paper: scheduler policies × concurrency) | [`experiments::exp4`] |
+//! | Quality under chunk loss (beyond the paper: fault rate × retry policy) | [`experiments::exp5`] |
 //!
 //! The default scale is 100,000 descriptors (the paper used 5,017,298 — see
 //! DESIGN.md §5 for the substitution rationale); chunk-size targets scale

@@ -13,6 +13,7 @@
 //!   exp2     Figures 6–7 — the chunk-size sweep
 //!   exp3     the stop-rule sweep — every rule answered from one scan
 //!   exp4     the serving sweep — scheduler policies × concurrency levels
+//!   exp5     the chaos sweep — quality degradation under injected chunk loss
 //!   all      everything above, in order
 //! ```
 //!
@@ -26,7 +27,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|all> \
+        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|all> \
          [--scale N] [--queries N] [--seed S] [--out DIR]"
     );
     std::process::exit(2);
@@ -118,6 +119,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
         "exp2" => print!("{}", experiments::exp2(&lab)?),
         "exp3" => print!("{}", experiments::exp3(&lab)?),
         "exp4" => print!("{}", experiments::exp4(&lab)?),
+        "exp5" => print!("{}", experiments::exp5(&lab)?),
         "all" => {
             print!("{}", experiments::table1(&lab)?);
             print!("{}", experiments::fig1(&lab)?);
@@ -125,6 +127,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
             print!("{}", experiments::exp2(&lab)?);
             print!("{}", experiments::exp3(&lab)?);
             print!("{}", experiments::exp4(&lab)?);
+            print!("{}", experiments::exp5(&lab)?);
         }
         _ => usage(),
     }

@@ -85,7 +85,7 @@ pub fn is_rule(id: &str) -> bool {
 
 /// Crates whose outputs feed traces or reported figures: HashMap/HashSet
 /// iteration order and ad-hoc float accumulation are banned here.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "storage", "serve", "metrics", "eval"];
+const DETERMINISTIC_CRATES: &[&str] = &["core", "storage", "chaos", "serve", "metrics", "eval"];
 
 /// Crates that are command-line binaries: printing to stdout/stderr is
 /// their job, so `hyg.print` does not apply.

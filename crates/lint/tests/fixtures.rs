@@ -76,6 +76,33 @@ fn det_rules_scope_to_deterministic_crates() {
 }
 
 #[test]
+fn det_rules_cover_the_chaos_crate() {
+    // Fault schedules feed reported figures: the chaos crate is inside the
+    // determinism scope, so the same fixtures fire there exactly as they
+    // do in core/storage.
+    for (name, source) in [
+        (
+            "det_hash_container.rs",
+            include_str!("fixtures/det_hash_container.rs"),
+        ),
+        (
+            "det_float_accum.rs",
+            include_str!("fixtures/det_float_accum.rs"),
+        ),
+        (
+            "det_wall_clock.rs",
+            include_str!("fixtures/det_wall_clock.rs"),
+        ),
+    ] {
+        assert_eq!(
+            findings_of("chaos", name, source),
+            expected_markers(source),
+            "fixture {name} linted as crate `chaos`"
+        );
+    }
+}
+
+#[test]
 fn hyg_print_exempts_cli_crates() {
     let source = include_str!("fixtures/hyg_print.rs");
     assert_eq!(findings_of("eval", "fixture.rs", source), Vec::new());

@@ -123,6 +123,29 @@ mod tests {
     }
 
     #[test]
+    fn all_equal_samples_collapse_every_statistic() {
+        let s = LatencySummary::from_secs(&[0.7; 9]);
+        assert_eq!(s.n, 9);
+        assert!((s.mean_secs - 0.7).abs() < 1e-12);
+        assert_eq!(s.p50_secs, 0.7);
+        assert_eq!(s.p90_secs, 0.7);
+        assert_eq!(s.p99_secs, 0.7);
+        assert_eq!(s.max_secs, 0.7);
+    }
+
+    #[test]
+    fn two_samples_split_at_the_median_rank() {
+        // Nearest-rank: p50 of two samples is the *lower* one (the
+        // smallest value with ≥50% of the sample at or below it).
+        let s = LatencySummary::from_secs(&[2.0, 1.0]);
+        assert_eq!(s.p50_secs, 1.0);
+        assert_eq!(s.p90_secs, 2.0);
+        assert_eq!(s.p99_secs, 2.0);
+        assert_eq!(s.max_secs, 2.0);
+        assert_eq!(s.mean_secs, 1.5);
+    }
+
+    #[test]
     fn fleet_curve_accumulates_in_time_order() {
         let curve = fleet_quality_curve(&[(3.0, 0.5), (1.0, 1.0), (2.0, 0.0)]);
         assert_eq!(curve.len(), 3);

@@ -21,13 +21,15 @@
 //!   hits cost the fleet no I/O; every fed session costs its scan CPU.
 
 use crate::error::{Result, ServeError};
+use eff2_chaos::{Fault, FaultPlan, RetryPolicy};
 use eff2_core::search::{SearchParams, SearchResult};
 use eff2_core::session::{ChunkRanking, SearchSession};
 use eff2_core::snapshot::Snapshot;
 use eff2_descriptor::Vector;
 use eff2_storage::diskmodel::{PipelineClock, VirtualDuration};
-use eff2_storage::source::{ResidentSource, ResidentStats};
+use eff2_storage::source::{Fetched, ResidentSource, ResidentStats};
 use eff2_storage::store::ChunkReader;
+use eff2_storage::ErrorClass;
 use std::collections::{BTreeMap, VecDeque};
 
 /// How each tick picks the next chunk to read and feed.
@@ -81,6 +83,14 @@ pub struct SchedulerConfig {
     /// [`Policy::EarliestDeadline`] key and the
     /// [`ServeStats::deadline_misses`] threshold.
     pub deadline: VirtualDuration,
+    /// Injected fault schedule applied to every fetch. `None` (the
+    /// default) is the fault-free scheduler, bit-identical to a config
+    /// that never mentions chaos.
+    pub fault_plan: Option<FaultPlan>,
+    /// How hard a failed fetch is retried before the chunk is abandoned
+    /// and the waiting sessions skip it. Failed attempts are charged to
+    /// the *fleet* clock per the policy's timeout/backoff.
+    pub retry: RetryPolicy,
 }
 
 impl SchedulerConfig {
@@ -95,6 +105,8 @@ impl SchedulerConfig {
             max_queued: active.saturating_mul(4),
             cache_budget_bytes: 8 << 20,
             deadline: VirtualDuration::from_secs(2.0),
+            fault_plan: None,
+            retry: RetryPolicy::none(),
         }
     }
 }
@@ -159,6 +171,13 @@ pub struct ServeStats {
     pub feeds: u64,
     /// Completions whose finish exceeded their deadline.
     pub deadline_misses: u64,
+    /// Failed fetch attempts (injected or real) that were retried.
+    pub fetch_retries: u64,
+    /// Chunks declared lost after the retry budget ran out; every session
+    /// waiting on one skipped it and continued degraded.
+    pub chunks_abandoned: u64,
+    /// Completions whose result lost at least one chunk.
+    pub sessions_degraded: u64,
     /// Shared chunk-cache counters (hits, cross-query hits, evictions …).
     pub cache: ResidentStats,
 }
@@ -219,8 +238,25 @@ pub struct Scheduler {
     /// Ranking buffers recycled from retired sessions
     /// ([`ChunkRanking::rank_into`]).
     spare_rankings: Vec<ChunkRanking>,
+    /// Fetch attempts per chunk under the injected [`FaultPlan`] —
+    /// mirrors the counters a `FaultSource` keeps, so transient faults
+    /// clear after the same number of retries here as in a serial run.
+    chaos_attempts: BTreeMap<usize, u32>,
     completions: Vec<Completion>,
     stats: ServeStats,
+}
+
+/// What one [`Scheduler::acquire`] call produced.
+enum Acquired {
+    /// The chunk arrived; `injected` is modelled extra latency to charge
+    /// the fleet device (spikes plus the cost of failed attempts).
+    Delivered {
+        fetched: Fetched,
+        injected: VirtualDuration,
+    },
+    /// The retry budget ran out (or the loss is permanent): the chunk is
+    /// gone and `spent` modelled time was burned finding that out.
+    Lost { spent: VirtualDuration },
 }
 
 impl Scheduler {
@@ -243,6 +279,7 @@ impl Scheduler {
             active: BTreeMap::new(),
             fair_cursor: u64::MAX,
             spare_rankings: Vec::new(),
+            chaos_attempts: BTreeMap::new(),
             completions: Vec::new(),
             stats: ServeStats::default(),
         }
@@ -435,22 +472,27 @@ impl Scheduler {
             .first()
             .and_then(|id| self.active.get(id))
             .map_or(0, |a| a.requester);
-        let fetched = self
-            .source
-            .fetch_through(requester, chunk_id, &mut self.reader)?;
+        let (fetched, injected) = match self.acquire(requester, chunk_id)? {
+            Acquired::Delivered { fetched, injected } => (fetched, injected),
+            Acquired::Lost { spent } => {
+                self.stats.ticks += 1;
+                return self.abandon(chunk_id, &fed_ids, spent);
+            }
+        };
         self.stats.ticks += 1;
         self.stats.fetches += 1;
         if fetched.from_disk {
             self.stats.disk_reads += 1;
         }
 
-        // Fleet device: the chunk's I/O (nothing on a cache hit) overlaps
-        // the previous tick's CPU; the fanned-out scans are CPU, one per
-        // fed session, summed in session-id order.
+        // Fleet device: the chunk's I/O (nothing on a cache hit) plus any
+        // injected latency overlaps the previous tick's CPU; the
+        // fanned-out scans are CPU, one per fed session, summed in
+        // session-id order.
         let io = if fetched.from_disk {
-            self.snapshot.model().io_time(fetched.chunk.bytes_read)
+            self.snapshot.model().io_time(fetched.chunk.bytes_read) + injected
         } else {
-            VirtualDuration::ZERO
+            injected
         };
         let scan = self.snapshot.model().scan_time(fetched.chunk.payload.len());
         let mut cpu = VirtualDuration::ZERO;
@@ -465,6 +507,91 @@ impl Scheduler {
             };
             a.session.step_with(&fetched.chunk)?;
             self.stats.feeds += 1;
+            let finished = a.session.stop_satisfied() || a.session.next_wanted().is_none();
+            if finished {
+                if let Some(a) = self.active.remove(&id) {
+                    self.retire(id, a, done);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetches `chunk_id` under the configured fault plan: injected
+    /// faults and real read errors alike are retried per
+    /// [`SchedulerConfig::retry`] — each failed attempt charged its
+    /// timeout plus backoff to the modelled clock — until the chunk is
+    /// delivered or declared lost. Without a plan this is the plain
+    /// one-shot fetch.
+    fn acquire(&mut self, requester: u64, chunk_id: usize) -> Result<Acquired> {
+        let Some(plan) = self.config.fault_plan else {
+            let fetched = self
+                .source
+                .fetch_through(requester, chunk_id, &mut self.reader)?;
+            return Ok(Acquired::Delivered {
+                fetched,
+                injected: VirtualDuration::ZERO,
+            });
+        };
+        let policy = self.config.retry;
+        let mut attempts = 0u32;
+        let mut spent = VirtualDuration::ZERO;
+        loop {
+            let attempt = {
+                let slot = self.chaos_attempts.entry(chunk_id).or_insert(0);
+                let attempt = *slot;
+                *slot += 1;
+                attempt
+            };
+            // The injected verdict first; a delivery then performs the
+            // real read, whose own errors retry through the same budget.
+            let verdict: std::result::Result<VirtualDuration, ErrorClass> =
+                match plan.fault_for(chunk_id, attempt) {
+                    Fault::Deliver { delay } => Ok(delay),
+                    Fault::Permanent => Err(ErrorClass::Permanent),
+                    Fault::Transient | Fault::ShortRead => Err(ErrorClass::Transient),
+                    Fault::Corrupt => Err(ErrorClass::Corrupt),
+                };
+            let class = match verdict {
+                Ok(delay) => {
+                    match self
+                        .source
+                        .fetch_through(requester, chunk_id, &mut self.reader)
+                    {
+                        Ok(fetched) => {
+                            return Ok(Acquired::Delivered {
+                                fetched,
+                                injected: spent + delay,
+                            });
+                        }
+                        Err(e) => e.class(),
+                    }
+                }
+                Err(class) => class,
+            };
+            spent += policy.attempt_cost(attempts);
+            attempts += 1;
+            if class == ErrorClass::Permanent || attempts >= policy.max_attempts {
+                return Ok(Acquired::Lost { spent });
+            }
+            self.stats.fetch_retries += 1;
+        }
+    }
+
+    /// Books a lost chunk: the wasted retry time is charged to the fleet
+    /// device, every session waiting on the chunk skips it (recording the
+    /// degradation), and sessions finished by the skip retire.
+    fn abandon(&mut self, chunk_id: usize, fed_ids: &[u64], spent: VirtualDuration) -> Result<()> {
+        self.stats.chunks_abandoned += 1;
+        let done = self.clock.chunk_overlapped(spent, VirtualDuration::ZERO);
+        for &id in fed_ids {
+            let Some(a) = self.active.get_mut(&id) else {
+                continue;
+            };
+            if a.session.next_wanted() != Some(chunk_id) {
+                continue;
+            }
+            a.session.skip_unavailable(spent)?;
             let finished = a.session.stop_satisfied() || a.session.next_wanted().is_none();
             if finished {
                 if let Some(a) = self.active.remove(&id) {
@@ -534,6 +661,9 @@ impl Scheduler {
         let (result, ranking) = active.session.into_result_and_ranking();
         self.spare_rankings.push(ranking);
         self.stats.completed += 1;
+        if result.log.degradation.is_degraded() {
+            self.stats.sessions_degraded += 1;
+        }
         if finish.as_secs() > active.deadline.as_secs() {
             self.stats.deadline_misses += 1;
         }
@@ -562,8 +692,10 @@ impl std::fmt::Debug for Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eff2_chaos::FaultConfig;
     use eff2_core::chunkers::{ChunkFormer, SrTreeChunker};
     use eff2_core::index::ChunkIndex;
+    use eff2_core::search::StopRule;
     use eff2_descriptor::{Descriptor, DescriptorSet};
     use eff2_storage::diskmodel::DiskModel;
     use eff2_storage::ChunkStore;
@@ -854,6 +986,124 @@ mod tests {
                 first.makespan.as_secs().to_bits(),
                 "one active slot leaves no scheduling freedom"
             );
+        }
+    }
+
+    fn chaos_run(
+        snap: &Snapshot,
+        queries: &[(Vector, VirtualDuration)],
+        params: &SearchParams,
+        plan: Option<FaultPlan>,
+        retry: RetryPolicy,
+    ) -> ServeReport {
+        let mut config = SchedulerConfig::new(Policy::MostWantedChunk, 4);
+        config.max_queued = queries.len();
+        config.fault_plan = plan;
+        config.retry = retry;
+        Scheduler::new(snap.clone(), config)
+            .serve_trace(queries, params)
+            .expect("serve")
+    }
+
+    #[test]
+    fn rate_zero_chaos_is_bit_identical_to_the_fault_free_scheduler() {
+        let (snap, set) = snapshot("chaosq", 500, 30);
+        let params = SearchParams::exact(6);
+        let queries = trace(&set, 8, 2.0);
+        let retry = RetryPolicy::new(
+            3,
+            VirtualDuration::from_ms(5.0),
+            VirtualDuration::from_ms(1.0),
+        );
+        let plain = chaos_run(&snap, &queries, &params, None, retry);
+        let quiet = chaos_run(
+            &snap,
+            &queries,
+            &params,
+            Some(FaultPlan::new(FaultConfig::quiet(77))),
+            retry,
+        );
+        assert_eq!(plain.stats.fetches, quiet.stats.fetches);
+        assert_eq!(quiet.stats.fetch_retries, 0);
+        assert_eq!(quiet.stats.chunks_abandoned, 0);
+        assert_eq!(quiet.stats.sessions_degraded, 0);
+        assert_eq!(
+            plain.makespan.as_secs().to_bits(),
+            quiet.makespan.as_secs().to_bits(),
+            "a quiet plan must not perturb the fleet clock"
+        );
+        for (a, b) in plain.completions.iter().zip(quiet.completions.iter()) {
+            assert_result_bits(&a.result, &b.result, &format!("quiet q{}", a.id));
+        }
+    }
+
+    #[test]
+    fn recovered_transients_keep_results_bit_identical_and_cost_fleet_time() {
+        let (snap, set) = snapshot("chaosflaky", 400, 30);
+        let params = SearchParams::exact(6);
+        let queries = trace(&set, 6, 2.0);
+        let budget = eff2_chaos::plan::TRANSIENT_CLEAR + 1;
+        let retry = RetryPolicy::new(
+            budget,
+            VirtualDuration::from_ms(5.0),
+            VirtualDuration::from_ms(1.0),
+        );
+        let plain = chaos_run(&snap, &queries, &params, None, retry);
+        let flaky = chaos_run(
+            &snap,
+            &queries,
+            &params,
+            Some(FaultPlan::new(FaultConfig::flaky(31, 1.0))),
+            retry,
+        );
+        assert!(flaky.stats.fetch_retries > 0, "transients must retry");
+        assert_eq!(flaky.stats.chunks_abandoned, 0);
+        assert_eq!(flaky.stats.sessions_degraded, 0);
+        assert_eq!(plain.completions.len(), flaky.completions.len());
+        for (a, b) in plain.completions.iter().zip(flaky.completions.iter()) {
+            assert_result_bits(&a.result, &b.result, &format!("flaky q{}", a.id));
+        }
+        assert!(
+            flaky.makespan.as_secs() > plain.makespan.as_secs(),
+            "retries are charged to the fleet clock: {} vs {}",
+            flaky.makespan,
+            plain.makespan
+        );
+    }
+
+    #[test]
+    fn lost_chunks_degrade_sessions_but_every_query_completes() {
+        let (snap, set) = snapshot("chaosloss", 600, 25);
+        // Scan-everything stop rule: every session must visit (or skip)
+        // every chunk, so every session observes the full loss schedule.
+        let params = SearchParams {
+            stop: StopRule::Chunks(usize::MAX),
+            ..SearchParams::exact(8)
+        };
+        let queries = trace(&set, 10, 1.0);
+        let plan = FaultPlan::new(FaultConfig::lossy(13, 0.2));
+        let lost = plan.permanent_losses(snap.n_chunks());
+        assert!(!lost.is_empty(), "seed 13 must lose at least one chunk");
+        let retry = RetryPolicy::new(
+            2,
+            VirtualDuration::from_ms(5.0),
+            VirtualDuration::from_ms(1.0),
+        );
+        let report = chaos_run(&snap, &queries, &params, Some(plan), retry);
+        assert_eq!(report.stats.completed, queries.len() as u64);
+        assert!(report.stats.chunks_abandoned > 0);
+        assert_eq!(report.stats.sessions_degraded, queries.len() as u64);
+        for c in &report.completions {
+            let d = &c.result.log.degradation;
+            // Skips happen in each query's ranked order; compare as sets.
+            let mut skipped = d.lost_chunks.clone();
+            skipped.sort_unstable();
+            assert_eq!(
+                skipped, lost,
+                "q{}: every session skips exactly the injected losses",
+                c.id
+            );
+            assert!(d.descriptors_lost > 0);
         }
     }
 }

@@ -3,6 +3,10 @@
 //! §4.2: descriptors of a chunk are stored together, chunks sequentially,
 //! each padded to occupy full disk pages. Records use the collection's
 //! 100-byte layout (id + 24 components).
+//!
+//! Since format version 2 every chunk body is followed by a 4-byte FNV-1a
+//! checksum (inside the padded page span), so corruption is detected at
+//! read time instead of being silently scanned.
 
 use crate::bytes::{array_at, f32_at, u32_at, u64_at};
 use crate::error::{Error, Result};
@@ -13,17 +17,36 @@ use std::io::{Read, Seek, SeekFrom, Write};
 /// Magic bytes of a chunk file.
 pub const MAGIC: [u8; 4] = *b"EFCH";
 /// Current format version.
-pub const VERSION: u32 = 1;
+pub const VERSION: u32 = 2;
 /// Header size (one full page is reserved so chunk 0 starts page-aligned,
 /// but the logical header is this many bytes).
 pub const HEADER_BYTES: usize = 24;
 /// Bytes per descriptor record.
 pub const RECORD_BYTES: usize = 4 + DIM * 4;
+/// Bytes of the per-chunk checksum stored after the body.
+pub const CHECKSUM_BYTES: u64 = 4;
 
 /// Rounds `len` up to a multiple of `page_size`.
 pub fn pad_to_page(len: u64, page_size: u64) -> u64 {
     assert!(page_size > 0, "page size must be positive");
     len.div_ceil(page_size) * page_size
+}
+
+/// On-disk page span of a chunk with `byte_len` bytes of records: body plus
+/// trailing checksum, padded to full pages.
+pub fn chunk_span(byte_len: u64, page_size: u64) -> u64 {
+    pad_to_page(byte_len + CHECKSUM_BYTES, page_size)
+}
+
+/// FNV-1a over a chunk body; cheap, deterministic, and sensitive to single
+/// flipped bytes anywhere in the record block.
+pub fn checksum(body: &[u8]) -> u32 {
+    let mut hash = 0x811c_9dc5u32;
+    for &b in body {
+        hash ^= u32::from(b);
+        hash = hash.wrapping_mul(0x0100_0193);
+    }
+    hash
 }
 
 /// Writes the chunk file header into a page-sized buffer.
@@ -59,17 +82,21 @@ pub fn write_chunks<W: Write>(
 
     let mut locations = Vec::with_capacity(chunks.len());
     let mut offset = u64::from(page_size);
+    let mut body = Vec::new();
     for members in chunks {
         let byte_len = (members.len() * RECORD_BYTES) as u32;
+        body.clear();
         for &pos in members {
             let pos = pos as usize;
-            w.write_all(&set.id(pos).0.to_le_bytes())?;
+            body.extend_from_slice(&set.id(pos).0.to_le_bytes());
             for &c in set.vector(pos) {
-                w.write_all(&c.to_le_bytes())?;
+                body.extend_from_slice(&c.to_le_bytes());
             }
         }
-        let padded = pad_to_page(u64::from(byte_len), u64::from(page_size));
-        let padding = padded - u64::from(byte_len);
+        w.write_all(&body)?;
+        w.write_all(&checksum(&body).to_le_bytes())?;
+        let padded = chunk_span(u64::from(byte_len), u64::from(page_size));
+        let padding = padded - u64::from(byte_len) - CHECKSUM_BYTES;
         // Zero-fill to the page boundary.
         w.write_all(&vec![0u8; padding as usize])?;
         locations.push((offset, byte_len, members.len() as u32));
@@ -143,8 +170,9 @@ impl ChunkPayload {
 }
 
 /// Reads one chunk (located by its index entry) from a seekable chunk file
-/// into `payload`, reusing its buffers. Returns the number of bytes read
-/// from disk — the padded page span, which is what the disk transfers.
+/// into `payload`, reusing its buffers and verifying the stored checksum.
+/// Returns the number of bytes read from disk — the padded page span,
+/// which is what the disk transfers.
 pub fn read_chunk_at<R: Read + Seek>(
     reader: &mut R,
     meta: &ChunkMeta,
@@ -153,7 +181,7 @@ pub fn read_chunk_at<R: Read + Seek>(
 ) -> Result<u64> {
     payload.clear();
     reader.seek(SeekFrom::Start(meta.offset))?;
-    let padded = pad_to_page(u64::from(meta.byte_len), u64::from(page_size));
+    let padded = chunk_span(u64::from(meta.byte_len), u64::from(page_size));
     let mut raw = vec![0u8; padded as usize];
     reader
         .read_exact(&mut raw)
@@ -161,6 +189,19 @@ pub fn read_chunk_at<R: Read + Seek>(
     let body = raw
         .get(..meta.byte_len as usize)
         .ok_or(Error::Truncated("chunk body"))?;
+    let stored = raw
+        .get(meta.byte_len as usize..meta.byte_len as usize + CHECKSUM_BYTES as usize)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or(Error::Truncated("chunk checksum"))?;
+    let computed = checksum(body);
+    if stored != computed {
+        return Err(Error::Corrupt {
+            offset: meta.offset,
+            expected: stored,
+            found: computed,
+        });
+    }
     decode_records(body, meta.count, payload)?;
     Ok(padded)
 }
@@ -288,6 +329,63 @@ mod tests {
             read_chunk_at(&mut Cursor::new(&buf), &meta, page, &mut payload),
             Err(Error::Truncated(_))
         ));
+    }
+
+    #[test]
+    fn corrupted_chunk_detected_not_scanned() {
+        let set = sample_set(6);
+        let chunks = vec![vec![0u32, 1, 2], vec![3, 4, 5]];
+        let page = 256u32;
+        let mut buf = Vec::new();
+        let locs = write_chunks(&set, &chunks, page, &mut buf).expect("write");
+        // Flip one byte in the middle of chunk 1's record block.
+        let hit = locs[1].0 as usize + locs[1].1 as usize / 2;
+        buf[hit] ^= 0x40;
+        let mut payload = ChunkPayload::default();
+        // Chunk 0 still reads clean.
+        let meta0 = ChunkMeta {
+            centroid: Vector::ZERO,
+            radius: 0.0,
+            offset: locs[0].0,
+            byte_len: locs[0].1,
+            count: locs[0].2,
+        };
+        read_chunk_at(&mut Cursor::new(&buf), &meta0, page, &mut payload).expect("clean chunk");
+        // Chunk 1 is detected as corrupt, with the damage located.
+        let meta1 = ChunkMeta {
+            centroid: Vector::ZERO,
+            radius: 0.0,
+            offset: locs[1].0,
+            byte_len: locs[1].1,
+            count: locs[1].2,
+        };
+        match read_chunk_at(&mut Cursor::new(&buf), &meta1, page, &mut payload) {
+            Err(Error::Corrupt {
+                offset,
+                expected,
+                found,
+            }) => {
+                assert_eq!(offset, locs[1].0);
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_is_fnv1a() {
+        assert_eq!(checksum(&[]), 0x811c_9dc5);
+        // Single-byte sensitivity: any flipped byte changes the sum.
+        let base = checksum(b"chunk body bytes");
+        assert_ne!(base, checksum(b"chunk bodY bytes"));
+    }
+
+    #[test]
+    fn chunk_span_reserves_checksum_room() {
+        // An exactly page-filling body needs one more page for its checksum.
+        assert_eq!(chunk_span(512, 512), 1024);
+        assert_eq!(chunk_span(500, 512), 512);
+        assert_eq!(chunk_span(0, 512), 512);
     }
 
     #[test]

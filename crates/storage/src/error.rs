@@ -1,7 +1,23 @@
-//! Error type for chunk-index storage.
+//! Error type for chunk-index storage, with a transient/corrupt/permanent
+//! taxonomy that retry layers use to decide whether another attempt can
+//! possibly help.
+
+use crate::diskmodel::VirtualDuration;
 
 /// Convenience result alias for this crate.
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// How a retry layer should treat an error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// The read might succeed if repeated (I/O hiccup, short read).
+    Transient,
+    /// The bytes arrived but failed verification; a re-read may deliver
+    /// the true contents (or prove the damage permanent).
+    Corrupt,
+    /// No number of retries will ever deliver this data.
+    Permanent,
+}
 
 /// Errors raised by chunk-index file operations.
 #[derive(Debug)]
@@ -29,6 +45,44 @@ pub enum Error {
     },
     /// A file ended before its declared contents.
     Truncated(&'static str),
+    /// A chunk body failed its checksum: the bytes read do not match what
+    /// was written.
+    Corrupt {
+        /// File offset of the chunk body.
+        offset: u64,
+        /// Checksum recorded at write time.
+        expected: u32,
+        /// Checksum of the bytes actually read.
+        found: u32,
+    },
+    /// A chunk is not deliverable: every allowed attempt failed. Raised by
+    /// retry layers after exhausting their budget; callers holding a skip
+    /// policy may continue without the chunk.
+    ChunkLost {
+        /// The chunk that could not be read.
+        chunk: usize,
+        /// Read attempts performed before giving up.
+        attempts: u32,
+        /// Modelled time spent on the failed attempts (timeouts and
+        /// backoff), to be charged to the disk clock by the caller.
+        spent: VirtualDuration,
+    },
+}
+
+impl Error {
+    /// Classifies the error for retry purposes.
+    pub fn class(&self) -> ErrorClass {
+        match self {
+            // I/O hiccups and short reads may clear on a repeat attempt.
+            Error::Io(_) | Error::Truncated(_) => ErrorClass::Transient,
+            Error::Corrupt { .. } => ErrorClass::Corrupt,
+            Error::BadMagic { .. }
+            | Error::UnsupportedVersion(_)
+            | Error::Inconsistent(_)
+            | Error::NoSuchChunk { .. }
+            | Error::ChunkLost { .. } => ErrorClass::Permanent,
+        }
+    }
 }
 
 impl std::fmt::Display for Error {
@@ -44,6 +98,18 @@ impl std::fmt::Display for Error {
                 write!(f, "chunk {id} out of range (store has {n_chunks} chunks)")
             }
             Error::Truncated(which) => write!(f, "{which} truncated"),
+            Error::Corrupt {
+                offset,
+                expected,
+                found,
+            } => write!(
+                f,
+                "chunk body at offset {offset} corrupt \
+                 (checksum {found:#010x}, expected {expected:#010x})"
+            ),
+            Error::ChunkLost {
+                chunk, attempts, ..
+            } => write!(f, "chunk {chunk} lost after {attempts} attempts"),
         }
     }
 }
@@ -78,5 +144,54 @@ mod tests {
         assert!(Error::Truncated("index file")
             .to_string()
             .contains("index file"));
+        assert!(Error::Corrupt {
+            offset: 512,
+            expected: 1,
+            found: 2
+        }
+        .to_string()
+        .contains("512"));
+        assert!(Error::ChunkLost {
+            chunk: 4,
+            attempts: 3,
+            spent: VirtualDuration::ZERO
+        }
+        .to_string()
+        .contains("3 attempts"));
+    }
+
+    #[test]
+    fn classification_covers_every_variant() {
+        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk");
+        assert_eq!(Error::Io(io).class(), ErrorClass::Transient);
+        assert_eq!(
+            Error::Truncated("chunk body").class(),
+            ErrorClass::Transient
+        );
+        assert_eq!(
+            Error::Corrupt {
+                offset: 0,
+                expected: 0,
+                found: 1
+            }
+            .class(),
+            ErrorClass::Corrupt
+        );
+        for permanent in [
+            Error::BadMagic {
+                file: "chunk file",
+                found: [0; 4],
+            },
+            Error::UnsupportedVersion(9),
+            Error::Inconsistent("counts".into()),
+            Error::NoSuchChunk { id: 1, n_chunks: 1 },
+            Error::ChunkLost {
+                chunk: 0,
+                attempts: 1,
+                spent: VirtualDuration::ZERO,
+            },
+        ] {
+            assert_eq!(permanent.class(), ErrorClass::Permanent, "{permanent}");
+        }
     }
 }

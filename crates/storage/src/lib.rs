@@ -40,7 +40,7 @@ pub mod source;
 pub mod store;
 
 pub use diskmodel::{DiskModel, PipelineClock, VirtualDuration};
-pub use error::{Error, Result};
+pub use error::{Error, ErrorClass, Result};
 pub use indexfile::ChunkMeta;
 pub use singleflight::{FlightOutcome, FlightStats, SingleFlight};
 pub use source::{

@@ -286,4 +286,85 @@ mod tests {
         assert!(retry.led);
         assert_eq!(flight.stats().reads, 2);
     }
+
+    /// Stress: many rounds of coalesced reads where the leader fails on
+    /// every even round. Followers must observe the wrapped error, the
+    /// failed slot must always clear, and an immediate retry must lead a
+    /// fresh read that succeeds — no wedged slots, no stale payloads.
+    #[test]
+    fn failing_leaders_never_wedge_the_table_under_threaded_stress() {
+        let flight = SingleFlight::new();
+        const ROUNDS: usize = 24;
+        const FOLLOWERS: u64 = 3;
+        let mut want_reads = 0u64;
+        let mut want_coalesced = 0u64;
+        for round in 0..ROUNDS {
+            let id = round % 5;
+            let fail = round % 2 == 0;
+            let reads_before = flight.stats().reads;
+            let coalesced_before = flight.stats().coalesced;
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for tag in 1..=FOLLOWERS {
+                    let flight = flight.clone();
+                    handles.push(scope.spawn(move || {
+                        // Join only after this round's leader registered.
+                        while flight.stats().reads == reads_before {
+                            std::thread::yield_now();
+                        }
+                        flight.read(id, tag, || unreachable!("the slot is already in flight"))
+                    }));
+                }
+                // The leader holds the slot open until every follower has
+                // coalesced, then fails (even rounds) or lands (odd).
+                let lead = flight.read(id, 0, || {
+                    while flight.stats().coalesced < coalesced_before + FOLLOWERS {
+                        std::thread::yield_now();
+                    }
+                    if fail {
+                        Err(Error::Io(std::io::Error::new(
+                            std::io::ErrorKind::Interrupted,
+                            format!("injected fault in round {round}"),
+                        )))
+                    } else {
+                        Ok((payload(id + 1), 512))
+                    }
+                });
+                assert_eq!(lead.is_err(), fail, "round {round} leader outcome");
+                for h in handles {
+                    match (fail, h.join().expect("join")) {
+                        (true, Err(Error::Inconsistent(msg))) => {
+                            assert!(
+                                msg.contains(&format!("coalesced read of chunk {id} failed")),
+                                "round {round}: {msg}"
+                            );
+                            assert!(msg.contains("injected fault"), "round {round}: {msg}");
+                        }
+                        (false, Ok(got)) => {
+                            assert!(!got.led);
+                            assert_eq!(got.leader, 0);
+                            assert_eq!(got.payload.ids.len(), id + 1);
+                        }
+                        (_, other) => panic!("round {round}: follower got {other:?}"),
+                    }
+                }
+            });
+            // The slot always cleared: a retry leads a fresh read and sees
+            // current data, not a cached copy of an old round's payload.
+            let retry = flight
+                .read(id, 99, || Ok((payload(id + 2), 640)))
+                .expect("retry after round");
+            assert!(retry.led, "round {round} retry must lead");
+            assert_eq!(retry.payload.ids.len(), id + 2);
+            want_reads += 2;
+            want_coalesced += FOLLOWERS;
+        }
+        assert_eq!(
+            flight.stats(),
+            FlightStats {
+                reads: want_reads,
+                coalesced: want_coalesced
+            }
+        );
+    }
 }

@@ -51,6 +51,16 @@ pub struct SourcedChunk {
 pub trait ChunkStream: Send {
     /// Delivers the next chunk of the requested order, `None` when done.
     fn next_chunk(&mut self) -> Option<Result<SourcedChunk>>;
+
+    /// Modelled time the stream spent beyond the plain page transfer on the
+    /// chunk it just delivered — latency spikes, retry timeouts, backoff.
+    /// Consumers take (and thereby reset) the accumulator after a
+    /// successful [`ChunkStream::next_chunk`] and charge it to the virtual
+    /// disk clock. Plain streams never inject delay, so the default is
+    /// always-zero; decorators (fault injection, retry) override it.
+    fn take_injected_delay(&mut self) -> crate::diskmodel::VirtualDuration {
+        crate::diskmodel::VirtualDuration::ZERO
+    }
 }
 
 /// A backend that can deliver chunk payloads for a ranked id sequence.

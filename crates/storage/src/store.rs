@@ -125,8 +125,7 @@ impl ChunkStore {
         }
         let file_len = std::fs::metadata(chunk_path)?.len();
         for (i, m) in metas.iter().enumerate() {
-            let end =
-                m.offset + chunkfile::pad_to_page(u64::from(m.byte_len), u64::from(page_size));
+            let end = m.offset + chunkfile::chunk_span(u64::from(m.byte_len), u64::from(page_size));
             if end > file_len {
                 return Err(Error::Inconsistent(format!(
                     "chunk {i} extends to byte {end} beyond file of {file_len} bytes"
@@ -325,6 +324,28 @@ mod tests {
         assert!(matches!(
             ChunkStore::open(store.chunk_path(), store.index_path()),
             Err(Error::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn reader_detects_on_disk_corruption() {
+        let dir = tmp_dir("corrupt");
+        let set = sample_set(8);
+        let chunks = defs(&[&[0, 1, 2, 3], &[4, 5, 6, 7]], &set);
+        let store = ChunkStore::create(&dir, "c", &set, &chunks, 256).expect("create");
+        // Flip a byte inside chunk 1's record block, on disk.
+        let mut data = std::fs::read(store.chunk_path()).expect("read file");
+        let hit = store.metas()[1].offset as usize + 10;
+        data[hit] ^= 0x01;
+        std::fs::write(store.chunk_path(), &data).expect("rewrite");
+        let mut reader = store.reader().expect("reader");
+        let mut payload = ChunkPayload::default();
+        reader
+            .read_chunk(0, &mut payload)
+            .expect("chunk 0 is clean");
+        assert!(matches!(
+            reader.read_chunk(1, &mut payload),
+            Err(Error::Corrupt { .. })
         ));
     }
 

@@ -139,6 +139,33 @@ mod tests {
     }
 
     #[test]
+    fn burst_traces_are_deterministic_and_non_decreasing() {
+        // No hidden state: the same parameters always yield the same
+        // trace, and offsets never go backwards (even with a partial
+        // final burst).
+        let a = burst_arrivals(23, 5, 0.25);
+        let b = burst_arrivals(23, 5, 0.25);
+        assert_eq!(a, b);
+        for w in a.arrivals.windows(2) {
+            assert!(w[1] >= w[0], "non-decreasing offsets");
+        }
+        // 23 arrivals over 4 full gaps (bursts at 0, 0.25, 0.5, 0.75, 1.0).
+        assert_eq!(a.arrivals.last().copied(), Some(1.0));
+        let qps = a.offered_qps();
+        assert!(
+            (qps - 22.0).abs() < 1e-12,
+            "offered rate {qps} should be 22"
+        );
+    }
+
+    #[test]
+    fn zero_gap_bursts_land_at_the_same_instant() {
+        let t = burst_arrivals(6, 2, 0.0);
+        assert_eq!(t.arrivals, vec![0.0; 6]);
+        assert_eq!(t.offered_qps(), 0.0, "no time elapses, no defined rate");
+    }
+
+    #[test]
     fn burst_of_zero_is_clamped() {
         let t = burst_arrivals(3, 0, 1.0);
         assert_eq!(t.arrivals, vec![0.0, 1.0, 2.0]);

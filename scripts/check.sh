@@ -28,6 +28,14 @@ EFF2_SCALE=2500 EFF2_QUERIES=6 cargo run --release -p eff2-eval -- exp4 \
 grep -q "bit-identical to serial under every policy: yes" "$EXP4_OUT/exp4.txt"
 rm -rf "$EXP4_OUT"
 
+echo "==> eval exp5 smoke (tiny-scale chaos sweep)"
+EXP5_OUT="$(mktemp -d)"
+EFF2_SCALE=2500 EFF2_QUERIES=6 cargo run --release -p eff2-eval -- exp5 \
+  --out "$EXP5_OUT" | tee "$EXP5_OUT/exp5.txt"
+grep -q "Rate-0 chaos stack bit-identical to the undecorated search: yes" "$EXP5_OUT/exp5.txt"
+grep -q "All faulted searches completed with degradation reports: yes" "$EXP5_OUT/exp5.txt"
+rm -rf "$EXP5_OUT"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
