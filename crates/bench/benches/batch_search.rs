@@ -10,12 +10,11 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 use eff2_bench::fixtures;
 use eff2_core::search::{search, search_batch_threads};
 use eff2_core::SearchParams;
-use eff2_storage::diskmodel::DiskModel;
 use std::hint::black_box;
 
 fn batch_search(c: &mut Criterion) {
     let store = fixtures::sr_index().store();
-    let model = DiskModel::ata_2005();
+    let model = fixtures::model();
     let queries = fixtures::queries(32);
     let params = SearchParams::exact(30);
 

@@ -9,7 +9,7 @@ use eff2_chaos::{FaultConfig, FaultPlan, FaultSource, RetryPolicy, RetrySource};
 use eff2_core::search::search;
 use eff2_core::session::{SearchSession, SkipPolicy};
 use eff2_core::{SearchParams, StopRule};
-use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
+use eff2_storage::diskmodel::VirtualDuration;
 use eff2_storage::source::{ChunkSource, FileSource};
 use std::hint::black_box;
 use std::sync::Arc;
@@ -27,7 +27,7 @@ fn params() -> SearchParams {
 /// stack: the decorators' passthrough overhead.
 fn quiet_stack_overhead(c: &mut Criterion) {
     let store = fixtures::sr_index().store();
-    let model = DiskModel::ata_2005();
+    let model = fixtures::model();
     let q = fixtures::collection().vector_owned(11);
     let params = params();
 
@@ -68,7 +68,7 @@ fn quiet_stack_overhead(c: &mut Criterion) {
 /// session skipping past every loss.
 fn degraded_scan(c: &mut Criterion) {
     let store = fixtures::sr_index().store();
-    let model = DiskModel::ata_2005();
+    let model = fixtures::model();
     let q = fixtures::collection().vector_owned(11);
     let params = params();
 

@@ -5,7 +5,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use eff2_bench::fixtures;
 use eff2_core::{scan_knn, NeighborSet};
-use eff2_descriptor::{as_rows, codec, l2_sq, l2_sq_batch, l2_sq_serial, scan_block_into, DIM};
+use eff2_descriptor::{
+    adc_l2_sq_batch, adc_scan_block_into, as_rows, codec, l2_sq, l2_sq_batch, l2_sq_serial,
+    scan_block_into, DescriptorCodec, DIM,
+};
 use eff2_srtree::{bulk_build, BulkConfig};
 use std::hint::black_box;
 
@@ -65,6 +68,56 @@ fn distance_kernels(c: &mut Criterion) {
             black_box(ns.kth_dist())
         })
     });
+    g.finish();
+}
+
+/// ADC kernels against the decode-then-exact baseline: the same `n` codes
+/// scored per iteration, either decoded back to f32 and run through the
+/// blocked exact kernel, or scored directly from the u8 codes with the
+/// asymmetric-distance kernels (blocked batch and fused top-k variants).
+fn adc_kernels(c: &mut Criterion) {
+    let set = fixtures::collection();
+    let q = set.vector_owned(0);
+    let n = set.len().min(4_096);
+    let ids = &set.raw_ids()[..n];
+
+    let mut g = c.benchmark_group("adc_kernels");
+    g.throughput(Throughput::Elements(n as u64));
+    for (name, quant) in [("sq8", fixtures::sq8_codec()), ("pq", fixtures::pq_codec())] {
+        let codes = fixtures::encode_rows(quant, n);
+        let prep = quant.prepare(q.as_array());
+        let cb = quant.code_bytes();
+        let mut decoded = vec![0.0f32; n * DIM];
+        let mut out = vec![0.0f32; n];
+        // Baseline: decode every code to f32, then the exact blocked kernel.
+        g.bench_function(format!("{name}_decode_then_exact"), |b| {
+            b.iter(|| {
+                let mut row = [0.0f32; DIM];
+                for (code, slot) in codes.chunks_exact(cb).zip(decoded.chunks_exact_mut(DIM)) {
+                    quant.decode_into(code, &mut row);
+                    slot.copy_from_slice(&row);
+                }
+                l2_sq_batch(q.as_array(), &decoded, &mut out);
+                black_box(out[0])
+            })
+        });
+        // Blocked ADC batch: distances straight from the codes.
+        g.bench_function(format!("{name}_adc_batch"), |b| {
+            let mut dists = Vec::with_capacity(n);
+            b.iter(|| {
+                adc_l2_sq_batch(&prep, &codes, &mut dists);
+                black_box(dists[0])
+            })
+        });
+        // Fused ADC top-k: blocked scoring with the kth-distance prune.
+        g.bench_function(format!("{name}_adc_fused_topk30"), |b| {
+            b.iter(|| {
+                let mut ns = NeighborSet::new(30);
+                adc_scan_block_into(&prep, &codes, ids, &mut ns);
+                black_box(ns.kth_dist())
+            })
+        });
+    }
     g.finish();
 }
 
@@ -146,6 +199,7 @@ fn srtree_knn_vs_scan(c: &mut Criterion) {
 criterion_group!(
     benches,
     distance_kernels,
+    adc_kernels,
     neighbor_set,
     record_codec,
     srtree_knn_vs_scan

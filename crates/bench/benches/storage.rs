@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use eff2_bench::fixtures;
-use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
+use eff2_core::{ChunkRanking, CoarseQuantizer};
+use eff2_storage::diskmodel::{PipelineClock, VirtualDuration};
 use eff2_storage::prefetch::prefetch_chunks;
 use eff2_storage::ChunkData;
 use std::hint::black_box;
@@ -55,7 +56,7 @@ fn overlap_ablation_real_io(c: &mut Criterion) {
 /// Overlap ablation on the virtual clock: the deterministic cost-model
 /// counterpart (what the paper's elapsed-time figures are built from).
 fn overlap_ablation_cost_model(c: &mut Criterion) {
-    let model = DiskModel::ata_2005();
+    let model = fixtures::model();
     let chunks: Vec<(u64, usize)> = (0..2_000)
         .map(|i| (8_192 + (i % 7) * 4_096, 1_000 + (i % 13) * 100))
         .map(|(b, n)| (b as u64, n))
@@ -102,10 +103,45 @@ fn chunk_ranking(c: &mut Criterion) {
     g.finish();
 }
 
+/// Flat vs two-level chunk ranking: the same step-1 cost when coarse
+/// cells defer most centroid distances until a cell is actually expanded.
+/// `rank_two_level` alone prices the lazy variant; the `first_wave` bench
+/// adds the expansion a query pays before its first chunk read.
+fn two_level_ranking(c: &mut Criterion) {
+    let store = fixtures::sr_index().store();
+    let model = fixtures::model();
+    let q = fixtures::collection().vector_owned(3);
+    let coarse = CoarseQuantizer::for_store(store);
+
+    let mut g = c.benchmark_group("two_level_ranking");
+    g.throughput(Throughput::Elements(store.n_chunks() as u64));
+    g.bench_function("rank_flat", |b| {
+        b.iter(|| {
+            let mut r = ChunkRanking::default();
+            r.rank_into(store, &model, &q);
+            black_box(r.centroid_evals())
+        })
+    });
+    g.bench_function("rank_two_level", |b| {
+        b.iter(|| {
+            black_box(ChunkRanking::rank_two_level(store, &model, &q, &coarse).centroid_evals())
+        })
+    });
+    g.bench_function("rank_two_level_first_wave", |b| {
+        b.iter(|| {
+            let mut r = ChunkRanking::rank_two_level(store, &model, &q, &coarse);
+            r.expand_wave(&q);
+            black_box(r.centroid_evals())
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     overlap_ablation_real_io,
     overlap_ablation_cost_model,
-    chunk_ranking
+    chunk_ranking,
+    two_level_ranking
 );
 criterion_main!(benches);

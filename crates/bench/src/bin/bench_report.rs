@@ -1,0 +1,161 @@
+//! `bench_report` — collect Criterion medians into one JSON artefact.
+//!
+//! ```text
+//! bench_report [--criterion-dir target/criterion] [--out BENCH_6.json]
+//!              [--kv key=value]...
+//! ```
+//!
+//! Walks `<criterion-dir>/**/new/estimates.json`, extracts each bench's
+//! median point estimate (nanoseconds, keyed by the slash-joined bench
+//! path), merges any `--kv` pairs passed on the command line (numbers
+//! where they parse, strings otherwise — e.g. bytes-read figures grepped
+//! from the exp6 smoke run) and writes one JSON object to `--out`. This
+//! is the standing perf artefact `scripts/check.sh` commits per PR so
+//! kernel speedups and regressions stay visible across the stack.
+
+// lint:allow-file(hyg.print): command-line binary; progress and errors go to stderr by design
+
+use eff2_json::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+fn usage() -> ! {
+    eprintln!("usage: bench_report [--criterion-dir DIR] [--out FILE] [--kv key=value]...");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut criterion_dir = PathBuf::from("target/criterion");
+    let mut out_path = PathBuf::from("BENCH_6.json");
+    let mut extra: BTreeMap<String, String> = BTreeMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args.get(i).map(String::as_str) {
+            Some("--criterion-dir") => {
+                i += 1;
+                criterion_dir = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            Some("--out") => {
+                i += 1;
+                out_path = PathBuf::from(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            Some("--kv") => {
+                i += 1;
+                let kv = args.get(i).cloned().unwrap_or_else(|| usage());
+                match kv.split_once('=') {
+                    Some((k, v)) => {
+                        extra.insert(k.to_string(), v.to_string());
+                    }
+                    None => usage(),
+                }
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    let mut benches: BTreeMap<String, f64> = BTreeMap::new();
+    if criterion_dir.is_dir() {
+        if let Err(e) = collect(&criterion_dir, "", &mut benches) {
+            eprintln!("error: walking {}: {e}", criterion_dir.display());
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!(
+            "warning: {} not found; emitting metrics only",
+            criterion_dir.display()
+        );
+    }
+
+    let bench_obj: Vec<(String, Json)> = benches
+        .iter()
+        .map(|(k, &v)| (k.clone(), Json::num(v)))
+        .collect();
+    let extra_obj: Vec<(String, Json)> = extra
+        .iter()
+        .map(|(k, v)| {
+            let j = match v.parse::<f64>() {
+                Ok(n) if n.is_finite() => Json::num(n),
+                _ => Json::Str(v.clone()),
+            };
+            (k.clone(), j)
+        })
+        .collect();
+    let doc = Json::obj(vec![
+        ("schema", Json::Str("eff2-bench-report/v1".to_string())),
+        (
+            "unit",
+            Json::Str("nanoseconds (criterion median)".to_string()),
+        ),
+        (
+            "benches",
+            Json::obj(
+                bench_obj
+                    .iter()
+                    .map(|(k, j)| (k.as_str(), j.clone()))
+                    .collect(),
+            ),
+        ),
+        (
+            "metrics",
+            Json::obj(
+                extra_obj
+                    .iter()
+                    .map(|(k, j)| (k.as_str(), j.clone()))
+                    .collect(),
+            ),
+        ),
+    ]);
+    if let Err(e) = std::fs::write(&out_path, doc.to_string() + "\n") {
+        eprintln!("error: writing {}: {e}", out_path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "[bench_report] {} benches, {} metrics -> {}",
+        benches.len(),
+        extra.len(),
+        out_path.display()
+    );
+}
+
+/// Recursively finds every directory holding `new/estimates.json` and
+/// records its median point estimate under the slash-joined path key.
+/// Criterion's own `report` and `new`/`base` sample dirs are skipped.
+fn collect(dir: &Path, prefix: &str, out: &mut BTreeMap<String, f64>) -> std::io::Result<()> {
+    let estimates = dir.join("new").join("estimates.json");
+    if estimates.is_file() {
+        match median_of(&estimates) {
+            Some(m) => {
+                out.insert(prefix.to_string(), m);
+            }
+            None => eprintln!("warning: no median in {}", estimates.display()),
+        }
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    entries.sort();
+    for sub in entries {
+        let name = sub.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if matches!(name, "report" | "new" | "base" | "change") {
+            continue;
+        }
+        let key = if prefix.is_empty() {
+            name.to_string()
+        } else {
+            format!("{prefix}/{name}")
+        };
+        collect(&sub, &key, out)?;
+    }
+    Ok(())
+}
+
+fn median_of(path: &Path) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let json = Json::parse(&text).ok()?;
+    json.get("median")?.get("point_estimate")?.as_f64().ok()
+}

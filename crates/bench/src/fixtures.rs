@@ -5,11 +5,15 @@
 //! `EFF2_BENCH_SCALE` overrides) so `cargo bench` finishes in minutes; the
 //! `eff2-eval` binary is the full-scale harness.
 // lint:allow-file(panic.unwrap): bench fixture setup; aborting loudly on a broken fixture beats benchmarking garbage
+// lint:allow-file(panic.index): fixture slices are bounded by n.min(set.len()) before indexing
 
 use eff2_bag::BagConfig;
 use eff2_core::chunkers::{BagChunker, SrTreeChunker};
 use eff2_core::ChunkIndex;
-use eff2_descriptor::{DescriptorSet, SyntheticCollection, Vector};
+use eff2_descriptor::{
+    as_rows, Codec, DescriptorCodec, DescriptorSet, PqCodec, Sq8Codec, SyntheticCollection, Vector,
+    DIM,
+};
 use eff2_storage::diskmodel::DiskModel;
 use eff2_workload::{dq_workload, sq_workload, Workload};
 use std::path::PathBuf;
@@ -105,6 +109,38 @@ pub fn sr_index_with_leaf(leaf_size: usize) -> ChunkIndex {
     )
     .expect("build sweep index")
     .index
+}
+
+/// The cost model every bench prices virtual time under.
+pub fn model() -> DiskModel {
+    DiskModel::ata_2005()
+}
+
+/// The SQ8 codec trained on the bench collection (trained once).
+pub fn sq8_codec() -> &'static Codec {
+    static C: OnceLock<Codec> = OnceLock::new();
+    C.get_or_init(|| Codec::Sq8(Sq8Codec::from_set(collection())))
+}
+
+/// The PQ codec trained on the bench collection (trained once).
+pub fn pq_codec() -> &'static Codec {
+    static C: OnceLock<Codec> = OnceLock::new();
+    C.get_or_init(|| Codec::Pq(PqCodec::from_set(collection())))
+}
+
+/// The first `n` bench-collection rows encoded under `codec`, row-major.
+pub fn encode_rows(codec: &Codec, n: usize) -> Vec<u8> {
+    let set = collection();
+    let n = n.min(set.len());
+    let cb = codec.code_bytes();
+    let mut codes = vec![0u8; n * cb];
+    for (row, code) in as_rows(&set.packed()[..n * DIM])
+        .iter()
+        .zip(codes.chunks_exact_mut(cb))
+    {
+        codec.encode_into(row, code);
+    }
+    codes
 }
 
 /// A small DQ workload over the bench collection.

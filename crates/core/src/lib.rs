@@ -29,7 +29,9 @@
 //! Every search logs its per-chunk intermediate results ([`SearchLog`]),
 //! which is what the paper's quality-vs-time figures are computed from.
 
+pub mod adc;
 pub mod chunkers;
+pub mod coarse;
 pub mod index;
 pub mod neighbors;
 pub mod scan;
@@ -37,10 +39,12 @@ pub mod search;
 pub mod session;
 pub mod snapshot;
 
+pub use adc::{search_quantized, search_quantized_with, search_two_level};
 pub use chunkers::{
     BagChunker, ChunkFormation, ChunkFormer, FormationCost, HybridChunker, RandomChunker,
     RoundRobinChunker, SrTreeChunker,
 };
+pub use coarse::CoarseQuantizer;
 pub use index::{BuiltIndex, ChunkIndex};
 pub use neighbors::{Neighbor, NeighborSet};
 pub use scan::{scan_knn, scan_store_knn};

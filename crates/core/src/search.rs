@@ -154,8 +154,18 @@ pub struct SearchLog {
     pub chunks_read: usize,
     /// Descriptors scanned.
     pub descriptors_scanned: u64,
-    /// Bytes transferred (chunk file only).
+    /// Bytes transferred (chunk file only; includes any rerank-tail
+    /// reads).
     pub bytes_read: u64,
+    /// Bytes of `bytes_read` spent by the exact rerank tail of a
+    /// quantized search (zero for uncompressed searches).
+    pub rerank_bytes: u64,
+    /// Chunks re-read by the exact rerank tail (zero for uncompressed
+    /// searches).
+    pub rerank_chunks: usize,
+    /// Centroid distance evaluations the ranking spent: `n_chunks` for
+    /// flat ranking, `n_cells` plus expanded members for two-level.
+    pub centroid_evals: u64,
     /// Total virtual time of the query.
     pub total_virtual: VirtualDuration,
     /// Real wall-clock time of the query.

@@ -26,12 +26,17 @@
 //! backend (the `batch_determinism` and `session_equivalence` tests pin
 //! this down).
 
+use crate::coarse::CoarseQuantizer;
 use crate::neighbors::NeighborSet;
 use crate::search::{ChunkEvent, SearchLog, SearchParams, SearchResult, StopRule};
-use eff2_descriptor::{scan_block_into, Vector};
+use eff2_descriptor::{
+    adc_l2_sq_batch, as_rows, l2_sq, scan_block_into, DescriptorCodec, PreparedQuery, Vector,
+};
+use eff2_storage::chunkfile::ChunkPayload;
 use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
 use eff2_storage::source::{ChunkSource, ChunkStream, PrefetchSource, SourcedChunk};
 use eff2_storage::{ChunkStore, ErrorClass, Result};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// What a session does when its stream reports a chunk permanently
@@ -50,6 +55,21 @@ pub enum SkipPolicy {
     SkipUnavailable,
 }
 
+/// A coarse cell whose member chunks have not been expanded into the
+/// ranked order yet (two-level ranking only).
+#[derive(Clone, Debug)]
+struct PendingCell {
+    /// Distance from the query to the cell center.
+    dist: f32,
+    /// Conservative lower bound `max(dist − cell_radius, 0)` on any
+    /// descriptor stored in any member chunk.
+    bound: f32,
+    /// Cell index (the expansion tie-breaker).
+    cell: u32,
+    /// Member chunk ids, ascending.
+    members: Vec<u32>,
+}
+
 /// Step 1 of the search (§4.3): every chunk ranked by the distance from
 /// the query to its centroid, plus the suffix-minimum of the chunk lower
 /// bounds `max(d(q, centroid) − radius, 0)` along that order.
@@ -58,16 +78,39 @@ pub enum SkipPolicy {
 /// centroid distance while the bound subtracts the radius, so the bound is
 /// not monotone along the ranked order — the test must consider the best
 /// bound among **all** remaining chunks, not just the next one.
+///
+/// A ranking is either **flat** ([`rank`](Self::rank): every chunk ranked
+/// up front) or **two-level** ([`rank_two_level`](Self::rank_two_level):
+/// coarse cells ranked up front, member chunks expanded lazily wave by
+/// wave as the scan consumes them). In the two-level form the suffix
+/// minimum is floored by the best bound among the still-pending cells, so
+/// [`remaining_bound`](Self::remaining_bound) stays a true lower bound on
+/// every unscanned descriptor and the to-completion stop rule stays exact.
 #[derive(Clone, Debug)]
 pub struct ChunkRanking {
-    /// `(centroid distance, chunk id)`, sorted ascending (ties by id).
+    /// `(centroid distance, chunk id)` of the *expanded* chunks. Flat
+    /// rankings hold every chunk sorted ascending (ties by id); two-level
+    /// rankings append one sorted wave per expanded cell.
     ranked: Vec<(f32, u32)>,
-    /// `suffix_min_bound[i]` = best lower bound among ranks `i..`; the
-    /// final entry is `+∞`.
+    /// `suffix_min_bound[i]` = best lower bound among expanded ranks `i..`
+    /// **and** every pending cell; the final entry is the pending floor
+    /// (`+∞` when nothing is pending).
     suffix_min_bound: Vec<f32>,
     /// Descriptor count per chunk id (store order) — what a skipped chunk
     /// costs the degradation report.
     counts: Vec<u32>,
+    /// `(centroid, radius)` per chunk id (store order) — what wave
+    /// expansion and the suffix rebuild need without going back to the
+    /// store.
+    chunk_geo: Vec<(Vector, f32)>,
+    /// Coarse cells not yet expanded, sorted by `(dist, cell)` descending
+    /// so `pop()` yields the nearest. Empty for flat rankings.
+    pending: Vec<PendingCell>,
+    /// Centroid distance evaluations spent so far (flat: one per chunk;
+    /// two-level: one per cell plus one per expanded member chunk).
+    evals: u64,
+    /// Total chunks this ranking covers (expanded + pending members).
+    total: usize,
     /// Modelled cost of reading and ranking the chunk index.
     index_read_time: VirtualDuration,
 }
@@ -80,6 +123,10 @@ impl Default for ChunkRanking {
             ranked: Vec::new(),
             suffix_min_bound: Vec::new(),
             counts: Vec::new(),
+            chunk_geo: Vec::new(),
+            pending: Vec::new(),
+            evals: 0,
+            total: 0,
             index_read_time: VirtualDuration::ZERO,
         }
     }
@@ -112,21 +159,83 @@ impl ChunkRanking {
             .sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         self.counts.clear();
         self.counts.extend(metas.iter().map(|m| m.count));
+        self.chunk_geo.clear();
+        self.chunk_geo
+            .extend(metas.iter().map(|m| (m.centroid, m.radius)));
+        self.pending.clear();
+        self.evals = n_chunks as u64;
+        self.total = n_chunks;
         self.index_read_time = model.index_read_time(n_chunks, store.index_bytes());
+        self.rebuild_suffix();
+    }
 
-        // Walk the ranked order back to front carrying the running minimum;
-        // slot `n_chunks` keeps its +∞ sentinel (zip truncates to the
-        // shorter side, and `rev` pairs the tails up correctly).
+    /// Ranks `store`'s chunks **two-level**: the coarse cells of `coarse`
+    /// are ranked by center distance now, and each cell's member chunks
+    /// are expanded into the scan order lazily
+    /// ([`expand_wave`](Self::expand_wave)) only when the scan reaches
+    /// them. Costs `n_cells` centroid evaluations up front instead of
+    /// `n_chunks`; [`centroid_evals`](Self::centroid_evals) tracks the
+    /// running total as cells expand.
+    pub fn rank_two_level(
+        store: &ChunkStore,
+        model: &DiskModel,
+        query: &Vector,
+        coarse: &CoarseQuantizer,
+    ) -> ChunkRanking {
+        let metas = store.metas();
+        let mut ranking = ChunkRanking {
+            counts: metas.iter().map(|m| m.count).collect(),
+            chunk_geo: metas.iter().map(|m| (m.centroid, m.radius)).collect(),
+            evals: coarse.n_cells() as u64,
+            index_read_time: model.index_read_time(metas.len(), store.index_bytes()),
+            ..ChunkRanking::default()
+        };
+        ranking.pending.extend(
+            coarse
+                .cells()
+                .filter(|(_, _, _, members)| !members.is_empty())
+                .map(|(cell, center, radius, members)| {
+                    let dist = center.dist(query);
+                    PendingCell {
+                        dist,
+                        bound: (dist - radius).max(0.0),
+                        cell: cell as u32,
+                        members: members.to_vec(),
+                    }
+                }),
+        );
+        // Descending, so `pop()` hands back the nearest cell first.
+        ranking
+            .pending
+            .sort_by(|a, b| b.dist.total_cmp(&a.dist).then(b.cell.cmp(&a.cell)));
+        ranking.total = ranking
+            .pending
+            .iter()
+            .map(|c| c.members.len())
+            .sum::<usize>();
+        ranking.rebuild_suffix();
+        ranking
+    }
+
+    /// Recomputes the suffix-minimum of the chunk lower bounds along the
+    /// expanded order, floored by the best pending-cell bound. Every slot
+    /// is a true lower bound on all descriptors not yet consumed at that
+    /// position — expanded chunks ahead *and* every pending cell.
+    fn rebuild_suffix(&mut self) {
+        let floor = self
+            .pending
+            .iter()
+            .fold(f32::INFINITY, |m, c| m.min(c.bound));
         self.suffix_min_bound.clear();
-        self.suffix_min_bound.resize(n_chunks + 1, f32::INFINITY);
-        let mut best = f32::INFINITY;
+        self.suffix_min_bound.resize(self.ranked.len() + 1, floor);
+        let mut best = floor;
         for (slot, &(dist, id)) in self
             .suffix_min_bound
             .iter_mut()
             .zip(self.ranked.iter())
             .rev()
         {
-            let radius = metas.get(id as usize).map_or(0.0, |m| m.radius);
+            let radius = self.chunk_geo.get(id as usize).map_or(0.0, |g| g.1);
             best = best.min((dist - radius).max(0.0));
             *slot = best;
         }
@@ -138,19 +247,81 @@ impl ChunkRanking {
         );
     }
 
-    /// Number of ranked chunks.
+    /// Total chunks this ranking covers — expanded chunks plus the member
+    /// chunks of every still-pending cell. A session is exhausted only
+    /// when its cursor reaches this.
     pub fn len(&self) -> usize {
-        self.ranked.len()
+        self.total
     }
 
     /// Whether the store has no chunks.
     pub fn is_empty(&self) -> bool {
-        self.ranked.is_empty()
+        self.total == 0
     }
 
-    /// Chunk ids in ranked (scan) order.
+    /// Chunks already expanded into the scan order (equal to
+    /// [`len`](Self::len) for flat rankings).
+    pub fn expanded_len(&self) -> usize {
+        self.ranked.len()
+    }
+
+    /// Whether any coarse cell is still awaiting expansion.
+    pub fn has_pending(&self) -> bool {
+        !self.pending.is_empty()
+    }
+
+    /// Centroid distance evaluations spent so far: `n_chunks` for a flat
+    /// ranking; `n_cells` plus one per expanded member chunk for a
+    /// two-level ranking — the quantity two-level ranking exists to
+    /// shrink.
+    pub fn centroid_evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Expands the nearest pending cell: ranks its member chunks by
+    /// centroid distance, appends them to the scan order, and rebuilds the
+    /// suffix bounds. Returns `false` when nothing is pending.
+    ///
+    /// Exactness survives expansion: every new chunk's bound dominates its
+    /// cell's bound, and the remaining pending floor can only rise, so
+    /// [`remaining_bound`](Self::remaining_bound) never decreases at any
+    /// consumed position — a fired to-completion proof stays fired.
+    pub fn expand_wave(&mut self, query: &Vector) -> bool {
+        let Some(cell) = self.pending.pop() else {
+            return false;
+        };
+        let start = self.ranked.len();
+        self.ranked.extend(cell.members.iter().map(|&chunk| {
+            let dist = self
+                .chunk_geo
+                .get(chunk as usize)
+                .map_or(f32::INFINITY, |g| g.0.dist(query));
+            (dist, chunk)
+        }));
+        self.evals += cell.members.len() as u64;
+        if let Some(wave) = self.ranked.get_mut(start..) {
+            wave.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        self.rebuild_suffix();
+        true
+    }
+
+    /// Chunk ids in ranked (scan) order — the expanded chunks only; a
+    /// two-level ranking grows this wave by wave.
     pub fn order(&self) -> Vec<usize> {
         self.ranked.iter().map(|&(_, i)| i as usize).collect()
+    }
+
+    /// The tail of the scan order from rank `from` on — what a session
+    /// streams after (re)opening its source mid-scan or after a wave
+    /// expansion.
+    pub fn order_from(&self, from: usize) -> Vec<usize> {
+        self.ranked
+            .get(from..)
+            .unwrap_or(&[])
+            .iter()
+            .map(|&(_, i)| i as usize)
+            .collect()
     }
 
     /// The chunk id at `rank`.
@@ -268,7 +439,8 @@ pub struct SearchSession {
     /// scheduler through [`step_with`](Self::step_with) instead of pulling
     /// chunks itself.
     source: Option<Arc<dyn ChunkSource>>,
-    /// Opened at the first [`step`](Self::step).
+    /// Opened at the first [`step`](Self::step); re-opened per wave for
+    /// two-level rankings.
     stream: Option<Box<dyn ChunkStream>>,
     ranking: ChunkRanking,
     model: DiskModel,
@@ -277,11 +449,31 @@ pub struct SearchSession {
     clock: PipelineClock,
     neighbors: NeighborSet,
     log: SearchLog,
+    /// `Some` for a quantized (ADC) session — see
+    /// [`open_quantized`](Self::open_quantized).
+    adc: Option<AdcScan>,
     wall_start: std::time::Instant,
     exhausted: bool,
     skip: SkipPolicy,
     #[cfg(debug_assertions)]
     invariants: StepInvariants,
+}
+
+/// State of an asymmetric-distance (quantized) scan: the prepared query,
+/// the raw store handle the rerank tail reads exact vectors from, and the
+/// chunk each retained candidate was scanned in.
+struct AdcScan {
+    /// The query pre-transformed for the store's codec (affine params for
+    /// SQ8, a per-subspace lookup table for PQ).
+    prep: PreparedQuery,
+    /// Raw (f32) view of the store, for the exact rerank tail.
+    raw: ChunkStore,
+    /// Chunk id each currently-or-once retained candidate came from. Only
+    /// accepted offers are recorded, so this stays small (acceptance decays
+    /// as the kth distance tightens).
+    id_chunk: BTreeMap<u32, u32>,
+    /// Scratch distance buffer for the blocked ADC kernel.
+    dists: Vec<f32>,
 }
 
 impl SearchSession {
@@ -296,6 +488,48 @@ impl SearchSession {
     ) -> SearchSession {
         let source = Arc::new(PrefetchSource::new(store, params.prefetch_depth));
         SearchSession::with_source(store, model, query, params, source)
+    }
+
+    /// A session that scans **quantized** chunk payloads with the
+    /// asymmetric-distance kernels instead of raw `f32` records.
+    ///
+    /// `store` must be a v3 (quantized) store. The session streams the
+    /// compact code region (modelled bytes shrink accordingly), retains
+    /// the best `rerank_mult · k` ADC candidates, and — after the scan —
+    /// [`rerank_tail`](Self::rerank_tail) re-scores them against the raw
+    /// `f32` records so the final top-`k` uses exact distances. With
+    /// `coarse` the ranking is two-level ([`ChunkRanking::rank_two_level`]).
+    ///
+    /// Completion proofs from this session are with respect to the ADC
+    /// distances (the scanned representation); treat `completed` as "the
+    /// scan provably saw every chunk that could matter", not as exactness
+    /// of the approximate distances themselves.
+    pub fn open_quantized(
+        store: &ChunkStore,
+        model: &DiskModel,
+        query: &Vector,
+        params: &SearchParams,
+        rerank_mult: usize,
+        coarse: Option<&CoarseQuantizer>,
+    ) -> Result<SearchSession> {
+        let quant = store.quantized_view()?;
+        let codec = quant.codec().cloned().ok_or_else(|| {
+            eff2_storage::Error::Inconsistent("quantized view carries no codec".to_string())
+        })?;
+        let ranking = match coarse {
+            Some(c) => ChunkRanking::rank_two_level(&quant, model, query, c),
+            None => ChunkRanking::rank(&quant, model, query),
+        };
+        let source = Arc::new(PrefetchSource::new(&quant, params.prefetch_depth));
+        let mut session = SearchSession::from_parts(ranking, model, query, params, Some(source));
+        session.neighbors = NeighborSet::new(params.k.saturating_mul(rerank_mult.max(1)));
+        session.adc = Some(AdcScan {
+            prep: codec.prepare(query.as_array()),
+            raw: store.raw_view(),
+            id_chunk: BTreeMap::new(),
+            dists: Vec::new(),
+        });
+        Ok(session)
     }
 
     /// A session drawing chunks from an explicit source (shared resident
@@ -375,6 +609,7 @@ impl SearchSession {
             clock,
             neighbors: NeighborSet::new(params.k),
             log,
+            adc: None,
             // lint:allow(det.wall_clock): log.wall is informational; it never feeds the virtual clock or modelled figures
             wall_start: std::time::Instant::now(),
             exhausted: false,
@@ -443,8 +678,13 @@ impl SearchSession {
     /// the session should check [`stop_satisfied`](Self::stop_satisfied)
     /// first; `next_wanted` only says *which* chunk a continued scan
     /// consumes.
+    ///
+    /// For a two-level ranking whose expanded waves are all consumed this
+    /// returns `None` until the driver expands the next wave itself
+    /// (`session.ranking` is read-only here); detached drivers use flat
+    /// rankings, where this never arises.
     pub fn next_wanted(&self) -> Option<usize> {
-        if self.is_exhausted() {
+        if self.is_exhausted() || self.rank_cursor() >= self.ranking.expanded_len() {
             None
         } else {
             Some(self.ranking.chunk_at(self.rank_cursor()))
@@ -492,6 +732,18 @@ impl SearchSession {
                 self.exhausted = true;
                 return Ok(None);
             }
+            // Two-level ranking: once the scan has consumed every expanded
+            // chunk, expand the next-nearest cell and stream its member
+            // chunks as a fresh wave. Flat rankings never take this branch
+            // (expanded == total, and is_exhausted fired above).
+            if self.rank_cursor() >= self.ranking.expanded_len() {
+                let query = self.query;
+                if !self.ranking.expand_wave(&query) {
+                    self.exhausted = true;
+                    return Ok(None);
+                }
+                self.stream = None;
+            }
             let Some(source) = self.source.as_ref() else {
                 return Err(eff2_storage::Error::Inconsistent(
                     "detached session has no chunk source: drive it with step_with".to_string(),
@@ -501,9 +753,17 @@ impl SearchSession {
                 Some(s) => s,
                 None => self
                     .stream
-                    .insert(source.open_stream(self.ranking.order())?),
+                    .insert(source.open_stream(self.ranking.order_from(self.rank_cursor()))?),
             };
             let Some(item) = stream.next_chunk() else {
+                // This wave's stream is done. If a pending cell remains
+                // (and the wave really was consumed), loop back to expand
+                // it; otherwise the historical semantics hold: a drained
+                // stream exhausts the session.
+                self.stream = None;
+                if self.ranking.has_pending() && self.rank_cursor() >= self.ranking.expanded_len() {
+                    continue;
+                }
                 self.exhausted = true;
                 return Ok(None);
             };
@@ -583,14 +843,30 @@ impl SearchSession {
     /// fault-free path, and `x + 0.0` is bit-identical to `x`, so the
     /// fault-free accounting is untouched.
     fn ingest(&mut self, chunk: &SourcedChunk, injected_delay: VirtualDuration) {
-        // Scan the chunk against the query (fused block kernel: blocked
-        // distances offered straight into the set).
-        scan_block_into(
-            self.query.as_array(),
-            &chunk.payload.packed,
-            &chunk.payload.ids,
-            &mut self.neighbors,
-        );
+        if let Some(adc) = self.adc.as_mut() {
+            // Quantized scan: blocked ADC distances over the chunk's code
+            // region. Offers go through the explicit loop (not the fused
+            // kernel) so accepted candidates can be mapped back to their
+            // chunk for the exact rerank tail; the retained set is
+            // bit-identical to the fused kernel's (same distances, same
+            // total order).
+            adc_l2_sq_batch(&adc.prep, &chunk.payload.codes, &mut adc.dists);
+            debug_assert_eq!(adc.dists.len(), chunk.payload.ids.len());
+            for (&id, &d) in chunk.payload.ids.iter().zip(adc.dists.iter()) {
+                if self.neighbors.offer(id, d) {
+                    adc.id_chunk.insert(id, chunk.id as u32);
+                }
+            }
+        } else {
+            // Scan the chunk against the query (fused block kernel:
+            // blocked distances offered straight into the set).
+            scan_block_into(
+                self.query.as_array(),
+                &chunk.payload.packed,
+                &chunk.payload.ids,
+                &mut self.neighbors,
+            );
+        }
 
         let io = self.model.io_time(chunk.bytes_read) + injected_delay;
         let cpu = self.model.scan_time(chunk.payload.len());
@@ -669,6 +945,58 @@ impl SearchSession {
         Ok(())
     }
 
+    /// Re-scores the retained ADC candidates against the raw `f32`
+    /// records and shrinks the neighbour set to the final `k` — the
+    /// **exact rerank tail** of a quantized search. A no-op for
+    /// non-quantized sessions.
+    ///
+    /// Each chunk holding a surviving candidate is read once from the raw
+    /// region (charged to the virtual clock and `bytes_read` like any
+    /// other chunk; also tallied separately in the log's `rerank_bytes` /
+    /// `rerank_chunks`), and every candidate is re-scored with the exact
+    /// lane kernel — bit-identical to the distance an uncompressed scan
+    /// would have computed. When the candidate pool provably contains the
+    /// true top-`k` (full budget with `rerank_mult · k ≥` collection
+    /// size, or simply a deep enough pool in practice), the reranked
+    /// answer equals the uncompressed search's answer, id for id.
+    ///
+    /// Terminal: the session's ADC state is consumed; call it once, after
+    /// the scan.
+    pub fn rerank_tail(&mut self) -> Result<()> {
+        let Some(adc) = self.adc.take() else {
+            return Ok(());
+        };
+        // Group the surviving candidates by source chunk. BTreeMap gives a
+        // deterministic (ascending chunk id) read order.
+        let mut by_chunk: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for id in self.neighbors.sorted_ids() {
+            if let Some(&chunk) = adc.id_chunk.get(&id) {
+                by_chunk.entry(chunk).or_default().push(id);
+            }
+        }
+        let mut exact = NeighborSet::new(self.params.k);
+        let mut reader = adc.raw.reader()?;
+        let mut payload = ChunkPayload::default();
+        for (&chunk, ids) in by_chunk.iter_mut() {
+            ids.sort_unstable();
+            let bytes = reader.read_chunk(chunk as usize, &mut payload)?;
+            let io = self.model.io_time(bytes);
+            let cpu = self.model.scan_time(ids.len());
+            let _ = self.clock.chunk_overlapped(io, cpu);
+            self.log.bytes_read += bytes;
+            self.log.rerank_bytes += bytes;
+            self.log.rerank_chunks += 1;
+            let rows = as_rows(&payload.packed);
+            for (row, &id) in rows.iter().zip(payload.ids.iter()) {
+                if ids.binary_search(&id).is_ok() {
+                    exact.offer(id, l2_sq(self.query.as_array(), row));
+                }
+            }
+        }
+        self.neighbors = exact;
+        Ok(())
+    }
+
     /// The `completed` flag the log should carry if the search stopped
     /// *now* under `rule`: a `k = 0` answer is trivially exact, exhausting
     /// every chunk is completion, and the completion rules certify their
@@ -686,6 +1014,7 @@ impl SearchSession {
         let mut log = self.log.clone();
         log.completed = self.completed_for(rule);
         log.total_virtual = self.clock.now().max(self.ranking.index_read_time());
+        log.centroid_evals = self.ranking.centroid_evals();
         log.wall = self.wall_start.elapsed();
         SearchResult {
             neighbors: self.neighbors.sorted(),
@@ -705,6 +1034,7 @@ impl SearchSession {
     pub fn into_result_and_ranking(mut self) -> (SearchResult, ChunkRanking) {
         self.log.completed = self.completed_for(self.params.stop);
         self.log.total_virtual = self.clock.now().max(self.ranking.index_read_time());
+        self.log.centroid_evals = self.ranking.centroid_evals();
         self.log.wall = self.wall_start.elapsed();
         let ranking = std::mem::take(&mut self.ranking);
         let result = SearchResult {

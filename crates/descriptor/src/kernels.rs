@@ -20,7 +20,8 @@
 // lint:allow-file(panic.index): blocked distance kernels index fixed-size lane arrays at compile-time-constant offsets
 
 use crate::neighbors::NeighborSet;
-use crate::vector::{l2_sq, DIM};
+use crate::quant::PreparedQuery;
+use crate::vector::{l2_sq, sum_lanes, DIM, LANES};
 
 /// Rows per block. Four rows keeps all accumulators in registers on
 /// every x86-64/aarch64 target while already saturating the gain; eight
@@ -166,6 +167,269 @@ pub fn max_dist_sq_gather(q: &[f32; DIM], rows: &[[f32; DIM]], positions: &[u32]
     m0.max(m1).max(m2).max(m3)
 }
 
+/// The SQ8 arm of [`adc_l2_sq`]: decode (`lo + code·step`) fused into the
+/// lane-accumulated distance, on a fixed-size code so the loop vectorises
+/// like `l2_sq` does.
+#[inline(always)]
+fn adc_sq8_one(q: &[f32; DIM], lo: &[f32; DIM], step: &[f32; DIM], code: &[u8]) -> f32 {
+    assert_eq!(code.len(), DIM, "SQ8 code is one byte per dimension");
+    let code: &[u8; DIM] = match code.try_into() {
+        Ok(a) => a,
+        // lint:allow(panic.macro): the conversion cannot fail — length asserted above
+        Err(_) => unreachable!("length asserted above"),
+    };
+    let mut acc = [0.0f32; LANES];
+    let mut i = 0;
+    while i < DIM {
+        for (l, s) in acc.iter_mut().enumerate() {
+            let r = lo[i + l] + f32::from(code[i + l]) * step[i + l];
+            let d = q[i + l] - r;
+            *s += d * d;
+        }
+        i += LANES;
+    }
+    sum_lanes(&acc)
+}
+
+/// The PQ arm of [`adc_l2_sq`]: per-subspace LUT rows added into the lane
+/// scheme. Component `j·sub + t` lands in lane `(j·sub + t) % LANES`; the
+/// indices are consecutive, so the lane is a wrapping counter — no
+/// per-element div/mod on the hot path.
+#[inline(always)]
+fn adc_pq_one(lut: &[f32], m: usize, k: usize, code: &[u8]) -> f32 {
+    assert_eq!(code.len(), m, "PQ code is one byte per subspace");
+    let sub = DIM / m;
+    // Lane-aligned fast paths: when a whole number of subspaces covers
+    // exactly LANES components, every accumulator index is a compile-time
+    // constant and the adds stay in registers. Same terms into the same
+    // lanes in the same order as the generic walk below.
+    match sub {
+        4 => return adc_pq_lanes::<4, 2>(lut, k, code),
+        8 => return adc_pq_lanes::<8, 1>(lut, k, code),
+        _ => {}
+    }
+    let mut acc = [0.0f32; LANES];
+    let mut lane = 0;
+    for (j, &c) in code.iter().enumerate() {
+        // Same out-of-range clamp as `decode_into`, so the kernel stays
+        // bit-identical to decode-then-scan on any input.
+        let base = (j * k + usize::from(c).min(k - 1)) * sub;
+        for &term in &lut[base..base + sub] {
+            acc[lane] += term;
+            lane += 1;
+            if lane == LANES {
+                lane = 0;
+            }
+        }
+    }
+    sum_lanes(&acc)
+}
+
+/// Lane-aligned PQ accumulation: `PER` subspaces of `SUB` components fill
+/// the [`LANES`] accumulators exactly once per group (`SUB · PER ==
+/// LANES`), so component `j·SUB + t` lands in lane `(j·SUB + t) % LANES`
+/// at a compile-time constant index. Bit-identical to the wrapping-lane
+/// walk in [`adc_pq_one`]: per lane, the same terms are added in the same
+/// order.
+#[inline(always)]
+fn adc_pq_lanes<const SUB: usize, const PER: usize>(lut: &[f32], k: usize, code: &[u8]) -> f32 {
+    const { assert!(SUB * PER == LANES) }
+    let mut acc = [0.0f32; LANES];
+    let mut groups = code.chunks_exact(PER);
+    let mut j = 0usize;
+    for group in &mut groups {
+        for (p, &c) in group.iter().enumerate() {
+            let base = ((j + p) * k + usize::from(c).min(k - 1)) * SUB;
+            let terms: &[f32; SUB] = match lut[base..base + SUB].try_into() {
+                Ok(a) => a,
+                // lint:allow(panic.macro): the conversion cannot fail — slice is SUB long by construction
+                Err(_) => unreachable!("slice is SUB long by construction"),
+            };
+            for (t, &term) in terms.iter().enumerate() {
+                acc[p * SUB + t] += term;
+            }
+        }
+        j += PER;
+    }
+    // Remainder subspaces when `m` is not a multiple of `PER`: full groups
+    // consumed a multiple of LANES components, so the wrap restarts at
+    // lane 0 — the generic walk continues from exactly this state.
+    let mut lane = 0;
+    for (r, &c) in groups.remainder().iter().enumerate() {
+        let base = ((j + r) * k + usize::from(c).min(k - 1)) * SUB;
+        for &term in &lut[base..base + SUB] {
+            acc[lane] += term;
+            lane += 1;
+            if lane == LANES {
+                lane = 0;
+            }
+        }
+    }
+    sum_lanes(&acc)
+}
+
+/// Asymmetric squared distance from a prepared query to one encoded
+/// descriptor.
+///
+/// Reproduces `l2_sq(q, decode(code))` **bit for bit**: each per-component
+/// term is computed by exactly the float operations the codec's
+/// `decode_into` would perform, accumulated into the same [`LANES`]
+/// scheme (component `i` → lane `i % LANES`, combined by the fixed
+/// pairwise rule) as [`l2_sq`]. For SQ8 the decode (`lo + code·step`)
+/// fuses into the distance; for PQ each component's squared difference is
+/// a table lookup prepared once per query.
+///
+/// # Panics
+///
+/// Panics if `code.len()` is not the prepared query's `code_bytes()`.
+#[inline]
+pub fn adc_l2_sq(prep: &PreparedQuery, code: &[u8]) -> f32 {
+    match prep {
+        PreparedQuery::Sq8 { q, lo, step } => adc_sq8_one(q, lo, step, code),
+        PreparedQuery::Pq { lut, m, k } => adc_pq_one(lut, *m, *k, code),
+    }
+}
+
+/// Asymmetric squared distances from a prepared query to four codes.
+///
+/// Four independent [`adc_l2_sq`] reductions, so
+/// `adc_l2_sq_x4(p, a, b, c, d)[0] == adc_l2_sq(p, a)` exactly.
+#[inline]
+pub fn adc_l2_sq_x4(prep: &PreparedQuery, c0: &[u8], c1: &[u8], c2: &[u8], c3: &[u8]) -> [f32; 4] {
+    [
+        adc_l2_sq(prep, c0),
+        adc_l2_sq(prep, c1),
+        adc_l2_sq(prep, c2),
+        adc_l2_sq(prep, c3),
+    ]
+}
+
+/// Blocked asymmetric distances from a prepared query to a packed code
+/// buffer, reusing `out`'s capacity (`out` is cleared first). Every
+/// output is bit-identical to [`adc_l2_sq`] of that code row.
+///
+/// # Panics
+///
+/// Panics if `codes.len()` is not a multiple of the prepared query's
+/// `code_bytes()`.
+pub fn adc_l2_sq_batch(prep: &PreparedQuery, codes: &[u8], out: &mut Vec<f32>) {
+    let cb = prep.code_bytes();
+    assert!(
+        codes.len().is_multiple_of(cb),
+        "code data must be a multiple of code_bytes"
+    );
+    let n = codes.len() / cb;
+    out.clear();
+    out.resize(n, 0.0);
+    // One variant dispatch for the whole buffer: the specialised row
+    // kernel inlines into the blocked loop of its arm.
+    match prep {
+        PreparedQuery::Sq8 { q, lo, step } => {
+            // Row at a time: the SQ8 reduction already carries LANES
+            // independent chains plus the u8→f32 conversion temporaries;
+            // a 4-row block spills registers and measures slower.
+            for (code, slot) in codes.chunks_exact(cb).zip(out.iter_mut()) {
+                *slot = adc_sq8_one(q, lo, step, code);
+            }
+        }
+        PreparedQuery::Pq { lut, m, k } => {
+            adc_rows_into(codes, cb, out, |code| adc_pq_one(lut, *m, *k, code));
+        }
+    }
+}
+
+/// Blocked row driver shared by the [`adc_l2_sq_batch`] arms: [`BLOCK`]
+/// independent reductions per step, remainder row by row.
+#[inline(always)]
+fn adc_rows_into(codes: &[u8], cb: usize, out: &mut [f32], one: impl Fn(&[u8]) -> f32) {
+    let row = |r: usize| &codes[r * cb..(r + 1) * cb];
+    let n = out.len();
+    let mut i = 0;
+    while i + BLOCK <= n {
+        let d = [
+            one(row(i)),
+            one(row(i + 1)),
+            one(row(i + 2)),
+            one(row(i + 3)),
+        ];
+        out[i..i + BLOCK].copy_from_slice(&d);
+        i += BLOCK;
+    }
+    for (j, slot) in out.iter_mut().enumerate().skip(i) {
+        *slot = one(row(j));
+    }
+}
+
+/// Fused asymmetric block scan: blocked [`adc_l2_sq`] distances offered
+/// straight to `best`, skipping candidates the current kth distance
+/// already prunes — the ADC twin of [`scan_block_into`]. Distances never
+/// touch memory and the retained set equals row-by-row [`adc_l2_sq`]
+/// offers exactly (the [`NeighborSet`] total order is offer-order
+/// independent).
+///
+/// # Panics
+///
+/// Panics if `codes.len()` is not a multiple of the prepared query's
+/// `code_bytes()` or if there is not exactly one id per code row.
+pub fn adc_scan_block_into(
+    prep: &PreparedQuery,
+    codes: &[u8],
+    ids: &[u32],
+    best: &mut NeighborSet,
+) {
+    let cb = prep.code_bytes();
+    assert!(
+        codes.len().is_multiple_of(cb),
+        "code data must be a multiple of code_bytes"
+    );
+    let n = codes.len() / cb;
+    assert_eq!(n, ids.len(), "one id per code row");
+    if best.k() == 0 {
+        return;
+    }
+    match prep {
+        PreparedQuery::Sq8 { q, lo, step } => {
+            adc_scan_rows(codes, cb, ids, best, |code| adc_sq8_one(q, lo, step, code));
+        }
+        PreparedQuery::Pq { lut, m, k } => {
+            adc_scan_rows(codes, cb, ids, best, |code| adc_pq_one(lut, *m, *k, code));
+        }
+    }
+}
+
+/// Blocked scan driver shared by the [`adc_scan_block_into`] arms.
+#[inline(always)]
+fn adc_scan_rows(
+    codes: &[u8],
+    cb: usize,
+    ids: &[u32],
+    best: &mut NeighborSet,
+    one: impl Fn(&[u8]) -> f32,
+) {
+    let row = |r: usize| &codes[r * cb..(r + 1) * cb];
+    let n = ids.len();
+    let mut i = 0;
+    while i + BLOCK <= n {
+        let d = [
+            one(row(i)),
+            one(row(i + 1)),
+            one(row(i + 2)),
+            one(row(i + 3)),
+        ];
+        // Same conservative block prune as `scan_block_into`.
+        let kth = best.kth_dist_sq();
+        for (j, &dj) in d.iter().enumerate() {
+            if dj <= kth {
+                best.offer(ids[i + j], dj);
+            }
+        }
+        i += BLOCK;
+    }
+    for (j, &id) in ids.iter().enumerate().skip(i) {
+        best.offer(id, one(row(j)));
+    }
+}
+
 /// Index of the nearest row to `q` among `rows`, with its squared
 /// distance; `None` for an empty slice. Ties resolve to the smallest
 /// index (same determinism rule as [`NeighborSet`]).
@@ -286,6 +550,87 @@ mod tests {
                 .fold(0.0f32, f32::max);
             assert_eq!(max_dist_sq_gather(&q, rows, &positions), want);
         }
+    }
+
+    #[test]
+    fn adc_matches_decode_then_exact_bitwise() {
+        use crate::descriptor::{Descriptor, DescriptorSet};
+        use crate::quant::{Codec, DescriptorCodec, PqCodec, Sq8Codec};
+
+        let set: DescriptorSet = (0..160)
+            .map(|i| {
+                let mut v = [0.0f32; DIM];
+                for (d, x) in v.iter_mut().enumerate() {
+                    *x = ((i * 13 + d * 5) % 89) as f32 * 0.21 - 7.0;
+                }
+                Descriptor::new(i as u32, Vector(v))
+            })
+            .collect();
+        let q: [f32; DIM] = std::array::from_fn(|i| (i as f32).sin() * 4.0);
+        for codec in [
+            Codec::Sq8(Sq8Codec::from_set(&set)),
+            Codec::Pq(PqCodec::from_set(&set)),
+        ] {
+            let cb = codec.code_bytes();
+            let mut codes = vec![0u8; set.len() * cb];
+            for (r, row) in as_rows(set.packed()).iter().enumerate() {
+                codec.encode_into(row, &mut codes[r * cb..(r + 1) * cb]);
+            }
+            let prep = codec.prepare(&q);
+            assert_eq!(prep.code_bytes(), cb);
+            let mut decoded = [0.0f32; DIM];
+            for r in 0..set.len() {
+                let code = &codes[r * cb..(r + 1) * cb];
+                codec.decode_into(code, &mut decoded);
+                assert_eq!(
+                    adc_l2_sq(&prep, code).to_bits(),
+                    l2_sq(&q, &decoded).to_bits(),
+                    "codec {} row {r}",
+                    codec.name()
+                );
+            }
+            // Blocked + batch paths are bit-identical to the single-code
+            // kernel.
+            let mut out = Vec::new();
+            adc_l2_sq_batch(&prep, &codes, &mut out);
+            assert_eq!(out.len(), set.len());
+            for (r, d) in out.iter().enumerate() {
+                let code = &codes[r * cb..(r + 1) * cb];
+                assert_eq!(d.to_bits(), adc_l2_sq(&prep, code).to_bits(), "row {r}");
+            }
+            // Fused scan retains exactly what row-wise offers retain.
+            let ids: Vec<u32> = (0..set.len() as u32).collect();
+            let mut fused = NeighborSet::new(7);
+            adc_scan_block_into(&prep, &codes, &ids, &mut fused);
+            let mut rowwise = NeighborSet::new(7);
+            for (r, &id) in ids.iter().enumerate() {
+                rowwise.offer(id, adc_l2_sq(&prep, &codes[r * cb..(r + 1) * cb]));
+            }
+            assert_eq!(fused.sorted(), rowwise.sorted(), "codec {}", codec.name());
+        }
+    }
+
+    #[test]
+    fn adc_scan_k_zero_is_noop() {
+        use crate::descriptor::DescriptorSet;
+        use crate::quant::{DescriptorCodec, Sq8Codec};
+        let codec = Sq8Codec::from_set(&DescriptorSet::new());
+        let prep = codec.prepare(&[0.0; DIM]);
+        let codes = vec![0u8; 8 * DIM];
+        let ids: Vec<u32> = (0..8).collect();
+        let mut set = NeighborSet::new(0);
+        adc_scan_block_into(&prep, &codes, &ids, &mut set);
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of code_bytes")]
+    fn adc_batch_rejects_ragged_codes() {
+        use crate::descriptor::DescriptorSet;
+        use crate::quant::{DescriptorCodec, Sq8Codec};
+        let codec = Sq8Codec::from_set(&DescriptorSet::new());
+        let prep = codec.prepare(&[0.0; DIM]);
+        adc_l2_sq_batch(&prep, &[0u8; DIM + 1], &mut Vec::new());
     }
 
     #[test]

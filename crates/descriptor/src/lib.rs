@@ -24,7 +24,11 @@
 //!   few *enormous* natural clusters — its largest BAG chunk holds more than
 //!   a million of the five million descriptors);
 //! * [`stats`] — per-dimension statistics, including the 5 %-trimmed value
-//!   ranges the paper uses to create its "space query" (SQ) workload.
+//!   ranges the paper uses to create its "space query" (SQ) workload;
+//! * [`quant`] — database-side compression codecs (a scalar 8-bit
+//!   quantizer and a product quantizer) whose asymmetric-distance kernels
+//!   in [`kernels`] scan `u8` codes against `f32` queries, bit-identical
+//!   to decoding and running the exact kernel.
 
 pub mod codec;
 pub mod descriptor;
@@ -32,13 +36,18 @@ pub mod error;
 pub mod gen;
 pub mod kernels;
 pub mod neighbors;
+pub mod quant;
 pub mod stats;
 pub mod vector;
 
 pub use descriptor::{Descriptor, DescriptorId, DescriptorSet, ImageId};
 pub use error::{Error, Result};
 pub use gen::{CollectionSpec, SyntheticCollection};
-pub use kernels::{as_rows, l2_sq_x4, scan_block_into};
+pub use kernels::{
+    adc_l2_sq, adc_l2_sq_batch, adc_l2_sq_x4, adc_scan_block_into, as_rows, l2_sq_x4,
+    scan_block_into,
+};
 pub use neighbors::{Neighbor, NeighborSet};
+pub use quant::{Codec, DescriptorCodec, PqCodec, PreparedQuery, Sq8Codec};
 pub use stats::{DimensionStats, TrimmedRanges};
 pub use vector::{l2, l2_sq, l2_sq_batch, l2_sq_serial, Vector, DIM, LANES};

@@ -102,10 +102,15 @@ impl Vector {
         Vector(out)
     }
 
-    /// Squared Euclidean norm.
+    /// Squared Euclidean norm. Serial accumulation in component order —
+    /// the same fixed order every run, like the kernels.
     #[inline]
     pub fn norm_sq(&self) -> f32 {
-        self.0.iter().map(|x| x * x).sum()
+        let mut acc = 0.0f32;
+        for x in &self.0 {
+            acc += x * x;
+        }
+        acc
     }
 
     /// Euclidean norm (the "total length" the paper's alternative outlier
@@ -211,8 +216,11 @@ pub fn l2_sq(a: &[f32; DIM], b: &[f32; DIM]) -> f32 {
 }
 
 /// Fixed pairwise combine of the lane accumulators.
+///
+/// Crate-visible so the ADC kernels in [`crate::kernels`] combine their
+/// lanes in exactly the same order as [`l2_sq`].
 #[inline]
-fn sum_lanes(acc: &[f32; LANES]) -> f32 {
+pub(crate) fn sum_lanes(acc: &[f32; LANES]) -> f32 {
     ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]))
 }
 

@@ -4,8 +4,9 @@
 
 use eff2_descriptor::kernels::max_dist_sq_gather;
 use eff2_descriptor::{
-    as_rows, codec, l2_sq, l2_sq_serial, scan_block_into, Descriptor, DescriptorSet,
-    DimensionStats, NeighborSet, TrimmedRanges, Vector, DIM,
+    adc_l2_sq, adc_l2_sq_batch, adc_scan_block_into, as_rows, codec, l2_sq, l2_sq_serial,
+    scan_block_into, Codec, Descriptor, DescriptorCodec, DescriptorSet, DimensionStats,
+    NeighborSet, PqCodec, Sq8Codec, TrimmedRanges, Vector, DIM,
 };
 use proptest::prelude::*;
 
@@ -199,6 +200,69 @@ proptest! {
             max_dist_sq_gather(&q, rows, &positions).to_bits(),
             want.to_bits()
         );
+    }
+
+    #[test]
+    fn sq8_roundtrip_error_within_half_step(set in arb_set(120)) {
+        // Values inside the training range reconstruct within half a
+        // quantisation step per dimension (plus f32 rounding slack from
+        // the scale/unscale round-trip).
+        let quant = Sq8Codec::from_set(&set);
+        let mut code = [0u8; DIM];
+        let mut back = [0.0f32; DIM];
+        for row in as_rows(set.packed()) {
+            quant.encode_into(row, &mut code);
+            quant.decode_into(&code, &mut back);
+            for d in 0..DIM {
+                let bound = quant.step()[d] * 0.5 * (1.0 + 1e-4) + 1e-3;
+                prop_assert!(
+                    (back[d] - row[d]).abs() <= bound,
+                    "dim {}: {} decoded as {} (step {})",
+                    d, row[d], back[d], quant.step()[d]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adc_distance_is_decode_then_exact_bitwise(set in arb_set(80), q in arb_query()) {
+        // The asymmetric kernel's contract: for any code and any query —
+        // adversarial magnitudes included — `adc_l2_sq(prep, code)` is
+        // bit-for-bit `l2_sq(q, decode(code))`, and the blocked batch and
+        // fused scan paths reproduce the single-code kernel exactly.
+        for quant in [
+            Codec::Sq8(Sq8Codec::from_set(&set)),
+            Codec::Pq(PqCodec::from_set(&set)),
+        ] {
+            let cb = quant.code_bytes();
+            let mut codes = vec![0u8; set.len() * cb];
+            for (row, code) in as_rows(set.packed()).iter().zip(codes.chunks_exact_mut(cb)) {
+                quant.encode_into(row, code);
+            }
+            let prep = quant.prepare(&q);
+            let mut decoded = [0.0f32; DIM];
+            let mut dists = Vec::new();
+            adc_l2_sq_batch(&prep, &codes, &mut dists);
+            prop_assert_eq!(dists.len(), set.len());
+            for (r, code) in codes.chunks_exact(cb).enumerate() {
+                quant.decode_into(code, &mut decoded);
+                let one = adc_l2_sq(&prep, code);
+                prop_assert_eq!(
+                    one.to_bits(),
+                    l2_sq(&q, &decoded).to_bits(),
+                    "codec {} row {}", quant.name(), r
+                );
+                prop_assert_eq!(dists[r].to_bits(), one.to_bits(), "batch row {}", r);
+            }
+            let ids: Vec<u32> = (0..set.len() as u32).map(|x| x.wrapping_mul(37)).collect();
+            let mut fused = NeighborSet::new(9);
+            adc_scan_block_into(&prep, &codes, &ids, &mut fused);
+            let mut rowwise = NeighborSet::new(9);
+            for (code, &id) in codes.chunks_exact(cb).zip(ids.iter()) {
+                rowwise.offer(id, adc_l2_sq(&prep, code));
+            }
+            prop_assert_eq!(fused.sorted(), rowwise.sorted(), "codec {}", quant.name());
+        }
     }
 
     #[test]

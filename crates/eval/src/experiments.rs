@@ -7,11 +7,15 @@ use crate::lab::{IndexHandle, Lab};
 use crate::EvalResult;
 use eff2_chaos::plan::TRANSIENT_CLEAR;
 use eff2_chaos::{Fault, FaultConfig, FaultPlan, FaultSource, RetryPolicy, RetrySource};
-use eff2_core::search::{SearchParams, SearchResult, StopRule};
+use eff2_core::coarse::CoarseQuantizer;
+use eff2_core::search::{search, SearchParams, SearchResult, StopRule};
 use eff2_core::session::{evaluate_stop_rules, SearchSession, SkipPolicy};
 use eff2_core::snapshot::Snapshot;
+use eff2_core::{search_quantized_with, search_two_level};
 use eff2_descriptor::Vector;
-use eff2_metrics::{fleet_quality_curve, precision_at, LatencySummary, QualityCurve, Table};
+use eff2_metrics::{
+    fleet_quality_curve, precision_at, GroundTruth, LatencySummary, QualityCurve, Table,
+};
 use eff2_serve::{Policy, Scheduler, SchedulerConfig};
 use eff2_storage::diskmodel::VirtualDuration;
 use eff2_storage::source::{ChunkSource, FileSource};
@@ -811,6 +815,304 @@ pub fn exp5(lab: &Lab) -> EvalResult<String> {
     ))
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 6 — quantized descriptors, ADC scans, two-level ranking
+// ---------------------------------------------------------------------------
+
+/// The rerank depths experiment 6 sweeps: the ADC scan keeps an `R·k`
+/// candidate pool and the exact tail rescores it down to `k`.
+pub fn exp6_rerank_mults() -> Vec<usize> {
+    vec![1, 2, 4, 8]
+}
+
+/// The codecs experiment 6 compares (the names
+/// [`Lab::quantized_index`](crate::lab::Lab::quantized_index) accepts).
+pub fn exp6_codecs() -> Vec<&'static str> {
+    vec!["sq8", "pq"]
+}
+
+/// Neighbour lists bitwise equal: same ids, same distance bits.
+fn neighbors_bit_identical(a: &SearchResult, b: &SearchResult) -> bool {
+    a.neighbors.len() == b.neighbors.len()
+        && a.neighbors
+            .iter()
+            .zip(b.neighbors.iter())
+            .all(|(x, y)| x.id == y.id && x.dist.to_bits() == y.dist.to_bits())
+}
+
+/// Per-query averages of one exp6 grid cell.
+struct Exp6Cell {
+    precision: f64,
+    bytes: f64,
+    rerank_bytes: f64,
+    secs: f64,
+    evals: f64,
+}
+
+fn exp6_cell(results: &[SearchResult], truth: &GroundTruth) -> Exp6Cell {
+    let nq = results.len().max(1) as f64;
+    let mut c = Exp6Cell {
+        precision: 0.0,
+        bytes: 0.0,
+        rerank_bytes: 0.0,
+        secs: 0.0,
+        evals: 0.0,
+    };
+    for (qi, r) in results.iter().enumerate() {
+        let ids: Vec<u32> = r.neighbors.iter().map(|n| n.id).collect();
+        c.precision += precision_at(&ids, &truth.ids[qi]);
+        c.bytes += r.log.bytes_read as f64;
+        c.rerank_bytes += r.log.rerank_bytes as f64;
+        c.secs += r.log.total_virtual.as_secs();
+        c.evals += r.log.centroid_evals as f64;
+    }
+    c.precision /= nq;
+    c.bytes /= nq;
+    c.rerank_bytes /= nq;
+    c.secs /= nq;
+    c.evals /= nq;
+    c
+}
+
+/// Every chunk of the v2 `base` store read back through the v3 `quant`
+/// store's raw view: ids equal and packed floats bitwise equal. The two
+/// stores hold the same SR-tree formation, so this is the format-migration
+/// check — the v3 raw region must be byte-compatible with v2 readers.
+fn exp6_v2_v3_compatible(base: &IndexHandle, quant: &IndexHandle) -> EvalResult<bool> {
+    let raw3 = quant.store.raw_view();
+    if base.store.n_chunks() != raw3.n_chunks() {
+        return Ok(false);
+    }
+    let mut r2 = base.store.reader()?;
+    let mut r3 = raw3.reader()?;
+    let mut p2 = eff2_storage::ChunkData::default();
+    let mut p3 = eff2_storage::ChunkData::default();
+    for i in 0..base.store.n_chunks() {
+        r2.read_chunk(i, &mut p2)?;
+        r3.read_chunk(i, &mut p3)?;
+        let same = p2.ids == p3.ids
+            && p2.packed.len() == p3.packed.len()
+            && p2
+                .packed
+                .iter()
+                .zip(p3.packed.iter())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Regenerates **Experiment 6**: the quantized-descriptor sweep. On the
+/// serving index (and its format-v3 quantized twins) the DQ workload runs
+/// uncompressed baselines — flat and two-level ranking, at a full budget,
+/// a partial budget and to completion — then sweeps codec (SQ8, PQ) ×
+/// ranking level × rerank depth `R` under the partial budget, where the
+/// ADC scan keeps `R·k` candidates and an exact rerank tail re-reads only
+/// their chunks raw. Invariants checked: the rerank tail at a full budget
+/// and full-depth pool is bit-identical to the uncompressed search;
+/// precision is monotonically non-decreasing in `R` (nested pools);
+/// two-level ranking leaves to-completion answers bit-identical while
+/// spending fewer centroid evaluations; and the v3 raw region read back
+/// equals the v2 store byte for byte.
+pub fn exp6(lab: &Lab) -> EvalResult<String> {
+    let base = lab.serving_index()?;
+    let dq = lab.dq()?;
+    if dq.is_empty() {
+        return Err("exp6 needs a non-empty DQ workload".into());
+    }
+    let truth = lab.truth(&base, &dq)?;
+    let k = lab.scale.k;
+    let n_chunks = base.store.n_chunks();
+    let budget = (n_chunks * 3 / 5).max(1);
+    let retained = base.store.total_descriptors() as usize;
+    // A pool multiplier that makes the rerank tail rescore everything the
+    // scan saw: R·k ≥ n, the exact-recovery regime.
+    let full_mult = retained.div_ceil(k.max(1)).max(1);
+
+    let full = SearchParams {
+        k,
+        stop: StopRule::Chunks(n_chunks),
+        prefetch_depth: 2,
+        log_snapshots: false,
+    };
+    let partial = SearchParams {
+        stop: StopRule::Chunks(budget),
+        ..full
+    };
+    let complete = SearchParams {
+        stop: StopRule::ToCompletion,
+        ..full
+    };
+
+    let mut t = Table::new(
+        "Experiment 6. Quantized descriptors: ADC scan + exact rerank tail vs raw scan (DQ)",
+        &[
+            "Scan",
+            "Ranking",
+            "R",
+            "Stop",
+            "Precision",
+            "Bytes/q",
+            "Rerank B/q",
+            "Avg virtual s",
+            "Centroid evals/q",
+        ],
+    );
+
+    // --- Uncompressed baselines ------------------------------------------
+    eprintln!(
+        "[exp6] raw baselines on {} ({} chunks, budget {budget}) …",
+        base.meta.label, n_chunks
+    );
+    let coarse_raw = CoarseQuantizer::for_store(&base.store);
+    let run_raw = |params: &SearchParams, two_level: bool| -> EvalResult<Vec<SearchResult>> {
+        let mut out = Vec::with_capacity(dq.len());
+        for q in &dq.queries {
+            out.push(if two_level {
+                search_two_level(&base.store, &lab.model, q, params, &coarse_raw)?
+            } else {
+                search(&base.store, &lab.model, q, params)?
+            });
+        }
+        Ok(out)
+    };
+    let raw_full = run_raw(&full, false)?;
+    let raw_part = run_raw(&partial, false)?;
+    let raw_done = run_raw(&complete, false)?;
+    let two_done = run_raw(&complete, true)?;
+    let two_part = run_raw(&partial, true)?;
+
+    let two_level_exact = raw_done
+        .iter()
+        .zip(two_done.iter())
+        .all(|(a, b)| neighbors_bit_identical(a, b));
+    let raw_part_cell = exp6_cell(&raw_part, &truth);
+    let raw_done_cell = exp6_cell(&raw_done, &truth);
+    let two_done_cell = exp6_cell(&two_done, &truth);
+    let evals_factor = raw_done_cell.evals / two_done_cell.evals.max(1.0);
+
+    let mut push_row = |scan: &str, ranking: &str, r: &str, stop: &str, cell: &Exp6Cell| {
+        t.row(vec![
+            scan.to_string(),
+            ranking.to_string(),
+            r.to_string(),
+            stop.to_string(),
+            fmt_f(cell.precision, 3),
+            fmt_f(cell.bytes, 0),
+            fmt_f(cell.rerank_bytes, 0),
+            fmt_f(cell.secs, 3),
+            fmt_f(cell.evals, 1),
+        ]);
+    };
+    push_row("raw", "flat", "—", "full", &exp6_cell(&raw_full, &truth));
+    push_row("raw", "flat", "—", "3/5", &raw_part_cell);
+    push_row("raw", "flat", "—", "compl", &raw_done_cell);
+    push_row("raw", "2-level", "—", "compl", &two_done_cell);
+    push_row("raw", "2-level", "—", "3/5", &exp6_cell(&two_part, &truth));
+
+    // --- Quantized sweep --------------------------------------------------
+    let mut quants = Vec::new();
+    for name in exp6_codecs() {
+        quants.push((name, lab.quantized_index(name)?));
+    }
+    let mut monotone = true;
+    let mut tail_exact = true;
+    // The best quantized partial-budget cell that stays within 0.01 of the
+    // raw same-budget baseline while reading strictly fewer bytes.
+    let mut best: Option<(String, usize, f64, f64)> = None;
+    for (name, qh) in &quants {
+        let coarse_q = CoarseQuantizer::for_store(&qh.store);
+        for two_level in [false, true] {
+            let ranking = if two_level { "2-level" } else { "flat" };
+            let mut prev = -1.0f64;
+            for &r_mult in &exp6_rerank_mults() {
+                eprintln!("[exp6] {} {ranking} R={r_mult} …", qh.meta.label);
+                let mut results = Vec::with_capacity(dq.len());
+                for q in &dq.queries {
+                    results.push(search_quantized_with(
+                        &qh.store,
+                        &lab.model,
+                        q,
+                        &partial,
+                        r_mult,
+                        two_level.then_some(&coarse_q),
+                    )?);
+                }
+                let cell = exp6_cell(&results, &truth);
+                monotone = monotone && cell.precision >= prev;
+                prev = cell.precision;
+                if cell.precision >= raw_part_cell.precision - 0.01
+                    && cell.bytes < raw_part_cell.bytes
+                    && best.as_ref().is_none_or(|b| cell.bytes < b.3)
+                {
+                    best = Some((
+                        format!("{name}/{ranking}"),
+                        r_mult,
+                        cell.precision,
+                        cell.bytes,
+                    ));
+                }
+                push_row(name, ranking, &r_mult.to_string(), "3/5", &cell);
+            }
+        }
+        // The exact-recovery cell: full budget, full-depth pool — the tail
+        // must reproduce the uncompressed answer bit for bit.
+        eprintln!(
+            "[exp6] {} flat R={full_mult} (full budget) …",
+            qh.meta.label
+        );
+        let mut results = Vec::with_capacity(dq.len());
+        for q in &dq.queries {
+            results.push(search_quantized_with(
+                &qh.store, &lab.model, q, &full, full_mult, None,
+            )?);
+        }
+        tail_exact = tail_exact
+            && raw_full
+                .iter()
+                .zip(results.iter())
+                .all(|(a, b)| neighbors_bit_identical(a, b));
+        push_row(
+            name,
+            "flat",
+            &full_mult.to_string(),
+            "full",
+            &exp6_cell(&results, &truth),
+        );
+    }
+
+    let compat = exp6_v2_v3_compatible(&base, &quants[0].1)?;
+
+    let rendered = t.render();
+    t.save_csv(&lab.results_dir()?.join("exp6.csv"))?;
+    let best_line = match &best {
+        Some((codec, r, p, b)) => format!(
+            "yes ({codec}, R = {r}: precision {} vs {}, bytes {} vs {})",
+            fmt_f(*p, 3),
+            fmt_f(raw_part_cell.precision, 3),
+            fmt_f(*b, 0),
+            fmt_f(raw_part_cell.bytes, 0),
+        ),
+        None => "NO".to_string(),
+    };
+    Ok(format!(
+        "{rendered}\nRerank tail bit-identical to the uncompressed baseline at full budget: {}.\n\
+         Precision monotonically non-decreasing in rerank depth: {}.\n\
+         Neighbor ids unchanged under two-level ranking: {} ({} vs {} centroid evals per query to completion, {}x fewer).\n\
+         v2 and v3 chunk files read-compatible: {}.\n\
+         Quantized scan within 0.01 of the raw same-budget baseline with fewer bytes: {best_line}.\n",
+        if tail_exact { "yes" } else { "NO" },
+        if monotone { "yes" } else { "NO" },
+        if two_level_exact { "yes" } else { "NO" },
+        fmt_f(raw_done_cell.evals, 1),
+        fmt_f(two_done_cell.evals, 1),
+        fmt_f(evals_factor, 1),
+        if compat { "yes" } else { "NO" },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -921,6 +1223,32 @@ mod tests {
             "quality rose with the fault rate:\n{report}"
         );
         assert!(lab.results_dir().unwrap().join("exp5.csv").exists());
+    }
+
+    #[test]
+    fn exp6_smoke() {
+        let lab = tiny_lab("e6");
+        let report = exp6(&lab).expect("exp6");
+        assert!(report.contains("Experiment 6"));
+        assert!(
+            report.contains(
+                "Rerank tail bit-identical to the uncompressed baseline at full budget: yes"
+            ),
+            "full-budget rerank tail changed an answer:\n{report}"
+        );
+        assert!(
+            report.contains("Precision monotonically non-decreasing in rerank depth: yes"),
+            "deeper rerank pools lost quality:\n{report}"
+        );
+        assert!(
+            report.contains("Neighbor ids unchanged under two-level ranking: yes"),
+            "two-level ranking changed an answer:\n{report}"
+        );
+        assert!(
+            report.contains("v2 and v3 chunk files read-compatible: yes"),
+            "the v3 raw region diverged from the v2 layout:\n{report}"
+        );
+        assert!(lab.results_dir().unwrap().join("exp6.csv").exists());
     }
 
     #[test]

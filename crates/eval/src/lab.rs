@@ -13,7 +13,7 @@ use crate::scale::Scale;
 use crate::EvalResult;
 use eff2_bag::{Bag, BagConfig, BagSnapshot};
 use eff2_core::chunkers::{ChunkFormer, SrTreeChunker};
-use eff2_descriptor::{codec, DescriptorSet, SyntheticCollection};
+use eff2_descriptor::{codec, Codec, DescriptorSet, PqCodec, Sq8Codec, SyntheticCollection};
 use eff2_json::Json;
 use eff2_metrics::{quality_curve, GroundTruth, QualityCurve};
 use eff2_storage::diskmodel::DiskModel;
@@ -201,14 +201,25 @@ impl Lab {
         distance_ops: u64,
         rounds: u64,
         build_wall_secs: f64,
+        quant: Option<&Codec>,
     ) -> EvalResult<IndexHandle> {
-        let store = ChunkStore::create(
-            &self.cache_dir,
-            &file_name_of(label),
-            set,
-            chunks,
-            self.scale.page_size,
-        )?;
+        let store = match quant {
+            None => ChunkStore::create(
+                &self.cache_dir,
+                &file_name_of(label),
+                set,
+                chunks,
+                self.scale.page_size,
+            )?,
+            Some(codec) => ChunkStore::create_quantized(
+                &self.cache_dir,
+                &file_name_of(label),
+                set,
+                chunks,
+                self.scale.page_size,
+                codec,
+            )?,
+        };
         let retained = chunks.iter().map(|c| c.positions.len()).sum::<usize>();
         let mut sizes: Vec<usize> = chunks.iter().map(|c| c.positions.len()).collect();
         sizes.sort_unstable_by(|a, b| b.cmp(a));
@@ -307,6 +318,7 @@ impl Lab {
             snap.exhaustive_equivalent_tests,
             snap.passes as u64,
             wall,
+            None,
         )
     }
 
@@ -337,6 +349,7 @@ impl Lab {
             formation.cost.distance_ops,
             formation.cost.rounds,
             wall.elapsed().as_secs_f64(),
+            None,
         )
     }
 
@@ -359,6 +372,7 @@ impl Lab {
             formation.cost.distance_ops,
             formation.cost.rounds,
             wall.elapsed().as_secs_f64(),
+            None,
         )
     }
 
@@ -385,6 +399,40 @@ impl Lab {
             formation.cost.distance_ops,
             formation.cost.rounds,
             wall.elapsed().as_secs_f64(),
+            None,
+        )
+    }
+
+    /// Builds (or opens) the quantized twin of the serving index: the same
+    /// SR-tree formation (MEDIUM-class leaves over the full collection),
+    /// persisted as a format-v3 chunk file carrying `codec_name`-compressed
+    /// codes next to the raw descriptors. Experiment 6 runs ADC scans over
+    /// these and compares against the uncompressed
+    /// [`serving_index`](Self::serving_index).
+    pub fn quantized_index(&self, codec_name: &str) -> EvalResult<IndexHandle> {
+        let leaf = self.scale.chunk_sizes()[1];
+        let label = format!("QUANT {} / {leaf}", codec_name.to_ascii_uppercase());
+        if let Some(h) = self.try_open(&label) {
+            return Ok(h);
+        }
+        let quant = match codec_name {
+            "sq8" => Codec::Sq8(Sq8Codec::from_set(&self.set)),
+            "pq" => Codec::Pq(PqCodec::from_set(&self.set)),
+            other => return Err(format!("unknown codec {other:?} (want sq8 or pq)").into()),
+        };
+        // lint:allow(det.wall_clock): measures real formation cost, reported as wall seconds next to the virtual figures
+        let wall = std::time::Instant::now();
+        let formation = SrTreeChunker { leaf_size: leaf }.form(&self.set);
+        self.persist(
+            &label,
+            &format!("SR-tree static build (leaf = {leaf}) + {codec_name} codes"),
+            &self.set,
+            &formation.chunks,
+            0,
+            formation.cost.distance_ops,
+            formation.cost.rounds,
+            wall.elapsed().as_secs_f64(),
+            Some(&quant),
         )
     }
 
@@ -411,6 +459,7 @@ impl Lab {
             formation.cost.distance_ops,
             formation.cost.rounds,
             wall.elapsed().as_secs_f64(),
+            None,
         )
     }
 
@@ -582,6 +631,19 @@ mod tests {
             assert_eq!(a.meta.n_chunks, b.meta.n_chunks);
             assert_eq!(a.store.total_descriptors(), b.store.total_descriptors());
         }
+    }
+
+    #[test]
+    fn quantized_index_builds_and_reopens() {
+        let lab = tiny_lab("quant");
+        let h = lab.quantized_index("sq8").expect("build");
+        assert!(h.meta.label.starts_with("QUANT SQ8"));
+        let q = h.store.quantized_view().expect("v3 store");
+        assert!(q.codec().is_some());
+        let again = lab.quantized_index("sq8").expect("reopen");
+        assert_eq!(again.meta.n_chunks, h.meta.n_chunks);
+        assert!(again.store.quantized_view().is_ok());
+        assert!(lab.quantized_index("nope").is_err());
     }
 
     #[test]

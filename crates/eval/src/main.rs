@@ -14,6 +14,7 @@
 //!   exp3     the stop-rule sweep — every rule answered from one scan
 //!   exp4     the serving sweep — scheduler policies × concurrency levels
 //!   exp5     the chaos sweep — quality degradation under injected chunk loss
+//!   exp6     the quantization sweep — ADC scans, rerank depths, two-level ranking
 //!   all      everything above, in order
 //! ```
 //!
@@ -27,7 +28,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|all> \
+        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|exp6|all> \
          [--scale N] [--queries N] [--seed S] [--out DIR]"
     );
     std::process::exit(2);
@@ -120,6 +121,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
         "exp3" => print!("{}", experiments::exp3(&lab)?),
         "exp4" => print!("{}", experiments::exp4(&lab)?),
         "exp5" => print!("{}", experiments::exp5(&lab)?),
+        "exp6" => print!("{}", experiments::exp6(&lab)?),
         "all" => {
             print!("{}", experiments::table1(&lab)?);
             print!("{}", experiments::fig1(&lab)?);
@@ -128,6 +130,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
             print!("{}", experiments::exp3(&lab)?);
             print!("{}", experiments::exp4(&lab)?);
             print!("{}", experiments::exp5(&lab)?);
+            print!("{}", experiments::exp6(&lab)?);
         }
         _ => usage(),
     }

@@ -46,7 +46,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "det.hash_container",
-        summary: "no HashMap/HashSet in trace-producing crates (core/storage/metrics/eval)",
+        summary: "no HashMap/HashSet in trace-producing crates (core/storage/metrics/eval/descriptor)",
     },
     RuleInfo {
         id: "det.wall_clock",
@@ -85,7 +85,15 @@ pub fn is_rule(id: &str) -> bool {
 
 /// Crates whose outputs feed traces or reported figures: HashMap/HashSet
 /// iteration order and ad-hoc float accumulation are banned here.
-const DETERMINISTIC_CRATES: &[&str] = &["core", "storage", "chaos", "serve", "metrics", "eval"];
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "core",
+    "storage",
+    "chaos",
+    "serve",
+    "metrics",
+    "eval",
+    "descriptor",
+];
 
 /// Crates that are command-line binaries: printing to stdout/stderr is
 /// their job, so `hyg.print` does not apply.

@@ -56,6 +56,11 @@ fixture_test!(panic_index, "core", "panic_index.rs");
 fixture_test!(det_hash_container, "storage", "det_hash_container.rs");
 fixture_test!(det_wall_clock, "core", "det_wall_clock.rs");
 fixture_test!(det_float_accum, "core", "det_float_accum.rs");
+fixture_test!(
+    det_float_accum_training,
+    "descriptor",
+    "det_float_accum_training.rs"
+);
 fixture_test!(det_thread_spawn, "serve", "det_thread_spawn.rs");
 fixture_test!(err_box_error, "descriptor", "err_box_error.rs");
 fixture_test!(err_string_error, "descriptor", "err_string_error.rs");
@@ -70,8 +75,32 @@ fn det_rules_scope_to_deterministic_crates() {
     for source in [
         include_str!("fixtures/det_hash_container.rs"),
         include_str!("fixtures/det_float_accum.rs"),
+        include_str!("fixtures/det_float_accum_training.rs"),
     ] {
         assert_eq!(findings_of("bag", "fixture.rs", source), Vec::new());
+    }
+}
+
+#[test]
+fn det_rules_cover_the_descriptor_crate() {
+    // Codec and codebook training live in `descriptor` and their outputs
+    // are persisted into chunk files: the crate is inside the determinism
+    // scope, so training-shaped float accumulation fires there.
+    for (name, source) in [
+        (
+            "det_float_accum_training.rs",
+            include_str!("fixtures/det_float_accum_training.rs"),
+        ),
+        (
+            "det_hash_container.rs",
+            include_str!("fixtures/det_hash_container.rs"),
+        ),
+    ] {
+        assert_eq!(
+            findings_of("descriptor", name, source),
+            expected_markers(source),
+            "fixture {name} linted as crate `descriptor`"
+        );
     }
 }
 
@@ -136,6 +165,7 @@ fn every_rule_has_fixture_coverage() {
         include_str!("fixtures/det_hash_container.rs"),
         include_str!("fixtures/det_wall_clock.rs"),
         include_str!("fixtures/det_float_accum.rs"),
+        include_str!("fixtures/det_float_accum_training.rs"),
         include_str!("fixtures/det_thread_spawn.rs"),
         include_str!("fixtures/err_box_error.rs"),
         include_str!("fixtures/err_string_error.rs"),

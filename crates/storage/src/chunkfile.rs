@@ -7,20 +7,46 @@
 //! Since format version 2 every chunk body is followed by a 4-byte FNV-1a
 //! checksum (inside the padded page span), so corruption is detected at
 //! read time instead of being silently scanned.
+//!
+//! Format **version 3** additionally stores a quantized copy of every
+//! chunk. The layout is strictly additive so a v3 file read through the
+//! raw path is indistinguishable from v2:
+//!
+//! ```text
+//! page 0              extended header (magic, version=3, page size,
+//!                     n_chunks, total descriptors, codec kind,
+//!                     codec blob length, quant region start)
+//! pages 1..           codec parameter blob, page-padded
+//! raw region          chunks exactly as v2 (records + checksum, padded);
+//!                     index-file offsets point here
+//! quant region        per chunk: ids (count × u32) + codes
+//!                     (count × code_bytes) + FNV-1a checksum, padded
+//! ```
+//!
+//! The quant region's per-chunk offsets are derived arithmetically from
+//! the chunk counts and the codec's `code_bytes`, so the index file needs
+//! no new fields and v2 readers of the raw region keep working unchanged.
 
 use crate::bytes::{array_at, f32_at, u32_at, u64_at};
 use crate::error::{Error, Result};
 use crate::indexfile::ChunkMeta;
+use eff2_descriptor::quant::{Codec, DescriptorCodec};
 use eff2_descriptor::{DescriptorSet, DIM};
 use std::io::{Read, Seek, SeekFrom, Write};
 
 /// Magic bytes of a chunk file.
 pub const MAGIC: [u8; 4] = *b"EFCH";
-/// Current format version.
+/// Format version of raw-only chunk files (and of the raw region every
+/// version-3 file embeds unchanged).
 pub const VERSION: u32 = 2;
+/// Format version of chunk files carrying a quantized region.
+pub const VERSION_QUANT: u32 = 3;
 /// Header size (one full page is reserved so chunk 0 starts page-aligned,
 /// but the logical header is this many bytes).
 pub const HEADER_BYTES: usize = 24;
+/// Logical header size of a version-3 file (the v2 header plus codec
+/// kind, codec blob length and quant-region start).
+pub const HEADER_BYTES_QUANT: usize = 40;
 /// Bytes per descriptor record.
 pub const RECORD_BYTES: usize = 4 + DIM * 4;
 /// Bytes of the per-chunk checksum stored after the body.
@@ -57,6 +83,28 @@ fn header_page(page_size: u32, n_chunks: u32, total_descriptors: u64) -> Vec<u8>
     page.extend_from_slice(&page_size.to_le_bytes());
     page.extend_from_slice(&n_chunks.to_le_bytes());
     page.extend_from_slice(&total_descriptors.to_le_bytes());
+    page.resize(page_size as usize, 0);
+    page
+}
+
+/// Writes the version-3 chunk file header into a page-sized buffer.
+fn header_page_quant(
+    page_size: u32,
+    n_chunks: u32,
+    total_descriptors: u64,
+    codec_kind: u32,
+    codec_blob_len: u32,
+    quant_start: u64,
+) -> Vec<u8> {
+    let mut page = Vec::with_capacity(page_size as usize);
+    page.extend_from_slice(&MAGIC);
+    page.extend_from_slice(&VERSION_QUANT.to_le_bytes());
+    page.extend_from_slice(&page_size.to_le_bytes());
+    page.extend_from_slice(&n_chunks.to_le_bytes());
+    page.extend_from_slice(&total_descriptors.to_le_bytes());
+    page.extend_from_slice(&codec_kind.to_le_bytes());
+    page.extend_from_slice(&codec_blob_len.to_le_bytes());
+    page.extend_from_slice(&quant_start.to_le_bytes());
     page.resize(page_size as usize, 0);
     page
 }
@@ -106,18 +154,124 @@ pub fn write_chunks<W: Write>(
     Ok(locations)
 }
 
+/// Per-chunk raw-region locations as `(offset, byte_len, count)` triples.
+pub type ChunkLocations = Vec<(u64, u32, u32)>;
+
+/// On-disk byte length of one chunk's quantized record block (ids plus
+/// codes, before checksum and padding).
+pub fn quant_byte_len(count: u32, code_bytes: usize) -> u64 {
+    u64::from(count) * (4 + code_bytes as u64)
+}
+
+/// Writes a version-3 chunk file: codec blob, raw chunks (v2 layout), then
+/// the quantized region. Returns the raw `(offset, byte_len, count)`
+/// triples for the index file plus the quant-region start offset (the
+/// per-chunk quant offsets follow arithmetically from the counts).
+pub fn write_chunks_quantized<W: Write>(
+    set: &DescriptorSet,
+    chunks: &[Vec<u32>],
+    page_size: u32,
+    codec: &Codec,
+    writer: W,
+) -> Result<(ChunkLocations, u64)> {
+    assert!(
+        page_size as usize >= HEADER_BYTES_QUANT,
+        "page size must hold the extended header"
+    );
+    let blob = codec.to_bytes();
+    let cb = codec.code_bytes();
+    let mut w = std::io::BufWriter::new(writer);
+    let total = chunks.iter().map(|c| c.len() as u64).sum::<u64>();
+
+    // The whole layout is computable up front, so the file is written in
+    // one forward pass with the quant-region start already in the header.
+    let blob_pages = pad_to_page(blob.len() as u64, u64::from(page_size));
+    let raw_start = u64::from(page_size) + blob_pages;
+    let raw_span = chunks
+        .iter()
+        .map(|c| chunk_span((c.len() * RECORD_BYTES) as u64, u64::from(page_size)))
+        .sum::<u64>();
+    let quant_start = raw_start + raw_span;
+
+    w.write_all(&header_page_quant(
+        page_size,
+        chunks.len() as u32,
+        total,
+        codec.kind(),
+        blob.len() as u32,
+        quant_start,
+    ))?;
+    w.write_all(&blob)?;
+    w.write_all(&vec![0u8; (blob_pages - blob.len() as u64) as usize])?;
+
+    // Raw region: byte-for-byte the v2 chunk layout.
+    let mut locations = Vec::with_capacity(chunks.len());
+    let mut offset = raw_start;
+    let mut body = Vec::new();
+    for members in chunks {
+        let byte_len = (members.len() * RECORD_BYTES) as u32;
+        body.clear();
+        for &pos in members {
+            let pos = pos as usize;
+            body.extend_from_slice(&set.id(pos).0.to_le_bytes());
+            for &c in set.vector(pos) {
+                body.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        w.write_all(&body)?;
+        w.write_all(&checksum(&body).to_le_bytes())?;
+        let padded = chunk_span(u64::from(byte_len), u64::from(page_size));
+        w.write_all(&vec![
+            0u8;
+            (padded - u64::from(byte_len) - CHECKSUM_BYTES)
+                as usize
+        ])?;
+        locations.push((offset, byte_len, members.len() as u32));
+        offset += padded;
+    }
+
+    // Quant region: ids then codes, checksummed and padded like raw chunks.
+    let mut code = vec![0u8; cb];
+    for members in chunks {
+        body.clear();
+        for &pos in members {
+            body.extend_from_slice(&set.id(pos as usize).0.to_le_bytes());
+        }
+        for &pos in members {
+            codec.encode_into(set.vector(pos as usize), &mut code);
+            body.extend_from_slice(&code);
+        }
+        let byte_len = quant_byte_len(members.len() as u32, cb);
+        debug_assert_eq!(body.len() as u64, byte_len);
+        w.write_all(&body)?;
+        w.write_all(&checksum(&body).to_le_bytes())?;
+        let padded = chunk_span(byte_len, u64::from(page_size));
+        w.write_all(&vec![0u8; (padded - byte_len - CHECKSUM_BYTES) as usize])?;
+    }
+    w.flush()?;
+    Ok((locations, quant_start))
+}
+
 /// Parsed header of a chunk file.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ChunkFileHeader {
+    /// Format version ([`VERSION`] or [`VERSION_QUANT`]).
+    pub version: u32,
     /// Page size the file was written with.
     pub page_size: u32,
     /// Number of chunks.
     pub n_chunks: u32,
     /// Total descriptors across all chunks.
     pub total_descriptors: u64,
+    /// Codec kind tag; 0 in version-2 files.
+    pub codec_kind: u32,
+    /// Codec parameter blob length in bytes; 0 in version-2 files.
+    pub codec_blob_len: u32,
+    /// File offset of the quantized region; 0 in version-2 files.
+    pub quant_start: u64,
 }
 
-/// Reads and validates the chunk-file header.
+/// Reads and validates the chunk-file header (version 2 or 3).
 pub fn read_header<R: Read>(reader: &mut R) -> Result<ChunkFileHeader> {
     let mut buf = [0u8; HEADER_BYTES];
     reader
@@ -132,23 +286,46 @@ pub fn read_header<R: Read>(reader: &mut R) -> Result<ChunkFileHeader> {
         });
     }
     let version = u32_at(&buf, 4, what)?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_QUANT {
         return Err(Error::UnsupportedVersion(version));
     }
-    Ok(ChunkFileHeader {
+    let mut header = ChunkFileHeader {
+        version,
         page_size: u32_at(&buf, 8, what)?,
         n_chunks: u32_at(&buf, 12, what)?,
         total_descriptors: u64_at(&buf, 16, what)?,
-    })
+        codec_kind: 0,
+        codec_blob_len: 0,
+        quant_start: 0,
+    };
+    if version == VERSION_QUANT {
+        let mut ext = [0u8; HEADER_BYTES_QUANT - HEADER_BYTES];
+        reader
+            .read_exact(&mut ext)
+            .map_err(|_| Error::Truncated("chunk file header"))?;
+        header.codec_kind = u32_at(&ext, 0, what)?;
+        header.codec_blob_len = u32_at(&ext, 4, what)?;
+        header.quant_start = u64_at(&ext, 8, what)?;
+    }
+    Ok(header)
 }
 
 /// Decoded contents of one chunk.
+///
+/// A payload carries either raw rows (`packed`, from the raw region) or
+/// quantized rows (`codes`, from a v3 file's quant region), never both —
+/// which one is filled depends on the read mode of the store the chunk
+/// came through.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct ChunkPayload {
     /// Descriptor identifiers, in storage order.
     pub ids: Vec<u32>,
-    /// Packed vector components (`ids.len() * DIM` floats, row-major).
+    /// Packed vector components (`ids.len() * DIM` floats, row-major);
+    /// empty for quantized reads.
     pub packed: Vec<f32>,
+    /// Packed codec codes (`ids.len() * code_bytes` bytes, row-major);
+    /// empty for raw reads.
+    pub codes: Vec<u8>,
 }
 
 impl ChunkPayload {
@@ -166,6 +343,7 @@ impl ChunkPayload {
     pub fn clear(&mut self) {
         self.ids.clear();
         self.packed.clear();
+        self.codes.clear();
     }
 }
 
@@ -203,6 +381,57 @@ pub fn read_chunk_at<R: Read + Seek>(
         });
     }
     decode_records(body, meta.count, payload)?;
+    Ok(padded)
+}
+
+/// Reads one chunk's quantized records from a v3 file's quant region into
+/// `payload` (ids + codes; `packed` stays empty), verifying the stored
+/// checksum. Returns the padded page span the disk model charges — for a
+/// compressing codec this is strictly smaller than the raw chunk's span.
+pub fn read_quant_chunk_at<R: Read + Seek>(
+    reader: &mut R,
+    quant_offset: u64,
+    count: u32,
+    code_bytes: usize,
+    page_size: u32,
+    payload: &mut ChunkPayload,
+) -> Result<u64> {
+    payload.clear();
+    reader.seek(SeekFrom::Start(quant_offset))?;
+    let byte_len = quant_byte_len(count, code_bytes);
+    let padded = chunk_span(byte_len, u64::from(page_size));
+    let mut raw = vec![0u8; padded as usize];
+    reader
+        .read_exact(&mut raw)
+        .map_err(|_| Error::Truncated("quantized chunk body"))?;
+    let body = raw
+        .get(..byte_len as usize)
+        .ok_or(Error::Truncated("quantized chunk body"))?;
+    let stored = raw
+        .get(byte_len as usize..byte_len as usize + CHECKSUM_BYTES as usize)
+        .and_then(|b| b.try_into().ok())
+        .map(u32::from_le_bytes)
+        .ok_or(Error::Truncated("quantized chunk checksum"))?;
+    let computed = checksum(body);
+    if stored != computed {
+        return Err(Error::Corrupt {
+            offset: quant_offset,
+            expected: stored,
+            found: computed,
+        });
+    }
+    let ids_bytes = count as usize * 4;
+    let (id_region, code_region) = (
+        body.get(..ids_bytes)
+            .ok_or(Error::Truncated("quantized chunk ids"))?,
+        body.get(ids_bytes..)
+            .ok_or(Error::Truncated("quantized chunk codes"))?,
+    );
+    payload.ids.reserve(count as usize);
+    for rec in id_region.chunks_exact(4) {
+        payload.ids.push(u32_at(rec, 0, "quantized chunk record")?);
+    }
+    payload.codes.extend_from_slice(code_region);
     Ok(padded)
 }
 
@@ -389,6 +618,125 @@ mod tests {
     }
 
     #[test]
+    fn v3_raw_region_is_bit_identical_to_v2() {
+        use eff2_descriptor::Sq8Codec;
+        let set = sample_set(12);
+        let chunks = vec![vec![0u32, 1, 2, 3], vec![4, 5], vec![6, 7, 8, 9, 10, 11]];
+        let page = 512u32;
+        let mut v2 = Vec::new();
+        let v2_locs = write_chunks(&set, &chunks, page, &mut v2).expect("v2");
+        let codec = Codec::Sq8(Sq8Codec::from_set(&set));
+        let mut v3 = Vec::new();
+        let (v3_locs, quant_start) =
+            write_chunks_quantized(&set, &chunks, page, &codec, &mut v3).expect("v3");
+        assert_eq!(v2_locs.len(), v3_locs.len());
+        // Same byte_len/count per chunk; offsets shifted by the codec pages.
+        let shift = v3_locs[0].0 - v2_locs[0].0;
+        for (a, b) in v2_locs.iter().zip(v3_locs.iter()) {
+            assert_eq!(a.0 + shift, b.0);
+            assert_eq!(a.1, b.1);
+            assert_eq!(a.2, b.2);
+        }
+        // The raw regions are byte-for-byte identical.
+        let v2_raw = &v2[v2_locs[0].0 as usize..];
+        let v3_raw = &v3[v3_locs[0].0 as usize..quant_start as usize];
+        assert_eq!(v2_raw, v3_raw);
+        // And each raw chunk reads back through the ordinary v2 path.
+        let mut cursor = Cursor::new(&v3);
+        let header = read_header(&mut cursor).expect("header");
+        assert_eq!(header.version, VERSION_QUANT);
+        assert_eq!(header.n_chunks, 3);
+        let mut payload = ChunkPayload::default();
+        for (ci, (off, blen, count)) in v3_locs.iter().enumerate() {
+            let meta = ChunkMeta {
+                centroid: Vector::ZERO,
+                radius: 0.0,
+                offset: *off,
+                byte_len: *blen,
+                count: *count,
+            };
+            read_chunk_at(&mut cursor, &meta, page, &mut payload).expect("raw read");
+            assert_eq!(payload.len(), chunks[ci].len());
+            assert!(payload.codes.is_empty());
+        }
+    }
+
+    #[test]
+    fn v3_quant_region_roundtrips_codes() {
+        use eff2_descriptor::{DescriptorCodec, Sq8Codec};
+        let set = sample_set(10);
+        let chunks = vec![vec![0u32, 1, 2], vec![3, 4, 5, 6], vec![7, 8, 9]];
+        let page = 512u32;
+        let codec = Codec::Sq8(Sq8Codec::from_set(&set));
+        let cb = codec.code_bytes();
+        let mut buf = Vec::new();
+        let (_locs, quant_start) =
+            write_chunks_quantized(&set, &chunks, page, &codec, &mut buf).expect("write");
+        let mut cursor = Cursor::new(&buf);
+        let mut payload = ChunkPayload::default();
+        let mut offset = quant_start;
+        let mut expect_code = vec![0u8; cb];
+        for members in &chunks {
+            let span = read_quant_chunk_at(
+                &mut cursor,
+                offset,
+                members.len() as u32,
+                cb,
+                page,
+                &mut payload,
+            )
+            .expect("quant read");
+            assert_eq!(span % u64::from(page), 0);
+            assert!(payload.packed.is_empty());
+            assert_eq!(payload.ids.len(), members.len());
+            assert_eq!(payload.codes.len(), members.len() * cb);
+            for (k, &pos) in members.iter().enumerate() {
+                assert_eq!(payload.ids[k], set.id(pos as usize).0);
+                codec.encode_into(set.vector(pos as usize), &mut expect_code);
+                assert_eq!(&payload.codes[k * cb..(k + 1) * cb], &expect_code[..]);
+            }
+            offset += span;
+        }
+    }
+
+    #[test]
+    fn quant_corruption_detected() {
+        use eff2_descriptor::{DescriptorCodec, Sq8Codec};
+        let set = sample_set(8);
+        let chunks = vec![vec![0u32, 1, 2, 3, 4, 5, 6, 7]];
+        let page = 256u32;
+        let codec = Codec::Sq8(Sq8Codec::from_set(&set));
+        let mut buf = Vec::new();
+        let (_, quant_start) =
+            write_chunks_quantized(&set, &chunks, page, &codec, &mut buf).expect("write");
+        buf[quant_start as usize + 10] ^= 0x80;
+        let mut payload = ChunkPayload::default();
+        assert!(matches!(
+            read_quant_chunk_at(
+                &mut Cursor::new(&buf),
+                quant_start,
+                8,
+                codec.code_bytes(),
+                page,
+                &mut payload
+            ),
+            Err(Error::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let set = sample_set(2);
+        let mut buf = Vec::new();
+        write_chunks(&set, &[vec![0, 1]], 256, &mut buf).expect("write");
+        buf[4] = 9; // stamp a bogus version
+        assert!(matches!(
+            read_header(&mut Cursor::new(&buf)),
+            Err(Error::UnsupportedVersion(9))
+        ));
+    }
+
+    #[test]
     fn decode_rejects_wrong_count() {
         let raw = vec![0u8; RECORD_BYTES * 2];
         let mut payload = ChunkPayload::default();
@@ -403,6 +751,7 @@ mod tests {
         let mut p = ChunkPayload {
             ids: Vec::with_capacity(100),
             packed: Vec::with_capacity(100 * DIM),
+            codes: Vec::new(),
         };
         p.ids.push(1);
         p.packed.extend(std::iter::repeat_n(0.0, DIM));

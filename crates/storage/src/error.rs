@@ -162,7 +162,7 @@ mod tests {
 
     #[test]
     fn classification_covers_every_variant() {
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "disk");
+        let io = std::io::Error::other("disk");
         assert_eq!(Error::Io(io).class(), ErrorClass::Transient);
         assert_eq!(
             Error::Truncated("chunk body").class(),

@@ -185,6 +185,7 @@ mod tests {
         Arc::new(ChunkPayload {
             ids: (0..n as u32).collect(),
             packed: vec![0.0; n],
+            codes: Vec::new(),
         })
     }
 

@@ -338,9 +338,11 @@ impl ResidentCache {
     }
 }
 
-/// Decoded in-memory footprint of a payload (ids + packed floats).
+/// Decoded in-memory footprint of a payload (ids + packed floats + codes).
 fn payload_bytes(p: &ChunkPayload) -> u64 {
-    (p.ids.len() * std::mem::size_of::<u32>() + p.packed.len() * std::mem::size_of::<f32>()) as u64
+    (p.ids.len() * std::mem::size_of::<u32>()
+        + p.packed.len() * std::mem::size_of::<f32>()
+        + p.codes.len()) as u64
 }
 
 /// Pins decoded chunks in a byte-budgeted LRU shared across queries — the

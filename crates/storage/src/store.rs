@@ -3,9 +3,10 @@
 use crate::chunkfile::{self, ChunkPayload};
 use crate::error::{Error, Result};
 use crate::indexfile::{self, ChunkMeta};
+use eff2_descriptor::quant::{Codec, DescriptorCodec};
 use eff2_descriptor::{DescriptorSet, Vector};
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -34,6 +35,11 @@ pub struct ChunkDef {
 #[derive(Clone, Debug)]
 pub struct ChunkStore {
     inner: Arc<StoreInner>,
+    /// Read mode of *this handle*: readers opened from a quantized view
+    /// deliver codes from the v3 quant region instead of raw rows. The
+    /// mode lives outside the `Arc` so raw and quantized views share the
+    /// parsed index.
+    quantized: bool,
 }
 
 #[derive(Debug)]
@@ -43,6 +49,10 @@ struct StoreInner {
     metas: Vec<ChunkMeta>,
     page_size: u32,
     total_descriptors: u64,
+    /// Codec of a version-3 file; `None` for raw-only (v2) stores.
+    codec: Option<Codec>,
+    /// Per-chunk offsets into the quant region; empty for v2 stores.
+    quant_offsets: Vec<u64>,
 }
 
 impl ChunkStore {
@@ -61,6 +71,33 @@ impl ChunkStore {
         chunks: &[ChunkDef],
         page_size: u32,
     ) -> Result<ChunkStore> {
+        Self::create_inner(dir, name, set, chunks, page_size, None)
+    }
+
+    /// [`create`](Self::create), additionally writing a quantized copy of
+    /// every chunk (format version 3). The raw region stays byte-identical
+    /// to what [`create`](Self::create) writes, so every raw reader works
+    /// unchanged; [`quantized_view`](Self::quantized_view) opens the
+    /// compressed side.
+    pub fn create_quantized(
+        dir: &Path,
+        name: &str,
+        set: &DescriptorSet,
+        chunks: &[ChunkDef],
+        page_size: u32,
+        codec: &Codec,
+    ) -> Result<ChunkStore> {
+        Self::create_inner(dir, name, set, chunks, page_size, Some(codec))
+    }
+
+    fn create_inner(
+        dir: &Path,
+        name: &str,
+        set: &DescriptorSet,
+        chunks: &[ChunkDef],
+        page_size: u32,
+        codec: Option<&Codec>,
+    ) -> Result<ChunkStore> {
         for (ci, c) in chunks.iter().enumerate() {
             for &p in &c.positions {
                 if p as usize >= set.len() {
@@ -77,7 +114,15 @@ impl ChunkStore {
 
         let membership: Vec<Vec<u32>> = chunks.iter().map(|c| c.positions.clone()).collect();
         let chunk_file = File::create(&chunk_path)?;
-        let locations = chunkfile::write_chunks(set, &membership, page_size, chunk_file)?;
+        let (locations, quant_start) = match codec {
+            None => (
+                chunkfile::write_chunks(set, &membership, page_size, chunk_file)?,
+                0,
+            ),
+            Some(codec) => {
+                chunkfile::write_chunks_quantized(set, &membership, page_size, codec, chunk_file)?
+            }
+        };
 
         let metas: Vec<ChunkMeta> = chunks
             .iter()
@@ -93,6 +138,10 @@ impl ChunkStore {
         let index_file = File::create(&index_path)?;
         indexfile::write_index(&metas, page_size, index_file)?;
 
+        let quant_offsets = match codec {
+            None => Vec::new(),
+            Some(c) => quant_offsets_from(quant_start, &metas, c.code_bytes(), page_size),
+        };
         let total_descriptors = metas.iter().map(|m| u64::from(m.count)).sum::<u64>();
         Ok(ChunkStore {
             inner: Arc::new(StoreInner {
@@ -101,7 +150,10 @@ impl ChunkStore {
                 metas,
                 page_size,
                 total_descriptors,
+                codec: codec.cloned(),
+                quant_offsets,
             }),
+            quantized: false,
         })
     }
 
@@ -132,6 +184,37 @@ impl ChunkStore {
                 )));
             }
         }
+        let (codec, quant_offsets) = if header.version == chunkfile::VERSION_QUANT {
+            // The codec blob sits right after the header page.
+            chunk_reader.seek(SeekFrom::Start(u64::from(page_size)))?;
+            let mut blob = vec![0u8; header.codec_blob_len as usize];
+            chunk_reader
+                .read_exact(&mut blob)
+                .map_err(|_| Error::Truncated("codec parameter blob"))?;
+            let codec = Codec::from_bytes(header.codec_kind, &blob).ok_or_else(|| {
+                Error::Inconsistent(format!(
+                    "unreadable codec parameters (kind {}, {} bytes)",
+                    header.codec_kind, header.codec_blob_len
+                ))
+            })?;
+            let offsets =
+                quant_offsets_from(header.quant_start, &metas, codec.code_bytes(), page_size);
+            if let (Some(&last), Some(m)) = (offsets.last(), metas.last()) {
+                let end = last
+                    + chunkfile::chunk_span(
+                        chunkfile::quant_byte_len(m.count, codec.code_bytes()),
+                        u64::from(page_size),
+                    );
+                if end > file_len {
+                    return Err(Error::Inconsistent(format!(
+                        "quant region extends to byte {end} beyond file of {file_len} bytes"
+                    )));
+                }
+            }
+            (Some(codec), offsets)
+        } else {
+            (None, Vec::new())
+        };
         Ok(ChunkStore {
             inner: Arc::new(StoreInner {
                 chunk_path: chunk_path.to_path_buf(),
@@ -139,7 +222,10 @@ impl ChunkStore {
                 total_descriptors: header.total_descriptors,
                 metas,
                 page_size,
+                codec,
+                quant_offsets,
             }),
+            quantized: false,
         })
     }
 
@@ -179,6 +265,41 @@ impl ChunkStore {
         &self.inner.index_path
     }
 
+    /// The codec of a version-3 store; `None` for raw-only files.
+    pub fn codec(&self) -> Option<&Codec> {
+        self.inner.codec.as_ref()
+    }
+
+    /// Whether readers opened from this handle deliver quantized codes.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized
+    }
+
+    /// A handle whose readers deliver quantized codes from the v3 quant
+    /// region. Every other aspect (metas, paths, page size) is shared
+    /// with this handle, so chunk ids and rankings carry over unchanged.
+    ///
+    /// Returns [`Error::Inconsistent`] for a raw-only (v2) store.
+    pub fn quantized_view(&self) -> Result<ChunkStore> {
+        if self.inner.codec.is_none() {
+            return Err(Error::Inconsistent(
+                "store has no quantized region (format version 2)".into(),
+            ));
+        }
+        Ok(ChunkStore {
+            inner: Arc::clone(&self.inner),
+            quantized: true,
+        })
+    }
+
+    /// A handle whose readers deliver raw `f32` rows (the default mode).
+    pub fn raw_view(&self) -> ChunkStore {
+        ChunkStore {
+            inner: Arc::clone(&self.inner),
+            quantized: false,
+        }
+    }
+
     /// Opens an independent reader over the chunk file. Each concurrent
     /// query should hold its own reader (separate file handle and seek
     /// position). The reader owns a store handle, so it may outlive the
@@ -191,6 +312,26 @@ impl ChunkStore {
     }
 }
 
+/// Per-chunk offsets into the quant region, derived from the chunk counts
+/// (the quant region stores chunks in id order, each page-padded).
+fn quant_offsets_from(
+    quant_start: u64,
+    metas: &[ChunkMeta],
+    code_bytes: usize,
+    page_size: u32,
+) -> Vec<u64> {
+    let mut offsets = Vec::with_capacity(metas.len());
+    let mut at = quant_start;
+    for m in metas {
+        offsets.push(at);
+        at += chunkfile::chunk_span(
+            chunkfile::quant_byte_len(m.count, code_bytes),
+            u64::from(page_size),
+        );
+    }
+    offsets
+}
+
 /// A sequential reader over a store's chunk file.
 #[derive(Debug)]
 pub struct ChunkReader {
@@ -200,13 +341,34 @@ pub struct ChunkReader {
 
 impl ChunkReader {
     /// Reads chunk `id` into `payload` (buffers reused); returns the number
-    /// of bytes transferred from disk (the padded page span).
+    /// of bytes transferred from disk (the padded page span). A reader
+    /// opened from a [quantized view](ChunkStore::quantized_view) fills
+    /// `payload.codes` from the quant region — a strictly smaller span
+    /// for a compressing codec — instead of `payload.packed`.
     pub fn read_chunk(&mut self, id: usize, payload: &mut ChunkPayload) -> Result<u64> {
-        let meta = self.store.inner.metas.get(id).ok_or(Error::NoSuchChunk {
+        let inner = &self.store.inner;
+        let meta = inner.metas.get(id).ok_or(Error::NoSuchChunk {
             id,
-            n_chunks: self.store.inner.metas.len(),
+            n_chunks: inner.metas.len(),
         })?;
-        chunkfile::read_chunk_at(&mut self.file, meta, self.store.inner.page_size, payload)
+        if self.store.quantized {
+            let codec = inner.codec.as_ref().ok_or_else(|| {
+                Error::Inconsistent("quantized read on a store without a codec".into())
+            })?;
+            let quant_offset = inner.quant_offsets.get(id).copied().ok_or_else(|| {
+                Error::Inconsistent(format!("no quant offset recorded for chunk {id}"))
+            })?;
+            chunkfile::read_quant_chunk_at(
+                &mut self.file,
+                quant_offset,
+                meta.count,
+                codec.code_bytes(),
+                inner.page_size,
+                payload,
+            )
+        } else {
+            chunkfile::read_chunk_at(&mut self.file, meta, inner.page_size, payload)
+        }
     }
 }
 
@@ -382,6 +544,90 @@ mod tests {
         // Nothing was written: the files must not exist.
         assert!(!dir.join("x.chunks").exists());
         assert!(!dir.join("x.index").exists());
+    }
+
+    #[test]
+    fn quantized_store_roundtrip_and_views() {
+        use eff2_descriptor::{Codec, DescriptorCodec, Sq8Codec};
+        let dir = tmp_dir("quant");
+        let set = sample_set(12);
+        let chunks = defs(&[&[0, 1, 2, 3], &[4, 5], &[6, 7, 8, 9, 10, 11]], &set);
+        let codec = Codec::Sq8(Sq8Codec::from_set(&set));
+        let store =
+            ChunkStore::create_quantized(&dir, "q", &set, &chunks, 512, &codec).expect("create");
+        assert_eq!(store.codec(), Some(&codec));
+        assert!(!store.is_quantized());
+
+        // Raw reads work exactly as on a v2 store.
+        let mut raw_payload = ChunkPayload::default();
+        let raw_bytes = store
+            .reader()
+            .expect("reader")
+            .read_chunk(2, &mut raw_payload)
+            .expect("raw read");
+        assert_eq!(raw_payload.ids, vec![6, 7, 8, 9, 10, 11]);
+        assert_eq!(&raw_payload.packed[0..DIM], set.vector(6));
+        assert!(raw_payload.codes.is_empty());
+
+        // The quantized view delivers codes for the same ids, charging
+        // strictly fewer modelled bytes.
+        let qview = store.quantized_view().expect("view");
+        assert!(qview.is_quantized());
+        let mut q_payload = ChunkPayload::default();
+        let q_bytes = qview
+            .reader()
+            .expect("reader")
+            .read_chunk(2, &mut q_payload)
+            .expect("quant read");
+        assert_eq!(q_payload.ids, raw_payload.ids);
+        assert!(q_payload.packed.is_empty());
+        assert_eq!(q_payload.codes.len(), 6 * codec.code_bytes());
+        assert!(q_bytes < raw_bytes, "{q_bytes} !< {raw_bytes}");
+        assert!(!qview.raw_view().is_quantized());
+
+        // Reopening parses the codec back from the file.
+        let reopened = ChunkStore::open(store.chunk_path(), store.index_path()).expect("open");
+        assert_eq!(reopened.codec(), Some(&codec));
+        assert_eq!(reopened.metas(), store.metas());
+        let mut again = ChunkPayload::default();
+        reopened
+            .quantized_view()
+            .expect("view")
+            .reader()
+            .expect("reader")
+            .read_chunk(2, &mut again)
+            .expect("read");
+        assert_eq!(again, q_payload);
+    }
+
+    #[test]
+    fn raw_store_has_no_quantized_view() {
+        let dir = tmp_dir("noquant");
+        let set = sample_set(4);
+        let chunks = defs(&[&[0, 1, 2, 3]], &set);
+        let store = ChunkStore::create(&dir, "p", &set, &chunks, 256).expect("create");
+        assert!(store.codec().is_none());
+        assert!(matches!(
+            store.quantized_view(),
+            Err(Error::Inconsistent(_))
+        ));
+    }
+
+    #[test]
+    fn open_detects_truncated_quant_region() {
+        use eff2_descriptor::{Codec, Sq8Codec};
+        let dir = tmp_dir("quanttrunc");
+        let set = sample_set(20);
+        let chunks = defs(&[&[0, 1, 2, 3, 4], &[5, 6, 7, 8, 9]], &set);
+        let codec = Codec::Sq8(Sq8Codec::from_set(&set));
+        let store =
+            ChunkStore::create_quantized(&dir, "t", &set, &chunks, 256, &codec).expect("create");
+        let data = std::fs::read(store.chunk_path()).expect("read file");
+        std::fs::write(store.chunk_path(), &data[..data.len() - 256]).expect("rewrite");
+        assert!(matches!(
+            ChunkStore::open(store.chunk_path(), store.index_path()),
+            Err(Error::Inconsistent(_))
+        ));
     }
 
     #[test]

@@ -36,6 +36,32 @@ grep -q "Rate-0 chaos stack bit-identical to the undecorated search: yes" "$EXP5
 grep -q "All faulted searches completed with degradation reports: yes" "$EXP5_OUT/exp5.txt"
 rm -rf "$EXP5_OUT"
 
+echo "==> eval exp6 smoke (quantized descriptors + two-level ranking)"
+EXP6_OUT="$(mktemp -d)"
+EFF2_SCALE=2500 EFF2_QUERIES=6 cargo run --release -p eff2-eval -- exp6 \
+  --out "$EXP6_OUT" | tee "$EXP6_OUT/exp6.txt"
+grep -q "Rerank tail bit-identical to the uncompressed baseline at full budget: yes" "$EXP6_OUT/exp6.txt"
+grep -q "Precision monotonically non-decreasing in rerank depth: yes" "$EXP6_OUT/exp6.txt"
+grep -q "v2 and v3 chunk files read-compatible: yes" "$EXP6_OUT/exp6.txt"
+# Modelled bytes-read figures for the bench artefact below (same-budget
+# raw baseline vs the R=1 quantized scans).
+RAW_BYTES="$(awk '$1=="raw" && $2=="flat" && $4=="3/5" {print $6}' "$EXP6_OUT/exp6.txt")"
+SQ8_BYTES="$(awk '$1=="sq8" && $2=="flat" && $3=="1" {print $6}' "$EXP6_OUT/exp6.txt")"
+PQ_BYTES="$(awk '$1=="pq" && $2=="flat" && $3=="1" {print $6}' "$EXP6_OUT/exp6.txt")"
+rm -rf "$EXP6_OUT"
+
+echo "==> criterion benches (reduced sampling: kernels, batch_search, scheduler)"
+EFF2_BENCH_SCALE=4000 cargo bench -p eff2-bench \
+  --bench kernels --bench batch_search --bench scheduler_throughput -- \
+  --sample-size 10 --warm-up-time 0.5 --measurement-time 1
+
+echo "==> bench_report -> BENCH_6.json"
+cargo run --release -p eff2-bench --bin bench_report -- \
+  --criterion-dir target/criterion --out BENCH_6.json \
+  --kv "exp6_raw_flat_partial_bytes=$RAW_BYTES" \
+  --kv "exp6_sq8_flat_r1_bytes=$SQ8_BYTES" \
+  --kv "exp6_pq_flat_r1_bytes=$PQ_BYTES"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 

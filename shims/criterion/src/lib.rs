@@ -7,9 +7,12 @@
 //! sample duration, collect `sample_size` samples, report the median.
 //!
 //! No statistical regression analysis, plots or baselines; output is one
-//! line per benchmark on stdout.
+//! line per benchmark on stdout, plus an upstream-compatible
+//! `target/criterion/<label…>/new/estimates.json` median per benchmark so
+//! `bench_report` can collect a perf artefact from a run.
 
 use std::fmt::Display;
+use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 /// Throughput annotation for a benchmark group; scales the report.
@@ -180,7 +183,73 @@ fn run_bench<F: FnMut(&mut Bencher)>(sample_count: usize, f: &mut F) -> (f64, us
     (samples[samples.len() / 2], samples.len())
 }
 
+/// Locates `target/criterion` like upstream: `CARGO_TARGET_DIR` if set,
+/// otherwise the nearest `target` directory at or above the working
+/// directory (cargo runs bench binaries from the package root, so the
+/// workspace `target` is found by walking up).
+#[cfg_attr(test, allow(dead_code))] // only reached from the cfg(not(test)) persistence path
+fn target_criterion_dir() -> Option<PathBuf> {
+    if let Some(t) = std::env::var_os("CARGO_TARGET_DIR") {
+        return Some(PathBuf::from(t).join("criterion"));
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let cand = dir.join("target");
+        if cand.is_dir() {
+            return Some(cand.join("criterion"));
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// `<root>/<label part>/…/new/estimates.json`, with path-hostile
+/// characters in each slash-separated label part replaced by `_`.
+fn estimates_path(root: &Path, label: &str) -> PathBuf {
+    let mut dir = root.to_path_buf();
+    for part in label.split('/').filter(|p| !p.is_empty()) {
+        let safe: String = part
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        dir.push(safe);
+    }
+    dir.join("new").join("estimates.json")
+}
+
+/// Persists the median under the upstream directory scheme. Best-effort:
+/// a read-only filesystem must not fail the bench run. Skipped when the
+/// shim itself is under test so unit tests never pollute `target/`.
+fn save_estimates(label: &str, median_ns: f64) {
+    #[cfg(test)]
+    let _ = (label, median_ns);
+    #[cfg(not(test))]
+    {
+        if !median_ns.is_finite() {
+            return;
+        }
+        let Some(root) = target_criterion_dir() else {
+            return;
+        };
+        let path = estimates_path(&root, label);
+        let Some(dir) = path.parent() else { return };
+        if std::fs::create_dir_all(dir).is_err() {
+            return;
+        }
+        let body = format!("{{\"median\":{{\"point_estimate\":{median_ns}}}}}\n");
+        let _ = std::fs::write(&path, body);
+    }
+}
+
 fn report(label: &str, median_ns: f64, samples: usize, throughput: Option<Throughput>) {
+    save_estimates(label, median_ns);
     let time = format_ns(median_ns);
     let rate = match throughput {
         Some(Throughput::Elements(n)) if median_ns > 0.0 => {
@@ -307,6 +376,15 @@ mod tests {
             b.iter(|| x * 2)
         });
         g.finish();
+    }
+
+    #[test]
+    fn estimates_path_mirrors_label_structure() {
+        let p = estimates_path(Path::new("/t/criterion"), "group/bench name/4");
+        assert_eq!(
+            p,
+            Path::new("/t/criterion/group/bench_name/4/new/estimates.json")
+        );
     }
 
     #[test]
