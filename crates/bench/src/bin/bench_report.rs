@@ -1,7 +1,7 @@
 //! `bench_report` — collect Criterion medians into one JSON artefact.
 //!
 //! ```text
-//! bench_report [--criterion-dir target/criterion] [--out BENCH_6.json]
+//! bench_report [--criterion-dir target/criterion] [--out BENCH_7.json]
 //!              [--kv key=value]...
 //! ```
 //!
@@ -9,9 +9,11 @@
 //! median point estimate (nanoseconds, keyed by the slash-joined bench
 //! path), merges any `--kv` pairs passed on the command line (numbers
 //! where they parse, strings otherwise — e.g. bytes-read figures grepped
-//! from the exp6 smoke run) and writes one JSON object to `--out`. This
-//! is the standing perf artefact `scripts/check.sh` commits per PR so
-//! kernel speedups and regressions stay visible across the stack.
+//! from the exp6 smoke run, or cross-shard fetch counts from exp7) and
+//! writes one JSON object to `--out`. This is the standing perf artefact
+//! `scripts/check.sh` commits per PR so kernel speedups and regressions
+//! stay visible across the stack; each PR writes its own `BENCH_<n>.json`
+//! and leaves the prior artefacts untouched.
 
 // lint:allow-file(hyg.print): command-line binary; progress and errors go to stderr by design
 
@@ -27,7 +29,7 @@ fn usage() -> ! {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut criterion_dir = PathBuf::from("target/criterion");
-    let mut out_path = PathBuf::from("BENCH_6.json");
+    let mut out_path = PathBuf::from("BENCH_7.json");
     let mut extra: BTreeMap<String, String> = BTreeMap::new();
     let mut i = 0;
     while i < args.len() {

@@ -17,7 +17,9 @@
 //! * [`retry`] — [`RetrySource`]: typed retry/backoff with modelled-time
 //!   charging, turning repeated failures into a permanent
 //!   [`ChunkLost`](eff2_storage::Error::ChunkLost) the search core can
-//!   skip under a `SkipPolicy`.
+//!   skip under a `SkipPolicy`;
+//! * [`shard`] — [`ShardFaultPlan`]: whole-shard-down schedules for the
+//!   replicated serving fleet (eff2-serve's scatter–gather failover).
 //!
 //! With every fault rate at zero the decorators are bit-identical
 //! passthroughs: same `ChunkEvent` traces, same neighbours, same virtual
@@ -26,7 +28,9 @@
 pub mod fault;
 pub mod plan;
 pub mod retry;
+pub mod shard;
 
 pub use fault::FaultSource;
 pub use plan::{Fault, FaultConfig, FaultPlan};
 pub use retry::{RetryPolicy, RetrySource};
+pub use shard::ShardFaultPlan;

@@ -101,7 +101,7 @@ fn mix(mut z: u64) -> u64 {
 }
 
 /// A uniform draw in `[0, 1)` from the mixed inputs.
-fn unit(seed: u64, chunk: u64, salt: u64, attempt: u64) -> f64 {
+pub(crate) fn unit(seed: u64, chunk: u64, salt: u64, attempt: u64) -> f64 {
     let h = mix(seed ^ mix(chunk ^ salt) ^ mix(attempt.wrapping_mul(salt)));
     // 53 high bits -> exactly representable dyadic rational in [0, 1).
     (h >> 11) as f64 / (1u64 << 53) as f64
@@ -158,6 +158,15 @@ impl FaultPlan {
         if self.is_permanently_lost(chunk) {
             return Fault::Permanent;
         }
+        self.attempt_fault(chunk, attempt)
+    }
+
+    /// [`fault_for`](Self::fault_for) **without** the permanent-loss check:
+    /// the per-attempt transient/short-read/corruption/spike draw alone.
+    /// A replicated fleet uses this for replica copies when the permanent
+    /// draw models loss of the *primary medium only* — replicas share the
+    /// chunk's per-attempt weather but not its permanent fate.
+    pub fn attempt_fault(&self, chunk: usize, attempt: u32) -> Fault {
         let c = &self.config;
         if attempt < TRANSIENT_CLEAR {
             let u = unit(c.seed, chunk as u64, FAULT_SALT, u64::from(attempt));

@@ -33,6 +33,7 @@ pub mod adc;
 pub mod chunkers;
 pub mod coarse;
 pub mod index;
+pub mod merge;
 pub mod neighbors;
 pub mod scan;
 pub mod search;
@@ -46,11 +47,12 @@ pub use chunkers::{
 };
 pub use coarse::CoarseQuantizer;
 pub use index::{BuiltIndex, ChunkIndex};
+pub use merge::{LegOutcome, ScatterGather};
 pub use neighbors::{Neighbor, NeighborSet};
 pub use scan::{scan_knn, scan_store_knn};
 pub use search::{
     search_batch, search_batch_threads, search_batch_with_source, search_with_source, ChunkEvent,
     Degradation, ResultFidelity, SearchLog, SearchParams, SearchResult, StopRule,
 };
-pub use session::{evaluate_stop_rules, ChunkRanking, SearchSession, SkipPolicy};
+pub use session::{evaluate_stop_rules, rule_fires, ChunkRanking, SearchSession, SkipPolicy};
 pub use snapshot::Snapshot;

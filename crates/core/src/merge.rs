@@ -1,0 +1,478 @@
+//! Deterministic scatter–gather merge for sharded search.
+//!
+//! A fleet run splits a query's flat [`ChunkRanking`] into per-shard *legs*
+//! ([`ChunkRanking::split_by_owner`]); each leg is a detached
+//! [`SearchSession`](crate::session::SearchSession) scanning only its
+//! shard's chunks. The [`ScatterGather`] here is the **gather side**: it
+//! owns the global ranking, the merged neighbour set, the query's private
+//! [`PipelineClock`] and its [`SearchLog`], and it incorporates leg
+//! outcomes strictly in global rank order.
+//!
+//! ## Why the merged answer is bit-identical to a solo scan
+//!
+//! Consider the global prefix of the first `g` ranked chunks. Each leg
+//! preserves the global order restricted to its shard, so after every leg
+//! has reported its outcomes for its chunks in that prefix, the leg's
+//! retained neighbour snapshot contains the exact k smallest `(dist_sq,
+//! id)` candidates among *its* prefix chunks — and any member of the true
+//! global top-k over the prefix is, in particular, among the k smallest of
+//! its own leg's prefix, hence present in that leg's snapshot. Merging the
+//! snapshots' **raw** `(id, dist_sq)` entries
+//! ([`NeighborSet::entries`](crate::neighbors::NeighborSet::entries)) and
+//! keeping the k smallest *distinct ids* under the total order
+//! `(dist_sq, id)` therefore yields exactly the solo top-k of the prefix.
+//! Two details matter: the merge must deduplicate by id, because a leg
+//! re-reports its retained neighbours after every chunk (a solo scan
+//! offers each descriptor exactly once, so its `NeighborSet` never sees a
+//! duplicate); and it must use the raw squared distances (round-tripping
+//! through sqrt'd values would perturb kth-boundary ties).
+//! Stop rules are evaluated over this merged state with the *same*
+//! predicate a solo session uses ([`rule_fires`]), and the private clock
+//! replays the identical `chunk_overlapped(io_time(bytes),
+//! scan_time(count))` sequence in global order from the same index-read
+//! start — so neighbours, events, stop point and every virtual-time figure
+//! come out bit-for-bit equal to the single-device run.
+//!
+//! Losses merge the same way: a chunk no replica could deliver is
+//! incorporated at its global rank as a skip with its modelled retry
+//! charge, exactly like
+//! [`SearchSession::skip_unavailable`](crate::session::SearchSession::skip_unavailable).
+
+use crate::neighbors::Neighbor;
+use crate::search::{ChunkEvent, SearchLog, SearchParams, SearchResult, StopRule};
+use crate::session::{rule_fires, ChunkRanking};
+use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
+use eff2_storage::Result;
+
+/// One leg-reported outcome for a single ranked chunk, buffered by the
+/// fleet driver until the gather cursor reaches the chunk's global rank.
+#[derive(Clone, Debug)]
+pub enum LegOutcome {
+    /// The chunk was scanned on its shard: the modelled bytes, descriptor
+    /// count, and the leg's retained neighbour snapshot *after* this chunk
+    /// (raw `(id, dist_sq)` entries).
+    Scanned {
+        /// Bytes the delivery transferred (padded page span).
+        bytes_read: u64,
+        /// Descriptors the chunk holds.
+        count: u32,
+        /// The leg's neighbour snapshot after scanning this chunk.
+        entries: Vec<(u32, f32)>,
+    },
+    /// No copy of the chunk could be delivered; `spent` is the modelled
+    /// retry/backoff cost of finding that out.
+    Lost {
+        /// Modelled time the failed delivery attempts cost.
+        spent: VirtualDuration,
+    },
+}
+
+/// The gather side of a scatter–gather query: global ranking, merged
+/// neighbour set, private clock and log. See the module docs for the
+/// determinism argument.
+pub struct ScatterGather {
+    ranking: ChunkRanking,
+    model: DiskModel,
+    params: SearchParams,
+    clock: PipelineClock,
+    /// The merged top-k as raw `(id, dist_sq)` pairs, sorted by
+    /// `(dist_sq, id)`, ids distinct, at most `k` long. A plain sorted
+    /// vector instead of a [`NeighborSet`] because the merge must
+    /// deduplicate by id (see module docs) — leg snapshots re-report the
+    /// same neighbour chunk after chunk.
+    merged: Vec<(u32, f32)>,
+    log: SearchLog,
+    wall_start: std::time::Instant,
+}
+
+impl ScatterGather {
+    /// A gather over a pre-computed **flat** global ranking. The private
+    /// clock starts at the index-read time, exactly like a solo session.
+    pub fn new(ranking: ChunkRanking, model: &DiskModel, params: &SearchParams) -> ScatterGather {
+        let clock = PipelineClock::start_at(ranking.index_read_time());
+        let log = SearchLog {
+            index_read_time: ranking.index_read_time(),
+            ..SearchLog::default()
+        };
+        ScatterGather {
+            ranking,
+            model: *model,
+            params: *params,
+            clock,
+            merged: Vec::with_capacity(params.k),
+            log,
+            // lint:allow(det.wall_clock): log.wall is informational; it never feeds the virtual clock or modelled figures
+            wall_start: std::time::Instant::now(),
+        }
+    }
+
+    /// The global ranking this gather merges over.
+    pub fn ranking(&self) -> &ChunkRanking {
+        &self.ranking
+    }
+
+    /// The parameters the query was admitted with.
+    pub fn params(&self) -> &SearchParams {
+        &self.params
+    }
+
+    /// Global ranks incorporated so far (scanned + lost) — the next
+    /// outcome must be for the chunk at this rank.
+    pub fn cursor(&self) -> usize {
+        self.log.chunks_read + self.log.degradation.chunks_lost
+    }
+
+    /// Whether `k` distinct neighbours are held.
+    fn is_full(&self) -> bool {
+        self.merged.len() >= self.params.k
+    }
+
+    /// The merged kth-best **squared** distance (∞ until `k` are held) —
+    /// same contract as `NeighborSet::kth_dist_sq`.
+    fn kth_dist_sq(&self) -> f32 {
+        if self.is_full() {
+            self.merged.last().map_or(f32::INFINITY, |e| e.1)
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// The current merged kth-best distance (∞ until `k` are held).
+    pub fn kth_dist(&self) -> f32 {
+        let d = self.kth_dist_sq();
+        if d.is_finite() {
+            d.sqrt()
+        } else {
+            f32::INFINITY
+        }
+    }
+
+    /// Merges a batch of raw `(id, dist_sq)` entries into the top-k:
+    /// sort by `(dist_sq, id)`, drop duplicate ids (duplicates of an id
+    /// always carry identical distance bits — a descriptor lives in exactly
+    /// one chunk, scanned by exactly one leg), keep the k smallest.
+    fn offer_entries(&mut self, entries: &[(u32, f32)]) {
+        self.merged.extend_from_slice(entries);
+        self.merged
+            .sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        self.merged.dedup_by(|a, b| a.0 == b.0);
+        self.merged.truncate(self.params.k);
+    }
+
+    /// Upper estimate of ranks still to incorporate before the stop rule
+    /// can fire (see `SearchSession::remaining_work_estimate`).
+    pub fn remaining_work_estimate(&self) -> usize {
+        let cursor = self.cursor();
+        match self.params.stop {
+            StopRule::Chunks(n) => n.min(self.ranking.len()).saturating_sub(cursor),
+            _ => self.ranking.len().saturating_sub(cursor),
+        }
+    }
+
+    /// Incorporates the outcome for the chunk at the current cursor rank.
+    /// `chunk_id` must be the ranking's chunk at that rank (the same
+    /// in-order discipline as `SearchSession::step_with`); outcomes arrive
+    /// here only after the fleet driver has drained every earlier rank.
+    pub fn incorporate(&mut self, chunk_id: usize, outcome: &LegOutcome) -> Result<()> {
+        let cursor = self.cursor();
+        if cursor >= self.ranking.len() {
+            return Err(eff2_storage::Error::Inconsistent(
+                "gather already incorporated every ranked chunk".to_string(),
+            ));
+        }
+        let wanted = self.ranking.chunk_at(cursor);
+        if chunk_id != wanted {
+            return Err(eff2_storage::Error::Inconsistent(format!(
+                "gather wants chunk {wanted} at rank {cursor}, was offered chunk {chunk_id}"
+            )));
+        }
+        match outcome {
+            LegOutcome::Scanned {
+                bytes_read,
+                count,
+                entries,
+            } => {
+                self.offer_entries(entries);
+                let io = self.model.io_time(*bytes_read);
+                let cpu = self.model.scan_time(*count as usize);
+                let completed_at = self.clock.chunk_overlapped(io, cpu);
+                let rank = self.log.chunks_read;
+                self.log.chunks_read += 1;
+                self.log.descriptors_scanned += u64::from(*count);
+                self.log.bytes_read += bytes_read;
+                self.log.events.push(ChunkEvent {
+                    rank,
+                    chunk_id,
+                    count: *count,
+                    bytes_read: *bytes_read,
+                    completed_at,
+                    kth_dist: self.kth_dist(),
+                    topk_ids: if self.params.log_snapshots {
+                        self.merged.iter().map(|e| e.0).collect()
+                    } else {
+                        Vec::new()
+                    },
+                });
+            }
+            LegOutcome::Lost { spent } => {
+                let _ = self.clock.chunk_overlapped(*spent, VirtualDuration::ZERO);
+                self.log.degradation.chunks_lost += 1;
+                self.log.degradation.descriptors_lost += u64::from(self.ranking.count_of(chunk_id));
+                self.log.degradation.lost_chunks.push(chunk_id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether the query's own stop rule says to stop — the same predicate
+    /// a solo session evaluates, over the merged state.
+    pub fn stop_satisfied(&self) -> bool {
+        let cursor = self.cursor();
+        self.params.k == 0
+            || cursor >= self.ranking.len()
+            || rule_fires(
+                self.params.stop,
+                cursor,
+                self.log.events.last().map(|e| e.completed_at),
+                self.is_full(),
+                self.kth_dist(),
+                self.ranking.remaining_bound(cursor),
+            )
+            .is_some()
+    }
+
+    /// Finalises the merged answer, exactly as
+    /// `SearchSession::into_result_and_ranking` does: completion flag,
+    /// total virtual time from the private clock, centroid evaluations
+    /// from the global ranking. Also hands the ranking back for reuse.
+    pub fn into_result_and_ranking(mut self) -> (SearchResult, ChunkRanking) {
+        let cursor = self.cursor();
+        self.log.completed = self.params.k == 0
+            || cursor == self.ranking.len()
+            || rule_fires(
+                self.params.stop,
+                cursor,
+                self.log.events.last().map(|e| e.completed_at),
+                self.is_full(),
+                self.kth_dist(),
+                self.ranking.remaining_bound(cursor),
+            ) == Some(true);
+        self.log.total_virtual = self.clock.now().max(self.ranking.index_read_time());
+        self.log.centroid_evals = self.ranking.centroid_evals();
+        self.log.wall = self.wall_start.elapsed();
+        let ranking = std::mem::take(&mut self.ranking);
+        let result = SearchResult {
+            neighbors: self
+                .merged
+                .iter()
+                .map(|&(id, dist_sq)| Neighbor {
+                    id,
+                    dist: dist_sq.sqrt(),
+                })
+                .collect(),
+            log: self.log,
+        };
+        (result, ranking)
+    }
+}
+
+impl std::fmt::Debug for ScatterGather {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScatterGather")
+            .field("cursor", &self.cursor())
+            .field("n_chunks", &self.ranking.len())
+            .field("kth_dist", &self.kth_dist())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunkers::{ChunkFormer, SrTreeChunker};
+    use crate::session::SearchSession;
+    use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+    use eff2_storage::chunkfile::ChunkPayload;
+    use eff2_storage::source::SourcedChunk;
+    use eff2_storage::ChunkStore;
+    use std::collections::BTreeMap;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eff2_merge_{tag}"));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn lumpy_set(n: usize) -> DescriptorSet {
+        (0..n)
+            .map(|i| {
+                let blob = (i % 7) as f32 * 15.0;
+                let mut v = Vector::splat(blob);
+                v[0] += ((i * 31) % 23) as f32 * 0.4;
+                v[2] -= ((i * 13) % 17) as f32 * 0.3;
+                Descriptor::new(i as u32, v)
+            })
+            .collect()
+    }
+
+    fn build_store(tag: &str, n: usize) -> ChunkStore {
+        let set = lumpy_set(n);
+        let formation = SrTreeChunker { leaf_size: 24 }.form(&set);
+        ChunkStore::create(&tmp_dir(tag), "ix", &set, &formation.chunks, 512).expect("create")
+    }
+
+    /// Splits a query across hand-rolled shards, feeds each leg fully,
+    /// then drains outcomes in global order — the merged result must be
+    /// bit-identical to a solo session under the same stop rule.
+    fn assert_merge_matches_solo(store: &ChunkStore, params: &SearchParams, n_shards: usize) {
+        let model = eff2_storage::diskmodel::DiskModel::ata_2005();
+        let query = Vector::splat(21.0);
+
+        let mut solo = SearchSession::open(store, &model, &query, params);
+        solo.run_to_stop().expect("solo run");
+        let want = solo.into_result();
+
+        let ranking = ChunkRanking::rank(store, &model, &query);
+        let owner_of: Vec<u32> = (0..store.n_chunks())
+            .map(|c| (c % n_shards) as u32)
+            .collect();
+        let legs_rankings = ranking.split_by_owner(&owner_of, n_shards);
+        let mut gather = ScatterGather::new(ranking, &model, params);
+
+        // Drive every leg to exhaustion, buffering outcomes by global rank.
+        let leg_params = SearchParams {
+            stop: StopRule::Chunks(usize::MAX),
+            ..*params
+        };
+        let mut reader = store.reader().expect("reader");
+        let mut buffered: BTreeMap<usize, (usize, LegOutcome)> = BTreeMap::new();
+        let rank_of: BTreeMap<usize, usize> = (0..gather.ranking().len())
+            .map(|r| (gather.ranking().chunk_at(r), r))
+            .collect();
+        for leg_ranking in legs_rankings {
+            let mut leg =
+                SearchSession::detached_from_ranking(leg_ranking, &model, &query, &leg_params);
+            while let Some(chunk) = leg.next_wanted() {
+                let mut payload = ChunkPayload::default();
+                let bytes = reader.read_chunk(chunk, &mut payload).expect("read");
+                let sourced = SourcedChunk {
+                    id: chunk,
+                    payload: Arc::new(payload),
+                    bytes_read: bytes,
+                };
+                leg.step_with(&sourced).expect("leg step");
+                let count = gather.ranking().count_of(chunk);
+                buffered.insert(
+                    rank_of[&chunk],
+                    (
+                        chunk,
+                        LegOutcome::Scanned {
+                            bytes_read: bytes,
+                            count,
+                            entries: leg.neighbor_entries(),
+                        },
+                    ),
+                );
+            }
+        }
+        // Drain in global order under the real stop rule; leftovers are
+        // exactly the work a lookahead-bounded fleet would not have done.
+        while !gather.stop_satisfied() {
+            let cursor = gather.cursor();
+            let (chunk, outcome) = buffered.get(&cursor).expect("outcome for rank");
+            gather.incorporate(*chunk, outcome).expect("incorporate");
+        }
+        let (got, _) = gather.into_result_and_ranking();
+
+        assert_eq!(want.neighbors.len(), got.neighbors.len());
+        for (w, g) in want.neighbors.iter().zip(got.neighbors.iter()) {
+            assert_eq!(w.id, g.id);
+            assert_eq!(w.dist.to_bits(), g.dist.to_bits());
+        }
+        assert_eq!(want.log.chunks_read, got.log.chunks_read);
+        assert_eq!(want.log.bytes_read, got.log.bytes_read);
+        assert_eq!(want.log.descriptors_scanned, got.log.descriptors_scanned);
+        assert_eq!(want.log.completed, got.log.completed);
+        assert_eq!(
+            want.log.total_virtual.as_secs().to_bits(),
+            got.log.total_virtual.as_secs().to_bits()
+        );
+        assert_eq!(want.log.events.len(), got.log.events.len());
+        for (w, g) in want.log.events.iter().zip(got.log.events.iter()) {
+            assert_eq!(w.chunk_id, g.chunk_id);
+            assert_eq!(w.bytes_read, g.bytes_read);
+            assert_eq!(
+                w.completed_at.as_secs().to_bits(),
+                g.completed_at.as_secs().to_bits()
+            );
+            assert_eq!(w.kth_dist.to_bits(), g.kth_dist.to_bits());
+            assert_eq!(w.topk_ids, g.topk_ids);
+        }
+    }
+
+    #[test]
+    fn merge_matches_solo_to_completion() {
+        let store = build_store("complete", 600);
+        assert_merge_matches_solo(&store, &SearchParams::exact(10), 4);
+    }
+
+    #[test]
+    fn merge_matches_solo_chunk_budget() {
+        let store = build_store("budget", 600);
+        assert_merge_matches_solo(&store, &SearchParams::approximate(8, 7), 3);
+    }
+
+    #[test]
+    fn merge_matches_solo_eps() {
+        let store = build_store("eps", 500);
+        let params = SearchParams {
+            stop: StopRule::ToCompletionEps(0.4),
+            ..SearchParams::exact(12)
+        };
+        assert_merge_matches_solo(&store, &params, 5);
+    }
+
+    #[test]
+    fn merge_matches_solo_single_shard() {
+        let store = build_store("single", 400);
+        assert_merge_matches_solo(&store, &SearchParams::exact(6), 1);
+    }
+
+    #[test]
+    fn gather_refuses_out_of_order_chunks() {
+        let store = build_store("order", 300);
+        let model = eff2_storage::diskmodel::DiskModel::ata_2005();
+        let query = Vector::splat(5.0);
+        let ranking = ChunkRanking::rank(&store, &model, &query);
+        let wrong = ranking.chunk_at(1);
+        let mut gather = ScatterGather::new(ranking, &model, &SearchParams::exact(4));
+        let outcome = LegOutcome::Scanned {
+            bytes_read: 512,
+            count: 10,
+            entries: vec![(0, 1.0)],
+        };
+        assert!(gather.incorporate(wrong, &outcome).is_err());
+    }
+
+    #[test]
+    fn lost_ranks_merge_like_solo_skips() {
+        let store = build_store("loss", 300);
+        let model = eff2_storage::diskmodel::DiskModel::ata_2005();
+        let query = Vector::splat(30.0);
+        let params = SearchParams::approximate(5, 4);
+        let ranking = ChunkRanking::rank(&store, &model, &query);
+        let first = ranking.chunk_at(0);
+        let mut gather = ScatterGather::new(ranking, &model, &params);
+        let spent = VirtualDuration::from_ms(40.0);
+        gather
+            .incorporate(first, &LegOutcome::Lost { spent })
+            .expect("loss");
+        assert_eq!(gather.cursor(), 1);
+        let (result, _) = gather.into_result_and_ranking();
+        assert_eq!(result.log.degradation.chunks_lost, 1);
+        assert_eq!(result.log.degradation.lost_chunks, vec![first]);
+        assert!(result.log.degradation.descriptors_lost > 0);
+    }
+}

@@ -363,6 +363,66 @@ impl ChunkRanking {
     pub fn index_read_time(&self) -> VirtualDuration {
         self.index_read_time
     }
+
+    /// Splits a **flat** ranking into one per-shard leg ranking: leg `s`
+    /// holds exactly the ranked entries whose chunk `owner_of` maps to `s`,
+    /// in the same relative order as the global ranking. Chunks whose owner
+    /// is out of range (e.g. `u32::MAX` for "no live owner") appear in no
+    /// leg — the scatter–gather driver accounts for them as lost up front.
+    ///
+    /// Legs carry no index-read charge and no centroid evaluations: those
+    /// are global, paid once by the gather side. Each leg's suffix bounds
+    /// are rebuilt over its own entries, which keeps them valid (a subset's
+    /// suffix minimum only over-approximates the global one, and legs are
+    /// never asked to prove completion — the gather merge is).
+    pub fn split_by_owner(&self, owner_of: &[u32], n_shards: usize) -> Vec<ChunkRanking> {
+        debug_assert!(
+            !self.has_pending(),
+            "split_by_owner requires a flat (fully expanded) ranking"
+        );
+        let mut legs: Vec<ChunkRanking> = (0..n_shards)
+            .map(|_| ChunkRanking {
+                counts: self.counts.clone(),
+                chunk_geo: self.chunk_geo.clone(),
+                ..ChunkRanking::default()
+            })
+            .collect();
+        for &(dist, chunk) in &self.ranked {
+            let owner = owner_of.get(chunk as usize).copied().unwrap_or(u32::MAX);
+            if let Some(leg) = legs.get_mut(owner as usize) {
+                leg.ranked.push((dist, chunk));
+            }
+        }
+        for leg in &mut legs {
+            leg.total = leg.ranked.len();
+            leg.rebuild_suffix();
+        }
+        legs
+    }
+}
+
+/// The stop-rule predicate shared by [`SearchSession::evaluate_rule`] and
+/// the scatter–gather merge: `Some(proves)` when `rule` is satisfied by the
+/// given state (`proves` = the stop certifies exactness), `None` to keep
+/// scanning. Factored out so the fleet's gather coordinator evaluates the
+/// *same* predicate over its merged state as a solo session does over its
+/// own — there is exactly one stop-rule implementation to drift.
+pub fn rule_fires(
+    rule: StopRule,
+    cursor: usize,
+    last_completed: Option<VirtualDuration>,
+    neighbors_full: bool,
+    kth_dist: f32,
+    remaining_bound: f32,
+) -> Option<bool> {
+    match rule {
+        StopRule::Chunks(n) => (cursor >= n).then_some(false),
+        StopRule::VirtualTime(t) => last_completed.and_then(|c| (c >= t).then_some(false)),
+        StopRule::ToCompletion => (neighbors_full && remaining_bound > kth_dist).then_some(true),
+        StopRule::ToCompletionEps(eps) => {
+            (neighbors_full && remaining_bound * (1.0 + eps) > kth_dist).then_some(eps <= 0.0)
+        }
+    }
 }
 
 /// Debug-build bookkeeping for the session invariants (§4.3's correctness
@@ -597,8 +657,12 @@ impl SearchSession {
             index_read_time: ranking.index_read_time(),
             ..SearchLog::default()
         };
+        // The seen-set is indexed by chunk *id*, which for a per-shard leg
+        // ranking (split_by_owner) spans the whole store even though the
+        // leg ranks only a subset — size it by the id space, not the rank
+        // count.
         #[cfg(debug_assertions)]
-        let invariants = StepInvariants::new(ranking.len());
+        let invariants = StepInvariants::new(ranking.counts.len().max(ranking.len()));
         SearchSession {
             source,
             stream: None,
@@ -655,6 +719,27 @@ impl SearchSession {
     /// Current kth-best distance (∞ until `k` neighbours are held).
     pub fn kth_dist(&self) -> f32 {
         self.neighbors.kth_dist()
+    }
+
+    /// The current neighbour set as raw `(id, dist_sq)` entries (see
+    /// [`NeighborSet::entries`]) — what a scatter–gather merge re-offers
+    /// into the global set to stay bit-identical to a solo scan.
+    pub fn neighbor_entries(&self) -> Vec<(u32, f32)> {
+        self.neighbors.entries()
+    }
+
+    /// A cheap upper estimate of the chunks this session still has to
+    /// consume before its stop rule can fire: the explicit budget remainder
+    /// for `Chunks(n)`, the whole unread tail otherwise. Schedulers use it
+    /// to break deadline ties toward the query that can finish soonest
+    /// (shortest-remaining-work) instead of falling back to admission
+    /// order.
+    pub fn remaining_work_estimate(&self) -> usize {
+        let cursor = self.rank_cursor();
+        match self.params.stop {
+            StopRule::Chunks(n) => n.min(self.ranking.len()).saturating_sub(cursor),
+            _ => self.ranking.len().saturating_sub(cursor),
+        }
     }
 
     /// Position in the ranked order the scan has consumed up to: chunks
@@ -911,20 +996,14 @@ impl SearchSession {
         // taken past them (an honest account — their descriptors are
         // reported lost, not silently still pending).
         let read = self.rank_cursor();
-        match rule {
-            StopRule::Chunks(n) => (read >= n).then_some(false),
-            StopRule::VirtualTime(t) => self
-                .log
-                .events
-                .last()
-                .and_then(|e| (e.completed_at >= t).then_some(false)),
-            StopRule::ToCompletion => (self.neighbors.is_full()
-                && self.ranking.remaining_bound(read) > self.neighbors.kth_dist())
-            .then_some(true),
-            StopRule::ToCompletionEps(eps) => (self.neighbors.is_full()
-                && self.ranking.remaining_bound(read) * (1.0 + eps) > self.neighbors.kth_dist())
-            .then_some(eps <= 0.0),
-        }
+        rule_fires(
+            rule,
+            read,
+            self.log.events.last().map(|e| e.completed_at),
+            self.neighbors.is_full(),
+            self.neighbors.kth_dist(),
+            self.ranking.remaining_bound(read),
+        )
     }
 
     /// Whether this session's own stop rule says to stop scanning. A

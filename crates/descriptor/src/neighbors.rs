@@ -181,6 +181,19 @@ impl NeighborSet {
     pub fn sorted_ids(&self) -> Vec<u32> {
         self.sorted().into_iter().map(|n| n.id).collect()
     }
+
+    /// The current contents as raw `(id, dist_sq)` pairs sorted by
+    /// `(dist_sq, id)` — the heap's own total order, **without** the sqrt
+    /// applied by [`sorted`](Self::sorted). Re-offering these entries into
+    /// another `NeighborSet` reproduces the retained set bit-for-bit, which
+    /// is what the scatter–gather merge needs: round-tripping through the
+    /// sqrt'd [`Neighbor`] values would perturb tie-breaking at the kth
+    /// boundary.
+    pub fn entries(&self) -> Vec<(u32, f32)> {
+        let mut out: Vec<(u32, f32)> = self.heap.iter().map(|e| (e.id, e.dist_sq)).collect();
+        out.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +296,23 @@ mod tests {
                 i += 1;
             }
         }
+    }
+
+    #[test]
+    fn entries_round_trip_bit_identically() {
+        let mut set = NeighborSet::new(4);
+        for (id, d) in [(9u32, 2.5f32), (1, 2.5), (4, 0.1), (7, 8.0), (2, 2.5)] {
+            set.offer(id, d);
+        }
+        let entries = set.entries();
+        // Raw squared distances, ordered by (dist_sq, id).
+        assert_eq!(entries, vec![(4, 0.1), (1, 2.5), (2, 2.5), (9, 2.5)]);
+        let mut merged = NeighborSet::new(4);
+        for (id, d) in entries {
+            merged.offer(id, d);
+        }
+        assert_eq!(merged.sorted_ids(), set.sorted_ids());
+        assert_eq!(merged.kth_dist_sq().to_bits(), set.kth_dist_sq().to_bits());
     }
 
     #[test]

@@ -16,10 +16,11 @@ use eff2_descriptor::Vector;
 use eff2_metrics::{
     fleet_quality_curve, precision_at, GroundTruth, LatencySummary, QualityCurve, Table,
 };
-use eff2_serve::{Policy, Scheduler, SchedulerConfig};
+use eff2_serve::{FleetConfig, FleetScheduler, Policy, Scheduler, SchedulerConfig};
+use eff2_shard::Placement;
 use eff2_storage::diskmodel::VirtualDuration;
 use eff2_storage::source::{ChunkSource, FileSource};
-use eff2_workload::poisson_arrivals;
+use eff2_workload::{poisson_arrivals, zipf_assignments};
 use std::sync::Arc;
 
 /// The neighbour counts Figures 6/7 trace (scaled to the configured k).
@@ -1113,6 +1114,251 @@ pub fn exp6(lab: &Lab) -> EvalResult<String> {
     ))
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 7 — the sharded fleet: scatter–gather, placement, failover
+// ---------------------------------------------------------------------------
+
+/// The shard counts experiment 7 sweeps.
+pub fn exp7_shards() -> Vec<usize> {
+    vec![1, 4, 16]
+}
+
+/// The replication factors experiment 7 sweeps.
+pub fn exp7_replication() -> Vec<usize> {
+    vec![1, 2, 3]
+}
+
+/// Finds a fault seed whose plan permanently loses at least one (and at
+/// most a handful of) chunks of an `n_chunks`-chunk store — the canonical
+/// "a disk died under one chunk" scenario. Deterministic: the scan starts
+/// at `base_seed` and takes the first seed that qualifies.
+fn exp7_lossy_plan(base_seed: u64, n_chunks: usize) -> FaultPlan {
+    let rate = (2.0 / n_chunks.max(1) as f64).min(0.5);
+    for offset in 0..1_000u64 {
+        let plan = FaultPlan::new(FaultConfig::lossy(base_seed.wrapping_add(offset), rate));
+        let lost = plan.permanent_losses(n_chunks).len();
+        if (1..=3).contains(&lost) {
+            return plan;
+        }
+    }
+    // Pathologically tiny stores: lose chunk coverage guarantees and fall
+    // back to a denser plan that certainly hits something.
+    FaultPlan::new(FaultConfig::lossy(base_seed, 0.5))
+}
+
+/// Regenerates **Experiment 7**: the sharded-fleet sweep. The DQ workload,
+/// skewed by a Zipf draw so a few hot queries repeat, is offered at 16×
+/// the serial service rate to a [`FleetScheduler`] for every shard count ×
+/// replication factor × placement policy. Every cell's merged answers are
+/// bit-compared against the serial single-device reference (sharding must
+/// never change an answer), the placement policies are compared on
+/// cross-shard chunk traffic and primary-placement imbalance, and a
+/// permanent-chunk-loss scenario shows replication turning today's
+/// `Degraded` results into failover events.
+pub fn exp7(lab: &Lab) -> EvalResult<String> {
+    let handle = lab.serving_index()?;
+    let handle = &handle;
+    let dq = lab.dq()?;
+    if dq.is_empty() {
+        return Err("exp7 needs a non-empty DQ workload".into());
+    }
+    let params = SearchParams {
+        k: lab.scale.k,
+        stop: StopRule::ToCompletionEps(0.5),
+        prefetch_depth: 2,
+        log_snapshots: false,
+    };
+    let snap = Snapshot::new(handle.store.clone(), lab.model);
+
+    // Zipf-skew the query stream: a few hot queries dominate, so shards
+    // holding their chunks genuinely contend and placement matters.
+    let picks = zipf_assignments(dq.len(), dq.len(), 0.8, lab.scale.seed ^ 0xA7);
+    let queries: Vec<Vector> = picks.iter().map(|&p| dq.queries[p as usize]).collect();
+
+    // Serial reference: the answers every fleet cell must reproduce.
+    eprintln!("[exp7] serial reference over {} queries …", queries.len());
+    let mut serial = Vec::with_capacity(queries.len());
+    let mut serial_secs = 0.0f64;
+    for query in &queries {
+        let r = snap.search(query, &params)?;
+        serial_secs += r.log.total_virtual.as_secs();
+        serial.push(r);
+    }
+
+    // 16× the serial service rate: far past single-device saturation — the
+    // regime where a fleet is the only way to keep latency bounded.
+    let rate_qps = 16.0 * queries.len() as f64 / serial_secs.max(1e-9);
+    let arrivals = poisson_arrivals(queries.len(), rate_qps, lab.scale.seed ^ 0xA7);
+    let trace: Vec<(Vector, VirtualDuration)> = queries
+        .iter()
+        .zip(arrivals.arrivals.iter())
+        .map(|(q, &t)| (*q, VirtualDuration::from_secs(t)))
+        .collect();
+
+    let mut t = Table::new(
+        &format!(
+            "Experiment 7. Sharded fleet serving (DQ Zipf-skewed, Poisson at {rate_qps:.1} q/s, \
+             {} — 16× serial capacity)",
+            handle.meta.label
+        ),
+        &[
+            "Shards",
+            "Repl",
+            "Placement",
+            "Thru q/s",
+            "p50 s",
+            "p99 s",
+            "Disk reads",
+            "Max shard reads",
+            "Cross-shard",
+            "Imbalance",
+            "Serial-identical",
+        ],
+    );
+    let mut all_identical = true;
+    let mut imbalance_populated = true;
+    // (shards, repl) → cross-shard fetches per placement, for the
+    // locality-vs-hash comparison.
+    let mut cross_of: Vec<(usize, usize, Placement, u64)> = Vec::new();
+
+    for &n_shards in &exp7_shards() {
+        for &replication in &exp7_replication() {
+            for placement in Placement::ALL {
+                eprintln!(
+                    "[exp7] {n_shards} shard(s) × R{replication} × {} …",
+                    placement.name()
+                );
+                let mut config = FleetConfig::new(Policy::MostWantedChunk, n_shards, 8);
+                config.placement = placement;
+                config.replication = replication;
+                config.max_queued = trace.len(); // admit everything: compare full runs
+                let fleet =
+                    FleetScheduler::new(snap.clone(), config).serve_trace(&trace, &params)?;
+                let report = &fleet.report;
+
+                let mut identical =
+                    report.stats.rejected == 0 && report.completions.len() == serial.len();
+                for c in &report.completions {
+                    identical =
+                        identical && results_bit_identical(&serial[c.id as usize], &c.result);
+                }
+                all_identical = all_identical && identical;
+                imbalance_populated = imbalance_populated
+                    && fleet.imbalance_factor.is_finite()
+                    && fleet.imbalance_factor >= 1.0;
+                cross_of.push((n_shards, replication, placement, fleet.cross_shard_fetches));
+
+                let lat = LatencySummary::from_secs(&report.latencies_secs());
+                let max_shard_reads = report
+                    .stats
+                    .disk_reads_by_shard
+                    .iter()
+                    .copied()
+                    .max()
+                    .unwrap_or(0);
+                t.row(vec![
+                    n_shards.to_string(),
+                    replication.to_string(),
+                    placement.name().to_string(),
+                    fmt_f(report.throughput_qps(), 1),
+                    fmt_f(lat.p50_secs, 3),
+                    fmt_f(lat.p99_secs, 3),
+                    report.stats.disk_reads.to_string(),
+                    max_shard_reads.to_string(),
+                    fleet.cross_shard_fetches.to_string(),
+                    fmt_f(fleet.imbalance_factor, 2),
+                    if identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+        }
+    }
+
+    // Does centroid-locality placement actually keep chunk traffic on the
+    // query's home shard? Compare the placements cell by cell.
+    let locality_wins = cross_of.iter().any(|&(s, r, p, cross)| {
+        s > 1
+            && p == Placement::CentroidLocality
+            && cross_of.iter().any(|&(s2, r2, p2, hash_cross)| {
+                s2 == s && r2 == r && p2 == Placement::ChunkHash && cross < hash_cross
+            })
+    });
+
+    // The failover scenario: a fault plan permanently loses a chunk or
+    // two. Without replication every full scan that wants a lost chunk
+    // degrades — exactly today's behaviour. With R ≥ 2 the read fails over
+    // to a replica and the answer stays exact.
+    let full_scan = SearchParams {
+        stop: StopRule::Chunks(usize::MAX),
+        ..params
+    };
+    let n_failover_queries = queries.len().min(8);
+    let failover_trace: Vec<(Vector, VirtualDuration)> =
+        trace.iter().take(n_failover_queries).cloned().collect();
+    let plan = exp7_lossy_plan(lab.scale.seed ^ 0xA7, handle.store.n_chunks());
+    let retry = RetryPolicy::new(
+        TRANSIENT_CLEAR + 1,
+        VirtualDuration::from_ms(5.0),
+        VirtualDuration::from_ms(1.0),
+    );
+    let mut f = Table::new(
+        "Experiment 7 failover: permanent chunk loss under replication (full scans)",
+        &["Repl", "Degraded", "Exact", "Failovers", "Chunks abandoned"],
+    );
+    let mut r1_degraded = 0usize;
+    let mut higher_r_all_exact = true;
+    let mut higher_r_failed_over = true;
+    for &replication in &exp7_replication() {
+        let mut config = FleetConfig::new(Policy::MostWantedChunk, 4, 4);
+        config.replication = replication;
+        config.max_queued = failover_trace.len();
+        config.fault_plan = Some(plan);
+        config.retry = retry;
+        let fleet =
+            FleetScheduler::new(snap.clone(), config).serve_trace(&failover_trace, &full_scan)?;
+        let degraded = fleet
+            .report
+            .completions
+            .iter()
+            .filter(|c| c.result.log.degradation.is_degraded())
+            .count();
+        let exact = fleet.report.completions.len() - degraded;
+        if replication == 1 {
+            r1_degraded = degraded;
+        } else {
+            higher_r_all_exact = higher_r_all_exact && degraded == 0;
+            higher_r_failed_over = higher_r_failed_over && fleet.failovers > 0;
+        }
+        f.row(vec![
+            replication.to_string(),
+            degraded.to_string(),
+            exact.to_string(),
+            fleet.failovers.to_string(),
+            fleet.report.stats.chunks_abandoned.to_string(),
+        ]);
+    }
+    let failover_masks = r1_degraded > 0 && higher_r_all_exact && higher_r_failed_over;
+
+    let rendered = t.render();
+    let dir = lab.results_dir()?;
+    t.save_csv(&dir.join("exp7.csv"))?;
+    f.save_csv(&dir.join("exp7_failover.csv"))?;
+    Ok(format!(
+        "{rendered}\n{}\n\
+         All merged fleet answers bit-identical to solo under every cell: {}.\n\
+         Imbalance factor populated for both placements in every cell: {}.\n\
+         Centroid-locality fetched fewer cross-shard chunks than chunk-hash in at least one cell: {}.\n\
+         Replication masked permanent chunk loss as failover: {} \
+         (R=1 degraded {} of {} full scans; R>=2 all exact with failovers).\n",
+        f.render(),
+        if all_identical { "yes" } else { "NO" },
+        if imbalance_populated { "yes" } else { "NO" },
+        if locality_wins { "yes" } else { "NO" },
+        if failover_masks { "yes" } else { "NO" },
+        r1_degraded,
+        n_failover_queries,
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1249,6 +1495,31 @@ mod tests {
             "the v3 raw region diverged from the v2 layout:\n{report}"
         );
         assert!(lab.results_dir().unwrap().join("exp6.csv").exists());
+    }
+
+    #[test]
+    fn exp7_smoke() {
+        let lab = tiny_lab("e7");
+        let report = exp7(&lab).expect("exp7");
+        assert!(report.contains("Experiment 7"));
+        assert!(
+            report.contains("All merged fleet answers bit-identical to solo under every cell: yes"),
+            "sharding changed an answer:\n{report}"
+        );
+        assert!(
+            report.contains("Imbalance factor populated for both placements in every cell: yes"),
+            "a placement cell reported no imbalance factor:\n{report}"
+        );
+        assert!(
+            report.contains("Replication masked permanent chunk loss as failover: yes"),
+            "replication failed to mask a permanent chunk loss:\n{report}"
+        );
+        assert!(lab.results_dir().unwrap().join("exp7.csv").exists());
+        assert!(lab
+            .results_dir()
+            .unwrap()
+            .join("exp7_failover.csv")
+            .exists());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //!   exp4     the serving sweep — scheduler policies × concurrency levels
 //!   exp5     the chaos sweep — quality degradation under injected chunk loss
 //!   exp6     the quantization sweep — ADC scans, rerank depths, two-level ranking
+//!   exp7     the sharded-fleet sweep — shards × replication × placement, with failover
 //!   all      everything above, in order
 //! ```
 //!
@@ -28,7 +29,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|exp6|all> \
+        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|exp6|exp7|all> \
          [--scale N] [--queries N] [--seed S] [--out DIR]"
     );
     std::process::exit(2);
@@ -122,6 +123,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
         "exp4" => print!("{}", experiments::exp4(&lab)?),
         "exp5" => print!("{}", experiments::exp5(&lab)?),
         "exp6" => print!("{}", experiments::exp6(&lab)?),
+        "exp7" => print!("{}", experiments::exp7(&lab)?),
         "all" => {
             print!("{}", experiments::table1(&lab)?);
             print!("{}", experiments::fig1(&lab)?);
@@ -131,6 +133,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
             print!("{}", experiments::exp4(&lab)?);
             print!("{}", experiments::exp5(&lab)?);
             print!("{}", experiments::exp6(&lab)?);
+            print!("{}", experiments::exp7(&lab)?);
         }
         _ => usage(),
     }

@@ -46,7 +46,7 @@ pub const RULES: &[RuleInfo] = &[
     },
     RuleInfo {
         id: "det.hash_container",
-        summary: "no HashMap/HashSet in trace-producing crates (core/storage/metrics/eval/descriptor)",
+        summary: "no HashMap/HashSet in trace-producing crates (core/storage/chaos/serve/shard/metrics/eval/descriptor)",
     },
     RuleInfo {
         id: "det.wall_clock",
@@ -90,6 +90,7 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "storage",
     "chaos",
     "serve",
+    "shard",
     "metrics",
     "eval",
     "descriptor",

@@ -62,6 +62,7 @@ fixture_test!(
     "det_float_accum_training.rs"
 );
 fixture_test!(det_thread_spawn, "serve", "det_thread_spawn.rs");
+fixture_test!(det_shard_iteration, "shard", "det_shard_iteration.rs");
 fixture_test!(err_box_error, "descriptor", "err_box_error.rs");
 fixture_test!(err_string_error, "descriptor", "err_string_error.rs");
 fixture_test!(hyg_print, "descriptor", "hyg_print.rs");

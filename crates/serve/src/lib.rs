@@ -22,8 +22,18 @@
 //! running that query alone. Scheduling changes *when* work happens on the
 //! shared device (latency, throughput), never what each query computes.
 
+//!
+//! The sharded extension lives in [`fleet`]: the same chunk index
+//! partitioned across N shard nodes by an
+//! [`eff2_shard::ShardMap`] (with R-way replication), queries served
+//! scatter–gather with per-shard legs merged deterministically — every
+//! merged answer bit-identical to the solo single-device run, and
+//! replicated copies turning permanent chunk loss into failover.
+
 pub mod error;
+pub mod fleet;
 pub mod scheduler;
 
 pub use error::{Result, ServeError};
+pub use fleet::{FleetConfig, FleetReport, FleetScheduler, LossScope};
 pub use scheduler::{Completion, Policy, Scheduler, SchedulerConfig, ServeReport, ServeStats};

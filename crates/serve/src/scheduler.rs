@@ -39,7 +39,9 @@ pub enum Policy {
     /// session's wanted chunk. Fair, oblivious to sharing.
     FairShare,
     /// Serve the session with the earliest virtual deadline
-    /// (arrival + configured deadline); ties break on session id.
+    /// (arrival + configured deadline); ties break on the smallest
+    /// remaining-work estimate (so a one-chunk query is not starved behind
+    /// an equal-deadline scan-everything query), then on session id.
     EarliestDeadline,
     /// Serve the chunk wanted by the *most* active sessions, feeding all
     /// of them from one read: the chunk is fetched and decoded once and
@@ -151,7 +153,7 @@ impl Completion {
 }
 
 /// Fleet-level counters.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct ServeStats {
     /// Queries offered to [`Scheduler::submit`].
     pub submitted: u64,
@@ -165,6 +167,10 @@ pub struct ServeStats {
     pub fetches: u64,
     /// Fetches that went to the disk (the rest were cache hits).
     pub disk_reads: u64,
+    /// [`disk_reads`](Self::disk_reads) split by the shard node whose disk
+    /// served the read, indexed by shard id. The single-device scheduler is
+    /// a one-shard fleet: `vec![disk_reads]`.
+    pub disk_reads_by_shard: Vec<u64>,
     /// Session feeds: total [`SearchSession::step_with`] calls. Equal
     /// across policies for one workload; `fetches` is what sharing
     /// shrinks.
@@ -360,6 +366,7 @@ impl Scheduler {
             .map(|c| c.finish)
             .fold(VirtualDuration::ZERO, VirtualDuration::max);
         self.stats.cache = self.source.stats();
+        self.stats.disk_reads_by_shard = vec![self.stats.disk_reads];
         let mut completions = std::mem::take(&mut self.completions);
         completions.sort_by_key(|c| c.id);
         Ok(ServeReport {
@@ -616,18 +623,29 @@ impl Scheduler {
                 Some((a.session.next_wanted()?, vec![id]))
             }
             Policy::EarliestDeadline => {
-                let mut best: Option<(u64, f64)> = None;
+                // Key: (deadline, remaining-work estimate, id). A pure
+                // deadline key degenerates to FIFO whenever a burst shares
+                // one arrival instant (every deadline ties, and ties on id
+                // replay admission order); breaking ties by how little work
+                // a session has left lets short queries slip past
+                // equal-deadline long ones.
+                let mut best: Option<(u64, f64, usize)> = None;
                 for (id, a) in &self.active {
                     let d = a.deadline.as_secs();
+                    let w = a.session.remaining_work_estimate();
                     let better = match best {
                         None => true,
-                        Some((_, b)) => d.total_cmp(&b) == std::cmp::Ordering::Less,
+                        Some((_, bd, bw)) => match d.total_cmp(&bd) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => w < bw,
+                            std::cmp::Ordering::Greater => false,
+                        },
                     };
                     if better {
-                        best = Some((*id, d));
+                        best = Some((*id, d, w));
                     }
                 }
-                let (id, _) = best?;
+                let (id, _, _) = best?;
                 let a = self.active.get(&id)?;
                 Some((a.session.next_wanted()?, vec![id]))
             }
@@ -937,6 +955,47 @@ mod tests {
     }
 
     #[test]
+    fn edf_breaks_deadline_ties_by_remaining_work() {
+        let (snap, set) = snapshot("edftie", 500, 25);
+        let long = SearchParams {
+            stop: StopRule::Chunks(8),
+            ..SearchParams::exact(4)
+        };
+        let short = SearchParams {
+            stop: StopRule::Chunks(1),
+            ..SearchParams::exact(4)
+        };
+        let mut config = SchedulerConfig::new(Policy::EarliestDeadline, 4);
+        config.max_queued = 4;
+        let mut sched = Scheduler::new(snap, config);
+        let t0 = VirtualDuration::ZERO;
+        // Same arrival, same deadline: the long query is admitted first,
+        // so a FIFO tie-break would serve all 8 of its chunks before the
+        // one-chunk query gets a turn.
+        let a = sched.submit(&set.vector_owned(0), &long, t0).expect("long");
+        let b = sched
+            .submit(&set.vector_owned(7), &short, t0)
+            .expect("short");
+        let report = sched.finish().expect("finish");
+        assert_eq!(report.stats.completed, 2);
+        let finish_of = |id: u64| {
+            report
+                .completions
+                .iter()
+                .find(|c| c.id == id)
+                .map(|c| c.finish.as_secs())
+                .expect("completed")
+        };
+        assert!(
+            finish_of(b) < finish_of(a),
+            "the one-chunk query must finish first under an equal deadline: \
+             short {} vs long {}",
+            finish_of(b),
+            finish_of(a)
+        );
+    }
+
+    #[test]
     fn cross_query_cache_hits_are_visible_in_the_report() {
         let (snap, set) = snapshot("cache", 500, 25);
         let params = SearchParams::exact(8);
@@ -958,6 +1017,11 @@ mod tests {
             report.stats.cache
         );
         assert!(report.stats.disk_reads < report.stats.fetches);
+        assert_eq!(
+            report.stats.disk_reads_by_shard,
+            vec![report.stats.disk_reads],
+            "the solo scheduler is a one-shard fleet"
+        );
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! The fleet's load-bearing property: scatter–gather over ANY shard
+//! count, ANY replication factor, ANY placement policy and ANY stop rule
+//! merges every query to a result bit-identical to the single-device run
+//! (faults quiet) — and when a fault plan kills every copy, the fleet
+//! degrades exactly like the solo scheduler's permanent loss.
+
+use eff2_chaos::{FaultConfig, FaultPlan, RetryPolicy};
+use eff2_core::chunkers::{ChunkFormer, SrTreeChunker};
+use eff2_core::index::ChunkIndex;
+use eff2_core::search::{SearchParams, SearchResult, StopRule};
+use eff2_core::snapshot::Snapshot;
+use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+use eff2_serve::{FleetConfig, FleetScheduler, LossScope, Policy, Scheduler, SchedulerConfig};
+use eff2_shard::Placement;
+use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
+use eff2_storage::ChunkStore;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let unique = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "eff2_fleet_eq_{tag}_{}_{unique}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn lumpy_set(n: usize) -> DescriptorSet {
+    (0..n)
+        .map(|i| {
+            let blob = (i % 5) as f32 * 20.0;
+            let mut v = Vector::splat(blob);
+            v[0] += ((i * 31) % 23) as f32 * 0.3;
+            v[3] -= ((i * 17) % 19) as f32 * 0.2;
+            Descriptor::new(i as u32, v)
+        })
+        .collect()
+}
+
+fn build_snapshot(tag: &str, n: usize, leaf: usize) -> (Snapshot, DescriptorSet) {
+    let set = lumpy_set(n);
+    let formation = SrTreeChunker { leaf_size: leaf }.form(&set);
+    let store =
+        ChunkStore::create(&tmp_dir(tag), "s", &set, &formation.chunks, 512).expect("create");
+    (
+        ChunkIndex::from_store(store, DiskModel::ata_2005()).snapshot(),
+        set,
+    )
+}
+
+fn trace(set: &DescriptorSet, n: usize, gap_ms: f64) -> Vec<(Vector, VirtualDuration)> {
+    (0..n)
+        .map(|i| {
+            let q = set.vector_owned((i * 37) % set.len());
+            (q, VirtualDuration::from_ms(gap_ms * i as f64))
+        })
+        .collect()
+}
+
+fn vd_bits(t: VirtualDuration) -> u64 {
+    t.as_secs().to_bits()
+}
+
+/// Full bit-compare of a merged fleet result against the single-device
+/// reference: neighbours, log figures, per-chunk events and the
+/// degradation report.
+fn assert_bit_identical(want: &SearchResult, got: &SearchResult, tag: &str) {
+    assert_eq!(want.neighbors.len(), got.neighbors.len(), "{tag}: k");
+    for (w, g) in want.neighbors.iter().zip(got.neighbors.iter()) {
+        assert_eq!(w.id, g.id, "{tag}: neighbor id");
+        assert_eq!(w.dist.to_bits(), g.dist.to_bits(), "{tag}: neighbor dist");
+    }
+    let (wl, gl) = (&want.log, &got.log);
+    assert_eq!(wl.chunks_read, gl.chunks_read, "{tag}: chunks_read");
+    assert_eq!(
+        wl.descriptors_scanned, gl.descriptors_scanned,
+        "{tag}: scanned"
+    );
+    assert_eq!(wl.bytes_read, gl.bytes_read, "{tag}: bytes");
+    assert_eq!(wl.completed, gl.completed, "{tag}: completed");
+    assert_eq!(
+        vd_bits(wl.total_virtual),
+        vd_bits(gl.total_virtual),
+        "{tag}: total virtual"
+    );
+    assert_eq!(
+        wl.degradation.chunks_lost, gl.degradation.chunks_lost,
+        "{tag}: chunks lost"
+    );
+    assert_eq!(
+        wl.degradation.descriptors_lost, gl.degradation.descriptors_lost,
+        "{tag}: descriptors lost"
+    );
+    assert_eq!(
+        wl.degradation.lost_chunks, gl.degradation.lost_chunks,
+        "{tag}: lost set"
+    );
+    assert_eq!(wl.events.len(), gl.events.len(), "{tag}: event count");
+    for (w, g) in wl.events.iter().zip(gl.events.iter()) {
+        assert_eq!(w.rank, g.rank, "{tag}: rank");
+        assert_eq!(w.chunk_id, g.chunk_id, "{tag}: chunk_id");
+        assert_eq!(w.count, g.count, "{tag}: count");
+        assert_eq!(w.bytes_read, g.bytes_read, "{tag}: event bytes");
+        assert_eq!(
+            vd_bits(w.completed_at),
+            vd_bits(g.completed_at),
+            "{tag}: completed_at"
+        );
+        assert_eq!(w.kth_dist.to_bits(), g.kth_dist.to_bits(), "{tag}: kth");
+    }
+}
+
+fn stop_rule(which: usize) -> StopRule {
+    match which % 5 {
+        0 => StopRule::Chunks(3),
+        1 => StopRule::Chunks(usize::MAX),
+        2 => StopRule::VirtualTime(VirtualDuration::from_ms(40.0)),
+        3 => StopRule::ToCompletion,
+        _ => StopRule::ToCompletionEps(0.4),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Quiet fleet, any shape: every merged answer (and its whole log,
+    /// including the empty degradation report) is bit-identical to the
+    /// serial single-device run of the same query.
+    #[test]
+    fn fleet_merges_bit_identical_to_single_device(
+        n_shards in 1usize..=6,
+        replication in 1usize..=3,
+        placement_ix in 0usize..2,
+        policy_ix in 0usize..3,
+        which_stop in 0usize..5,
+        n_queries in 3usize..=8,
+    ) {
+        let placement = Placement::ALL[placement_ix];
+        let policy = Policy::ALL[policy_ix];
+        let (snap, set) = build_snapshot("quiet", 500, 28);
+        let params = SearchParams {
+            stop: stop_rule(which_stop),
+            ..SearchParams::exact(6)
+        };
+        let queries = trace(&set, n_queries, 1.5);
+        let serial: Vec<SearchResult> = queries
+            .iter()
+            .map(|(q, _)| snap.search(q, &params).expect("serial"))
+            .collect();
+        let mut config = FleetConfig::new(policy, n_shards, 4);
+        config.placement = placement;
+        config.replication = replication;
+        config.max_queued = queries.len();
+        let report = FleetScheduler::new(snap.clone(), config)
+            .serve_trace(&queries, &params)
+            .expect("fleet");
+        prop_assert_eq!(report.report.stats.rejected, 0u64);
+        prop_assert_eq!(report.report.completions.len(), queries.len());
+        for (c, want) in report.report.completions.iter().zip(serial.iter()) {
+            assert_bit_identical(
+                want,
+                &c.result,
+                &format!(
+                    "{}x{} {} {} q{}",
+                    n_shards,
+                    replication,
+                    placement.name(),
+                    policy.name(),
+                    c.id
+                ),
+            );
+        }
+    }
+
+    /// A fault plan whose permanent draw kills EVERY copy degrades the
+    /// fleet exactly like the solo scheduler degrades today: same
+    /// neighbours, same lost-chunk sets, same fidelity — replication
+    /// cannot help when the loss is in the data, not the medium.
+    #[test]
+    fn all_replicas_lost_degrades_like_solo_permanent_loss(
+        n_shards in 1usize..=5,
+        replication in 1usize..=3,
+        placement_ix in 0usize..2,
+        seed in 1u64..200,
+    ) {
+        let placement = Placement::ALL[placement_ix];
+        let (snap, set) = build_snapshot("lossy", 500, 28);
+        let params = SearchParams {
+            stop: StopRule::Chunks(usize::MAX),
+            ..SearchParams::exact(6)
+        };
+        let queries = trace(&set, 5, 1.5);
+        let plan = FaultPlan::new(FaultConfig::lossy(seed, 0.15));
+        let retry = RetryPolicy::new(
+            2,
+            VirtualDuration::from_ms(5.0),
+            VirtualDuration::from_ms(1.0),
+        );
+        let mut solo_config = SchedulerConfig::new(Policy::MostWantedChunk, 4);
+        solo_config.max_queued = queries.len();
+        solo_config.fault_plan = Some(plan);
+        solo_config.retry = retry;
+        let solo = Scheduler::new(snap.clone(), solo_config)
+            .serve_trace(&queries, &params)
+            .expect("solo");
+        let mut config = FleetConfig::new(Policy::MostWantedChunk, n_shards, 4);
+        config.placement = placement;
+        config.replication = replication;
+        config.max_queued = queries.len();
+        config.fault_plan = Some(plan);
+        config.loss_scope = LossScope::AllCopies;
+        config.retry = retry;
+        let fleet = FleetScheduler::new(snap.clone(), config)
+            .serve_trace(&queries, &params)
+            .expect("fleet");
+        prop_assert_eq!(
+            fleet.report.stats.sessions_degraded,
+            solo.stats.sessions_degraded
+        );
+        for (f, s) in fleet.report.completions.iter().zip(solo.completions.iter()) {
+            prop_assert_eq!(f.id, s.id);
+            prop_assert_eq!(
+                f.result.log.fidelity(),
+                s.result.log.fidelity(),
+                "q{}: fidelity must match the solo run",
+                f.id
+            );
+            let mut f_lost = f.result.log.degradation.lost_chunks.clone();
+            let mut s_lost = s.result.log.degradation.lost_chunks.clone();
+            f_lost.sort_unstable();
+            s_lost.sort_unstable();
+            prop_assert_eq!(f_lost, s_lost, "q{}: lost sets must match", f.id);
+            for (w, g) in s.result.neighbors.iter().zip(f.result.neighbors.iter()) {
+                prop_assert_eq!(w.id, g.id);
+                prop_assert_eq!(w.dist.to_bits(), g.dist.to_bits());
+            }
+        }
+    }
+}

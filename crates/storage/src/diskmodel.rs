@@ -187,9 +187,28 @@ impl PipelineClock {
         io: VirtualDuration,
         cpu: VirtualDuration,
     ) -> VirtualDuration {
+        let io_done = self.io_done_after(io);
+        self.cpu_after(io_done, cpu)
+    }
+
+    /// The I/O half of [`chunk_overlapped`](Self::chunk_overlapped):
+    /// serialises `io` on this clock's disk stage and returns the time the
+    /// transfer finishes. Pairing it with [`cpu_after`](Self::cpu_after) on
+    /// *another* clock models a cross-device delivery — the bytes come off
+    /// one node's disk while the scan runs on another node's CPU.
+    pub fn io_done_after(&mut self, io: VirtualDuration) -> VirtualDuration {
         let io_done = self.io_free_at + io.as_secs();
         self.io_free_at = io_done;
-        let cpu_start = self.cpu_free_at.max(io_done);
+        VirtualDuration::from_secs(io_done)
+    }
+
+    /// The CPU half of [`chunk_overlapped`](Self::chunk_overlapped): starts
+    /// `cpu` once both this clock's CPU stage and the delivery (`ready`)
+    /// are free, and returns the completion time.
+    /// `chunk_overlapped(io, cpu)` is bit-identical to
+    /// `cpu_after(io_done_after(io), cpu)` on the same clock.
+    pub fn cpu_after(&mut self, ready: VirtualDuration, cpu: VirtualDuration) -> VirtualDuration {
+        let cpu_start = self.cpu_free_at.max(ready.as_secs());
         let cpu_done = cpu_start + cpu.as_secs();
         self.cpu_free_at = cpu_done;
         VirtualDuration::from_secs(cpu_done)
@@ -280,6 +299,28 @@ mod tests {
             last = t;
         }
         assert_eq!(clock.now(), last);
+    }
+
+    #[test]
+    fn overlap_decomposes_bit_identically() {
+        // chunk_overlapped(io, cpu) must equal cpu_after(io_done_after(io), cpu)
+        // on a clock in the same state — the fleet scheduler relies on this
+        // to charge I/O and CPU on different clocks without drift.
+        let m = DiskModel::ata_2005();
+        let mut fused = PipelineClock::start_at(VirtualDuration::from_ms(50.0));
+        let mut split = PipelineClock::start_at(VirtualDuration::from_ms(50.0));
+        for i in 0..50u64 {
+            let io = m.io_time(10_000 + i * 977);
+            let cpu = m.scan_time(1_000 + (i as usize) * 113);
+            let a = fused.chunk_overlapped(io, cpu);
+            let ready = split.io_done_after(io);
+            let b = split.cpu_after(ready, cpu);
+            assert_eq!(a.as_secs().to_bits(), b.as_secs().to_bits());
+        }
+        assert_eq!(
+            fused.now().as_secs().to_bits(),
+            split.now().as_secs().to_bits()
+        );
     }
 
     #[test]

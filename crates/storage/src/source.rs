@@ -11,7 +11,7 @@
 //! the payload: the paper's reported figures do not depend on the source.
 
 use crate::chunkfile::ChunkPayload;
-use crate::error::Result;
+use crate::error::{Error, ErrorClass, Result};
 use crate::prefetch::{prefetch_chunks_coalesced, PrefetchIter};
 use crate::singleflight::{FlightStats, SingleFlight};
 use crate::store::{ChunkReader, ChunkStore};
@@ -521,6 +521,143 @@ impl ChunkStream for ResidentStream {
     }
 }
 
+// ---------------------------------------------------------------------------
+// ReplicatedSource — R-way failover across copy sources.
+// ---------------------------------------------------------------------------
+
+/// A [`ChunkSource`] decorator with R-way replica failover: each chunk is
+/// fetched from the first of `copies` (primary first, per chunk) that can
+/// deliver it. A copy that fails with a **permanent**-class error hands
+/// over to the next copy; transient-class errors propagate (retry layers
+/// sit *inside* a copy's stack, not above it). Only when every copy fails
+/// permanently does the stream report the chunk as
+/// [`ChunkLost`](crate::Error::ChunkLost), with the modelled time of
+/// every failed copy's attempts accumulated into `spent`.
+///
+/// `copy_order` maps a chunk to the order its copies are tried in (e.g. a
+/// shard map's owner list); chunks it returns an empty order for are
+/// immediately lost. With a single copy and an identity order this is a
+/// bit-identical passthrough.
+pub struct ReplicatedSource {
+    copies: Vec<Arc<dyn ChunkSource>>,
+    copy_order: Arc<dyn Fn(usize) -> Vec<u32> + Send + Sync>,
+}
+
+impl ReplicatedSource {
+    /// A replicated view over `copies` where every chunk tries the copies
+    /// in index order — uniform replication.
+    pub fn new(copies: Vec<Arc<dyn ChunkSource>>) -> ReplicatedSource {
+        let n = copies.len() as u32;
+        ReplicatedSource {
+            copies,
+            copy_order: Arc::new(move |_| (0..n).collect()),
+        }
+    }
+
+    /// A replicated view with a per-chunk copy order (a placement map's
+    /// owner list). Indices out of range of `copies` are skipped.
+    pub fn with_copy_order(
+        copies: Vec<Arc<dyn ChunkSource>>,
+        copy_order: Arc<dyn Fn(usize) -> Vec<u32> + Send + Sync>,
+    ) -> ReplicatedSource {
+        ReplicatedSource { copies, copy_order }
+    }
+}
+
+impl ChunkSource for ReplicatedSource {
+    fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+        Ok(Box::new(ReplicatedStream {
+            copies: self.copies.clone(),
+            copy_order: self.copy_order.clone(),
+            order,
+            pos: 0,
+            injected: crate::diskmodel::VirtualDuration::ZERO,
+            failed: false,
+        }))
+    }
+}
+
+struct ReplicatedStream {
+    copies: Vec<Arc<dyn ChunkSource>>,
+    copy_order: Arc<dyn Fn(usize) -> Vec<u32> + Send + Sync>,
+    order: Vec<usize>,
+    pos: usize,
+    injected: crate::diskmodel::VirtualDuration,
+    failed: bool,
+}
+
+impl ChunkStream for ReplicatedStream {
+    fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
+        if self.failed {
+            return None;
+        }
+        let id = self.order.get(self.pos).copied()?;
+        self.pos += 1;
+        let mut spent = crate::diskmodel::VirtualDuration::ZERO;
+        let mut attempts = 0u32;
+        for copy_ix in (self.copy_order)(id) {
+            let Some(copy) = self.copies.get(copy_ix as usize) else {
+                continue;
+            };
+            // One single-chunk stream per failover hop: replica reads are
+            // the exception, so per-chunk opens keep the common path (the
+            // primary delivering) as cheap as the underlying source.
+            let mut stream = match copy.open_stream(vec![id]) {
+                Ok(s) => s,
+                Err(e) if e.class() == ErrorClass::Permanent => {
+                    attempts += 1;
+                    continue;
+                }
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e));
+                }
+            };
+            match stream.next_chunk() {
+                Some(Ok(chunk)) => {
+                    // Failed earlier copies' modelled cost rides the
+                    // injected-delay channel, like a retry layer's backoff.
+                    self.injected += spent + stream.take_injected_delay();
+                    return Some(Ok(chunk));
+                }
+                Some(Err(e)) => match e.class() {
+                    ErrorClass::Permanent => {
+                        if let Error::ChunkLost {
+                            spent: s,
+                            attempts: a,
+                            ..
+                        } = &e
+                        {
+                            spent += *s;
+                            attempts += *a;
+                        } else {
+                            attempts += 1;
+                        }
+                        spent += stream.take_injected_delay();
+                    }
+                    _ => {
+                        self.failed = true;
+                        return Some(Err(e));
+                    }
+                },
+                None => {
+                    attempts += 1;
+                }
+            }
+        }
+        self.failed = true;
+        Some(Err(Error::ChunkLost {
+            chunk: id,
+            attempts,
+            spent,
+        }))
+    }
+
+    fn take_injected_delay(&mut self) -> crate::diskmodel::VirtualDuration {
+        std::mem::take(&mut self.injected)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,6 +875,154 @@ mod tests {
             assert!(stream.next_chunk().expect("first").is_ok());
             assert!(stream.next_chunk().expect("second").is_err());
             assert!(stream.next_chunk().is_none(), "stream must fuse");
+        }
+    }
+
+    /// A copy source whose listed chunks are permanently unreadable.
+    struct HoleySource {
+        inner: FileSource,
+        holes: Vec<usize>,
+        spent_ms: f64,
+    }
+
+    struct HoleyStream {
+        inner: Box<dyn ChunkStream>,
+        holes: Vec<usize>,
+        spent_ms: f64,
+        order: Vec<usize>,
+        pos: usize,
+    }
+
+    impl ChunkSource for HoleySource {
+        fn open_stream(&self, order: Vec<usize>) -> Result<Box<dyn ChunkStream>> {
+            Ok(Box::new(HoleyStream {
+                inner: self.inner.open_stream(
+                    order
+                        .iter()
+                        .copied()
+                        .filter(|c| !self.holes.contains(c))
+                        .collect(),
+                )?,
+                holes: self.holes.clone(),
+                spent_ms: self.spent_ms,
+                order,
+                pos: 0,
+            }))
+        }
+    }
+
+    impl ChunkStream for HoleyStream {
+        fn next_chunk(&mut self) -> Option<Result<SourcedChunk>> {
+            let id = self.order.get(self.pos).copied()?;
+            self.pos += 1;
+            if self.holes.contains(&id) {
+                Some(Err(Error::ChunkLost {
+                    chunk: id,
+                    attempts: 1,
+                    spent: crate::diskmodel::VirtualDuration::from_ms(self.spent_ms),
+                }))
+            } else {
+                self.inner.next_chunk()
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_single_copy_is_a_passthrough() {
+        let store = store_with_chunks("repl_pass", &[2, 2, 2]);
+        let direct = drain(&FileSource::new(&store), vec![0, 1, 2]);
+        let replicated = ReplicatedSource::new(vec![Arc::new(FileSource::new(&store))]);
+        let via = drain(&replicated, vec![0, 1, 2]);
+        assert_eq!(direct.len(), via.len());
+        for (d, v) in direct.iter().zip(via.iter()) {
+            assert_eq!(d.id, v.id);
+            assert_eq!(d.bytes_read, v.bytes_read);
+            assert_eq!(d.payload.ids, v.payload.ids);
+        }
+    }
+
+    #[test]
+    fn failover_masks_a_primary_loss_and_charges_its_cost() {
+        let store = store_with_chunks("repl_fail", &[2, 2, 2]);
+        let primary = HoleySource {
+            inner: FileSource::new(&store),
+            holes: vec![1],
+            spent_ms: 25.0,
+        };
+        let replica = FileSource::new(&store);
+        let replicated = ReplicatedSource::new(vec![Arc::new(primary), Arc::new(replica)]);
+        let mut stream = replicated.open_stream(vec![0, 1, 2]).expect("open");
+        let a = stream.next_chunk().expect("c0").expect("ok");
+        assert_eq!(a.id, 0);
+        assert_eq!(stream.take_injected_delay().as_ms(), 0.0);
+        let b = stream.next_chunk().expect("c1").expect("ok");
+        assert_eq!(b.id, 1, "replica must deliver the primary's hole");
+        assert!(
+            (stream.take_injected_delay().as_ms() - 25.0).abs() < 1e-9,
+            "failed primary's spent must ride the injected-delay channel"
+        );
+        let c = stream.next_chunk().expect("c2").expect("ok");
+        assert_eq!(c.id, 2);
+    }
+
+    #[test]
+    fn all_copies_lost_reports_chunk_lost_with_summed_spent() {
+        let store = store_with_chunks("repl_lost", &[2, 2]);
+        let copies: Vec<Arc<dyn ChunkSource>> = (0..3)
+            .map(|_| {
+                Arc::new(HoleySource {
+                    inner: FileSource::new(&store),
+                    holes: vec![0],
+                    spent_ms: 10.0,
+                }) as Arc<dyn ChunkSource>
+            })
+            .collect();
+        let replicated = ReplicatedSource::new(copies);
+        let mut stream = replicated.open_stream(vec![0]).expect("open");
+        match stream.next_chunk().expect("item") {
+            Err(Error::ChunkLost {
+                chunk,
+                attempts,
+                spent,
+            }) => {
+                assert_eq!(chunk, 0);
+                assert_eq!(attempts, 3);
+                assert!((spent.as_ms() - 30.0).abs() < 1e-9);
+            }
+            other => panic!("expected ChunkLost, got {other:?}"),
+        }
+        assert!(stream.next_chunk().is_none(), "stream must fuse");
+    }
+
+    #[test]
+    fn copy_order_routes_primaries_per_chunk() {
+        let store = store_with_chunks("repl_order", &[2, 2]);
+        // Copy 0 is missing chunk 0; copy 1 is missing chunk 1. A per-chunk
+        // order that starts chunk 0 on copy 1 (and vice versa) never fails
+        // over at all.
+        let c0 = HoleySource {
+            inner: FileSource::new(&store),
+            holes: vec![0],
+            spent_ms: 5.0,
+        };
+        let c1 = HoleySource {
+            inner: FileSource::new(&store),
+            holes: vec![1],
+            spent_ms: 5.0,
+        };
+        let replicated = ReplicatedSource::with_copy_order(
+            vec![Arc::new(c0), Arc::new(c1)],
+            Arc::new(|chunk| if chunk == 0 { vec![1, 0] } else { vec![0, 1] }),
+        );
+        let mut stream = replicated.open_stream(vec![0, 1]).expect("open");
+        for want in [0usize, 1] {
+            let got = stream.next_chunk().expect("item").expect("ok");
+            assert_eq!(got.id, want);
+            assert_eq!(
+                stream.take_injected_delay().as_ms(),
+                0.0,
+                "well-routed reads never pay failover cost"
+            );
         }
     }
 

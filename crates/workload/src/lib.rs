@@ -16,8 +16,10 @@
 //! container those experiments iterate over.
 
 pub mod arrivals;
+pub mod skew;
 
 pub use arrivals::{burst_arrivals, poisson_arrivals, ArrivalTrace};
+pub use skew::zipf_assignments;
 
 use eff2_descriptor::{DescriptorSet, TrimmedRanges, Vector, DIM};
 use eff2_json::Json;

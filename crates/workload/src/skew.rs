@@ -1,0 +1,118 @@
+//! Seeded Zipf-skewed bucket assignments.
+//!
+//! Serving experiments want *skewed* query popularity: a few hot queries
+//! asked over and over, a long tail asked once. [`zipf_assignments`] maps
+//! each of `n_items` draws to one of `n_buckets` buckets where bucket `j`
+//! is drawn with probability proportional to `1 / (j + 1)^exponent` —
+//! the classic Zipf law. With `exponent = 0` every bucket is equally
+//! likely; larger exponents concentrate mass on the low-numbered buckets.
+//!
+//! Like the arrival traces, the function is pure in its seed: the same
+//! call yields the same assignment vector on every machine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assign each of `n_items` draws to a bucket in `0..n_buckets`, bucket
+/// popularity following a Zipf law with the given `exponent`.
+/// Deterministic per seed. Returns an empty vector when `n_buckets` is 0.
+///
+/// # Panics
+///
+/// Panics if `exponent` is negative or not finite.
+pub fn zipf_assignments(n_items: usize, n_buckets: usize, exponent: f64, seed: u64) -> Vec<u32> {
+    assert!(
+        exponent.is_finite() && exponent >= 0.0,
+        "zipf exponent must be finite and non-negative, got {exponent}"
+    );
+    if n_buckets == 0 {
+        return Vec::new();
+    }
+    // Cumulative weights of the (unnormalised) Zipf mass function.
+    let mut cumulative = Vec::with_capacity(n_buckets);
+    let mut total = 0.0f64;
+    for j in 0..n_buckets {
+        total += 1.0 / ((j + 1) as f64).powf(exponent);
+        cumulative.push(total);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_items)
+        .map(|_| {
+            let u: f64 = rng.gen::<f64>() * total;
+            // First bucket whose cumulative weight covers the draw.
+            cumulative.partition_point(|&c| c < u).min(n_buckets - 1) as u32
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignments_are_deterministic_per_seed() {
+        let a = zipf_assignments(500, 40, 1.0, 7);
+        let b = zipf_assignments(500, 40, 1.0, 7);
+        assert_eq!(a, b);
+        let c = zipf_assignments(500, 40, 1.0, 8);
+        assert_ne!(a, c, "a different seed draws a different assignment");
+    }
+
+    #[test]
+    fn every_assignment_is_a_valid_bucket() {
+        for &(buckets, exponent) in &[(1usize, 0.0f64), (3, 0.5), (64, 1.2)] {
+            for bucket in zipf_assignments(300, buckets, exponent, 11) {
+                assert!((bucket as usize) < buckets, "bucket {bucket} < {buckets}");
+            }
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass_on_low_buckets() {
+        let assignments = zipf_assignments(4_000, 16, 1.2, 3);
+        let mut counts = [0usize; 16];
+        for b in assignments {
+            counts[b as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[8] && counts[0] > counts[15],
+            "bucket 0 ({}) must dominate the tail ({}, {})",
+            counts[0],
+            counts[8],
+            counts[15]
+        );
+        assert!(
+            counts[0] > 4_000 / 16 * 2,
+            "with exponent 1.2 the hottest bucket ({}) is far above uniform",
+            counts[0]
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_roughly_uniform() {
+        let assignments = zipf_assignments(8_000, 8, 0.0, 5);
+        let mut counts = [0usize; 8];
+        for b in assignments {
+            counts[b as usize] += 1;
+        }
+        for (j, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - 1_000.0).abs() < 250.0,
+                "bucket {j} count {c} should be ≈1000"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_shapes_are_fine() {
+        assert!(zipf_assignments(0, 4, 1.0, 0).is_empty());
+        assert!(zipf_assignments(10, 0, 1.0, 0).is_empty());
+        assert_eq!(zipf_assignments(5, 1, 2.0, 0), vec![0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "zipf exponent")]
+    fn negative_exponents_are_rejected() {
+        zipf_assignments(5, 4, -1.0, 0);
+    }
+}

@@ -50,17 +50,31 @@ SQ8_BYTES="$(awk '$1=="sq8" && $2=="flat" && $3=="1" {print $6}' "$EXP6_OUT/exp6
 PQ_BYTES="$(awk '$1=="pq" && $2=="flat" && $3=="1" {print $6}' "$EXP6_OUT/exp6.txt")"
 rm -rf "$EXP6_OUT"
 
-echo "==> criterion benches (reduced sampling: kernels, batch_search, scheduler)"
+echo "==> eval exp7 smoke (tiny-scale sharded-fleet sweep)"
+EXP7_OUT="$(mktemp -d)"
+EFF2_SCALE=2500 EFF2_QUERIES=6 cargo run --release -p eff2-eval -- exp7 \
+  --out "$EXP7_OUT" | tee "$EXP7_OUT/exp7.txt"
+grep -q "All merged fleet answers bit-identical to solo under every cell: yes" "$EXP7_OUT/exp7.txt"
+grep -q "Replication masked permanent chunk loss as failover: yes" "$EXP7_OUT/exp7.txt"
+# Cross-shard chunk traffic per placement at the widest fleet (R = 1), for
+# the bench artefact below.
+HASH_CROSS="$(awk '$1=="16" && $2=="1" && $3=="chunk-hash" {print $9}' "$EXP7_OUT/exp7.txt")"
+LOCAL_CROSS="$(awk '$1=="16" && $2=="1" && $3=="centroid-locality" {print $9}' "$EXP7_OUT/exp7.txt")"
+rm -rf "$EXP7_OUT"
+
+echo "==> criterion benches (reduced sampling: kernels, batch_search, scheduler, fleet)"
 EFF2_BENCH_SCALE=4000 cargo bench -p eff2-bench \
-  --bench kernels --bench batch_search --bench scheduler_throughput -- \
+  --bench kernels --bench batch_search --bench scheduler_throughput --bench fleet -- \
   --sample-size 10 --warm-up-time 0.5 --measurement-time 1
 
-echo "==> bench_report -> BENCH_6.json"
+echo "==> bench_report -> BENCH_7.json"
 cargo run --release -p eff2-bench --bin bench_report -- \
-  --criterion-dir target/criterion --out BENCH_6.json \
+  --criterion-dir target/criterion --out BENCH_7.json \
   --kv "exp6_raw_flat_partial_bytes=$RAW_BYTES" \
   --kv "exp6_sq8_flat_r1_bytes=$SQ8_BYTES" \
-  --kv "exp6_pq_flat_r1_bytes=$PQ_BYTES"
+  --kv "exp6_pq_flat_r1_bytes=$PQ_BYTES" \
+  --kv "exp7_16shard_hash_cross_fetches=$HASH_CROSS" \
+  --kv "exp7_16shard_locality_cross_fetches=$LOCAL_CROSS"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
