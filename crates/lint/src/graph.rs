@@ -1,0 +1,404 @@
+//! Cross-crate call-graph construction over the extracted symbols.
+//!
+//! Resolution is deliberately conservative: where the receiver type is
+//! known (`self.m()` inside `impl T`, `Type::m()`, `eff2_core::m()`) the
+//! edge is precise; where it is not, a method call resolves to *every*
+//! workspace method of that name (over-approximating trait dispatch), and
+//! an unresolved lowercase path falls back to same-crate then workspace
+//! fns of that name. Paths rooted in `std`/`core`/`alloc`, primitive
+//! types, and unresolved `Type::new`-style constructors get **no** edge —
+//! a false edge into the workspace would manufacture taint out of thin
+//! air, while a dropped std edge only loses facts std does not have.
+//!
+//! Everything is ordered (BTree maps, sorted edge lists) so the graph —
+//! and every chain the taint engine prints — is bit-stable across runs.
+
+use crate::symbols::{Call, CallTarget, Symbol, SymbolId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One resolved call edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) struct Edge {
+    /// The callee symbol.
+    pub callee: SymbolId,
+    /// 1-based line of the call site in the caller's file.
+    pub line: u32,
+}
+
+/// The workspace call graph: symbols plus per-symbol sorted edges.
+pub(crate) struct Graph {
+    /// All symbols, in extraction order.
+    pub symbols: Vec<Symbol>,
+    /// `edges[id]` — sorted, deduplicated out-edges of symbol `id`.
+    pub edges: Vec<Vec<Edge>>,
+}
+
+/// Path roots that never point into the workspace.
+fn is_std_root(seg: &str) -> bool {
+    matches!(seg, "std" | "core" | "alloc")
+}
+
+/// Primitive type names that can appear as `f32::max`-style receivers.
+fn is_primitive(seg: &str) -> bool {
+    matches!(
+        seg,
+        "u8" | "u16"
+            | "u32"
+            | "u64"
+            | "u128"
+            | "usize"
+            | "i8"
+            | "i16"
+            | "i32"
+            | "i64"
+            | "i128"
+            | "isize"
+            | "f32"
+            | "f64"
+            | "bool"
+            | "char"
+            | "str"
+    )
+}
+
+/// Maps a path root to a workspace crate directory name, if it is one:
+/// `eff2_core` → `core`, `crate`/`self`/`super` → the caller's crate.
+fn crate_of_root(seg: &str, caller_crate: &str) -> Option<String> {
+    if let Some(name) = seg.strip_prefix("eff2_") {
+        return Some(name.to_string());
+    }
+    if matches!(seg, "crate" | "self" | "super") {
+        return Some(caller_crate.to_string());
+    }
+    None
+}
+
+struct Index<'a> {
+    symbols: &'a [Symbol],
+    /// Free fns (no impl/trait context) by name.
+    free_by_name: BTreeMap<&'a str, Vec<SymbolId>>,
+    /// Methods (impl or trait context) by name.
+    methods_by_name: BTreeMap<&'a str, Vec<SymbolId>>,
+    /// Every symbol by name.
+    any_by_name: BTreeMap<&'a str, Vec<SymbolId>>,
+}
+
+impl<'a> Index<'a> {
+    fn build(symbols: &'a [Symbol]) -> Self {
+        let mut free_by_name: BTreeMap<&str, Vec<SymbolId>> = BTreeMap::new();
+        let mut methods_by_name: BTreeMap<&str, Vec<SymbolId>> = BTreeMap::new();
+        let mut any_by_name: BTreeMap<&str, Vec<SymbolId>> = BTreeMap::new();
+        for (id, s) in symbols.iter().enumerate() {
+            any_by_name.entry(&s.name).or_default().push(id);
+            if s.is_method {
+                methods_by_name.entry(&s.name).or_default().push(id);
+            } else {
+                free_by_name.entry(&s.name).or_default().push(id);
+            }
+        }
+        Index {
+            symbols,
+            free_by_name,
+            methods_by_name,
+            any_by_name,
+        }
+    }
+
+    fn filter_crate(&self, ids: &[SymbolId], crate_name: &str) -> Vec<SymbolId> {
+        ids.iter()
+            .copied()
+            .filter(|&id| {
+                self.symbols
+                    .get(id)
+                    .is_some_and(|s| s.crate_name == crate_name)
+            })
+            .collect()
+    }
+
+    fn filter_type(&self, ids: &[SymbolId], type_name: &str) -> Vec<SymbolId> {
+        ids.iter()
+            .copied()
+            .filter(|&id| {
+                self.symbols
+                    .get(id)
+                    .is_some_and(|s| s.self_type.as_deref() == Some(type_name))
+            })
+            .collect()
+    }
+
+    /// Resolves one call from `caller` to zero or more callees.
+    fn resolve(&self, caller: &Symbol, call: &Call) -> Vec<SymbolId> {
+        match &call.target {
+            CallTarget::Plain(name) => {
+                let free = self.free_by_name.get(name.as_str());
+                // Same-crate free fn first; then any same-crate symbol
+                // (nested fns, assoc fns brought in by `use`); then the
+                // conservative workspace-wide free-fn fallback.
+                if let Some(ids) = free {
+                    let same = self.filter_crate(ids, &caller.crate_name);
+                    if !same.is_empty() {
+                        return same;
+                    }
+                }
+                if let Some(ids) = self.any_by_name.get(name.as_str()) {
+                    let same = self.filter_crate(ids, &caller.crate_name);
+                    if !same.is_empty() {
+                        return same;
+                    }
+                }
+                free.cloned().unwrap_or_default()
+            }
+            CallTarget::Method { name, on_self } => {
+                let Some(ids) = self.methods_by_name.get(name.as_str()) else {
+                    return Vec::new();
+                };
+                // `self.m()` inside `impl T` narrows to T's own methods
+                // (same crate); otherwise conservative trait dispatch —
+                // every workspace method of that name.
+                if *on_self {
+                    if let Some(ty) = &caller.self_type {
+                        let own: Vec<SymbolId> = ids
+                            .iter()
+                            .copied()
+                            .filter(|&id| {
+                                self.symbols.get(id).is_some_and(|s| {
+                                    s.crate_name == caller.crate_name
+                                        && s.self_type.as_deref() == Some(ty.as_str())
+                                })
+                            })
+                            .collect();
+                        if !own.is_empty() {
+                            return own;
+                        }
+                    }
+                }
+                ids.clone()
+            }
+            CallTarget::Path(segs) => self.resolve_path(caller, segs),
+        }
+    }
+
+    fn resolve_path(&self, caller: &Symbol, segs: &[String]) -> Vec<SymbolId> {
+        let Some(name) = segs.last() else {
+            return Vec::new();
+        };
+        let Some(root) = segs.first() else {
+            return Vec::new();
+        };
+        if is_std_root(root) || is_primitive(root) {
+            return Vec::new();
+        }
+        // Crate-qualified: `eff2_core::…::f`, `crate::…::f`.
+        if let Some(crate_name) = crate_of_root(root, &caller.crate_name) {
+            // The segment before the fn name (not the root itself): an
+            // uppercase one is a type qualifier (`eff2_core::Type::f`).
+            if segs.len() >= 3 {
+                if let Some(q) = segs.get(segs.len() - 2) {
+                    if q.chars().next().is_some_and(char::is_uppercase) {
+                        if let Some(ids) = self.any_by_name.get(name.as_str()) {
+                            let typed =
+                                self.filter_type(&self.filter_crate(ids, &crate_name), q.as_str());
+                            if !typed.is_empty() {
+                                return typed;
+                            }
+                        }
+                        return Vec::new();
+                    }
+                }
+            }
+            // `eff2_core::module::f` / `eff2_core::f` — fns in that crate.
+            if let Some(ids) = self.any_by_name.get(name.as_str()) {
+                return self.filter_crate(ids, &crate_name);
+            }
+            return Vec::new();
+        }
+        // Type-qualified: the penultimate segment names a type.
+        let penult = if segs.len() >= 2 {
+            segs.get(segs.len() - 2)
+        } else {
+            None
+        };
+        if let Some(q) = penult {
+            if q == "Self" {
+                // `Self::f()` — the caller's own type.
+                if let (Some(ty), Some(ids)) =
+                    (&caller.self_type, self.any_by_name.get(name.as_str()))
+                {
+                    return self
+                        .filter_type(&self.filter_crate(ids, &caller.crate_name), ty.as_str());
+                }
+                return Vec::new();
+            }
+            if is_primitive(q) {
+                return Vec::new();
+            }
+            if q.chars().next().is_some_and(char::is_uppercase) {
+                // `Type::f()` — prefer same-crate methods of that type,
+                // then any crate's; an unresolved constructor (`Vec::new`)
+                // gets no edge rather than a fabricated one.
+                if let Some(ids) = self.any_by_name.get(name.as_str()) {
+                    let typed = self.filter_type(ids, q.as_str());
+                    let same = self.filter_crate(&typed, &caller.crate_name);
+                    if !same.is_empty() {
+                        return same;
+                    }
+                    return typed;
+                }
+                return Vec::new();
+            }
+        }
+        // Lowercase module path we cannot place (`helpers::f()` via a
+        // `use`): same-crate by name, then workspace free fns.
+        if let Some(ids) = self.any_by_name.get(name.as_str()) {
+            let same = self.filter_crate(ids, &caller.crate_name);
+            if !same.is_empty() {
+                return same;
+            }
+        }
+        self.free_by_name
+            .get(name.as_str())
+            .cloned()
+            .unwrap_or_default()
+    }
+}
+
+/// Builds the call graph over `symbols`.
+pub(crate) fn build(symbols: Vec<Symbol>) -> Graph {
+    let mut edges: Vec<Vec<Edge>> = vec![Vec::new(); symbols.len()];
+    {
+        let index = Index::build(&symbols);
+        for (id, sym) in symbols.iter().enumerate() {
+            let mut out: BTreeSet<Edge> = BTreeSet::new();
+            for call in &sym.calls {
+                for callee in index.resolve(sym, call) {
+                    if callee != id {
+                        out.insert(Edge {
+                            callee,
+                            line: call.line,
+                        });
+                    }
+                }
+            }
+            if let Some(slot) = edges.get_mut(id) {
+                *slot = out.into_iter().collect();
+            }
+        }
+    }
+    Graph { symbols, edges }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+    use crate::regions::{classify, code_indices};
+    use crate::symbols::extract;
+
+    fn graph_of(files: &[(&str, &str)]) -> Graph {
+        let mut symbols = Vec::new();
+        for (crate_name, src) in files {
+            let tokens = lex(src);
+            let regions = classify(&tokens);
+            let code = code_indices(&tokens);
+            symbols.extend(extract(
+                crate_name,
+                &format!("crates/{crate_name}/src/lib.rs"),
+                &tokens,
+                &regions,
+                &code,
+            ));
+        }
+        build(symbols)
+    }
+
+    fn callees<'g>(g: &'g Graph, name: &str) -> Vec<&'g str> {
+        let id = g
+            .symbols
+            .iter()
+            .position(|s| s.name == name)
+            .unwrap_or_else(|| panic!("symbol {name}"));
+        g.edges
+            .get(id)
+            .into_iter()
+            .flatten()
+            .filter_map(|e| g.symbols.get(e.callee).map(|s| s.name.as_str()))
+            .collect()
+    }
+
+    #[test]
+    fn same_crate_plain_call_resolves_locally_despite_shadow() {
+        // Both crates define `helper`; the same-crate one wins.
+        let g = graph_of(&[
+            ("core", "pub fn f() { helper(); }\nfn helper() {}\n"),
+            ("serve", "fn helper() {}\n"),
+        ]);
+        let id = g.symbols.iter().position(|s| s.name == "f").expect("f");
+        let edges = g.edges.get(id).expect("edges");
+        assert_eq!(edges.len(), 1);
+        let callee = g
+            .symbols
+            .get(edges.first().expect("edge").callee)
+            .expect("callee");
+        assert_eq!(callee.crate_name, "core");
+    }
+
+    #[test]
+    fn cross_crate_path_call_resolves() {
+        let g = graph_of(&[
+            ("serve", "pub fn f() { eff2_storage::open(); }\n"),
+            ("storage", "pub fn open() {}\n"),
+        ]);
+        assert_eq!(callees(&g, "f"), vec!["open"]);
+    }
+
+    #[test]
+    fn std_paths_get_no_edges() {
+        let g = graph_of(&[(
+            "core",
+            "pub fn f() { std::mem::drop(1); Vec::new(); f32::max(1.0, 2.0); }\nfn new() {}\nfn drop() {}\nfn max() {}\n",
+        )]);
+        assert!(callees(&g, "f").is_empty());
+    }
+
+    #[test]
+    fn method_call_on_self_narrows_to_own_type() {
+        let src = "struct A;\nstruct B;\nimpl A {\n    pub fn go(&self) { self.step(); }\n    fn step(&self) {}\n}\nimpl B { fn step(&self) {} }\n";
+        let g = graph_of(&[("core", src)]);
+        let go = g.symbols.iter().position(|s| s.name == "go").expect("go");
+        let edges = g.edges.get(go).expect("edges");
+        assert_eq!(edges.len(), 1);
+        let callee = g
+            .symbols
+            .get(edges.first().expect("edge").callee)
+            .expect("callee");
+        assert_eq!(callee.self_type.as_deref(), Some("A"));
+    }
+
+    #[test]
+    fn unknown_receiver_method_goes_to_every_impl() {
+        // Trait dispatch: `s.step()` with unknown receiver reaches both
+        // impls — conservative over-approximation.
+        let src = "struct A;\nstruct B;\npub fn f(s: &dyn St) { s.step(); }\nimpl A { fn step(&self) {} }\nimpl B { fn step(&self) {} }\n";
+        let g = graph_of(&[("core", src)]);
+        assert_eq!(callees(&g, "f"), vec!["step", "step"]);
+    }
+
+    #[test]
+    fn type_qualified_call_resolves_cross_crate() {
+        let g = graph_of(&[
+            ("serve", "pub fn f() { PipelineClock::start_at(0); }\n"),
+            (
+                "storage",
+                "pub struct PipelineClock;\nimpl PipelineClock { pub fn start_at(_t: u64) {} }\n",
+            ),
+        ]);
+        assert_eq!(callees(&g, "f"), vec!["start_at"]);
+    }
+
+    #[test]
+    fn cycles_build_without_issue() {
+        let g = graph_of(&[("core", "fn a() { b(); }\nfn b() { a(); }\n")]);
+        assert_eq!(callees(&g, "a"), vec!["b"]);
+        assert_eq!(callees(&g, "b"), vec!["a"]);
+    }
+}

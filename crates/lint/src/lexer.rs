@@ -251,6 +251,15 @@ impl Lexer {
                 self.quoted_body(&mut text);
                 TokenKind::StrLit
             }
+            'r' if self.is_raw_identifier() => {
+                // `r#fn`, `r#match`, …: a single identifier token whose text
+                // keeps the `r#` prefix (so it can never collide with a
+                // keyword check). Lexing it as `r` + `#` + `fn` would desync
+                // the region classifier and the symbol extractor.
+                self.take(2, &mut text);
+                self.take_while(&mut text, Lexer::ident_continue);
+                TokenKind::Ident
+            }
             'r' | 'b' if self.is_literal_prefix() => {
                 // One of r"…", r#"…"#, b"…", b'…', br"…", br#"…"#.
                 let after_b = c == 'b' && self.peek(1) == Some('\'');
@@ -259,16 +268,21 @@ impl Lexer {
                     self.char_or_lifetime(&mut text);
                     TokenKind::CharLit
                 } else {
+                    // Raw forms (`r…`/`br…`) have no escapes at all: a `\`
+                    // before the closing quote is payload, so they must go
+                    // through the delimiter-matching body, never the
+                    // escape-honouring one.
+                    let raw = c == 'r' || self.peek(1) == Some('r');
                     if c == 'b' && matches!(self.peek(1), Some('r')) {
                         self.take(2, &mut text);
                     } else {
                         self.take(1, &mut text);
                     }
-                    if self.peek(0) == Some('"') {
-                        self.take(1, &mut text);
-                        self.quoted_body(&mut text);
-                    } else {
+                    if raw {
                         self.raw_string_body(&mut text);
+                    } else {
+                        self.take(1, &mut text); // the opening quote
+                        self.quoted_body(&mut text);
                     }
                     TokenKind::StrLit
                 }
@@ -307,6 +321,13 @@ impl Lexer {
             }
         };
         Some(Token { kind, text, line })
+    }
+
+    /// Whether the `r` at the current position starts a raw identifier
+    /// (`r#` followed by an identifier start, e.g. `r#fn`). Raw strings
+    /// (`r#"…"#`) have a `"` after the hashes instead.
+    fn is_raw_identifier(&self) -> bool {
+        self.peek(1) == Some('#') && self.peek(2).is_some_and(Lexer::ident_start)
     }
 
     /// Whether the `r`/`b` at the current position starts a literal rather
@@ -419,12 +440,68 @@ mod tests {
     }
 
     #[test]
-    fn raw_identifier_is_an_ident() {
-        let toks = kinds("let r#type = 1;");
-        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "r"));
-        // `r#type` lexes as `r` + `#` + `type`; what matters is that no
-        // string literal is produced and lexing continues correctly.
-        assert!(!toks.iter().any(|(k, _)| *k == TokenKind::StrLit));
+    fn raw_identifier_is_a_single_ident() {
+        for kw in ["type", "fn", "match"] {
+            let toks = kinds(&format!("let r#{kw} = 1;"));
+            // One token, keeping the `r#` prefix so it can never be
+            // mistaken for the keyword by downstream passes.
+            assert!(
+                toks.iter()
+                    .any(|(k, t)| *k == TokenKind::Ident && t == &format!("r#{kw}")),
+                "{toks:?}"
+            );
+            assert!(!toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == kw));
+            assert!(!toks.iter().any(|(k, _)| *k == TokenKind::StrLit));
+        }
+    }
+
+    #[test]
+    fn raw_identifier_does_not_swallow_raw_strings() {
+        // `r#"…"#` must still be a string, and `r#e` in expression
+        // position must not consume a following literal.
+        let toks = kinds(r###"let s = r#"raw"#; let r#e = 9;"###);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("raw")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#e"));
+    }
+
+    #[test]
+    fn raw_strings_with_multi_hash_delimiters() {
+        let toks = kinds(r####"let s = r##"inner "# quote"##; done"####);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t.contains("inner")));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "done"));
+        // The `"#` inside must not close the literal early.
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "quote"));
+    }
+
+    #[test]
+    fn raw_strings_treat_backslash_as_payload() {
+        // In `r"a\"` the backslash is a plain character, so the literal
+        // closes at the quote; the escape-honouring path would swallow the
+        // terminator and desync everything after it.
+        let toks = kinds("let s = r\"a\\\"; s.unwrap();");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t == "r\"a\\\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+        let toks = kinds("let s = br\"b\\\"; s.unwrap();");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::StrLit && t == "br\"b\\\""));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
     }
 
     #[test]

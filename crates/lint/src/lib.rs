@@ -21,9 +21,14 @@
 //! `DESIGN.md` §10 for the rule table and waiver grammar.
 
 pub mod engine;
+mod graph;
 pub mod lexer;
 pub mod regions;
 pub mod rules;
+mod symbols;
+mod taint;
 
-pub use engine::{findings_to_json, lint_source, lint_workspace};
-pub use rules::{Finding, RuleInfo, RULES};
+pub use engine::{
+    findings_to_json, lint_files, lint_source, lint_workspace, lint_workspace_report, LintReport,
+};
+pub use rules::{Finding, Hop, RuleInfo, RULES};

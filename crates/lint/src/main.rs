@@ -1,7 +1,7 @@
 //! CLI for the workspace invariant auditor.
 //!
 //! ```text
-//! eff2-lint [--deny] [--json] [--rules] [--root <path>]
+//! eff2-lint [--deny] [--json] [--rules] [--root <path>] [--changed-since <git-ref>]
 //! ```
 //!
 //! * `--deny`  — exit non-zero if any finding remains (CI gate mode).
@@ -9,6 +9,15 @@
 //! * `--rules` — list the known rule ids and exit.
 //! * `--root`  — workspace root (default: walk up from the current
 //!   directory to the first `Cargo.toml` containing `[workspace]`).
+//! * `--changed-since <git-ref>` — restrict *reporting* to findings in
+//!   files changed since `<git-ref>`. The call graph is still built over
+//!   the whole workspace (a changed helper can taint an unchanged entry
+//!   and vice versa — an entry finding is reported if the entry's file
+//!   changed), only the report is filtered.
+//!
+//! Every run ends with a timing line on stderr —
+//! `lint: N files, M symbols, K ms` — so lint cost is tracked as the
+//! workspace grows (check.sh asserts its presence).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,10 +37,48 @@ fn find_workspace_root() -> Option<PathBuf> {
     }
 }
 
+/// Workspace-relative paths of files changed since `git_ref`, per
+/// `git diff --name-only` (plus untracked files, which `diff` omits).
+fn changed_files(root: &std::path::Path, git_ref: &str) -> std::io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    let invocations = vec![
+        vec!["diff", "--name-only", git_ref],
+        vec!["ls-files", "--others", "--exclude-standard"],
+    ];
+    for extra in &invocations {
+        let out = std::process::Command::new("git")
+            .args(extra)
+            .current_dir(root)
+            .output()
+            .map_err(|e| std::io::Error::other(format!("failed to run git: {e}")))?;
+        if !out.status.success() {
+            return Err(std::io::Error::other(format!(
+                "git {} failed: {}",
+                extra.join(" "),
+                String::from_utf8_lossy(&out.stderr).trim()
+            )));
+        }
+        files.extend(
+            String::from_utf8_lossy(&out.stdout)
+                .lines()
+                .map(|l| l.trim().to_string())
+                .filter(|l| !l.is_empty()),
+        );
+    }
+    Ok(files)
+}
+
+fn usage() {
+    eprintln!(
+        "usage: eff2-lint [--deny] [--json] [--rules] [--root <path>] [--changed-since <git-ref>]"
+    );
+}
+
 fn main() -> ExitCode {
     let mut deny = false;
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut since: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -44,9 +91,17 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--root" => root = args.next().map(PathBuf::from),
+            "--changed-since" => {
+                since = args.next();
+                if since.is_none() {
+                    eprintln!("eff2-lint: --changed-since needs a git ref");
+                    usage();
+                    return ExitCode::from(2);
+                }
+            }
             other => {
                 eprintln!("eff2-lint: unknown argument `{other}`");
-                eprintln!("usage: eff2-lint [--deny] [--json] [--rules] [--root <path>]");
+                usage();
                 return ExitCode::from(2);
             }
         }
@@ -56,8 +111,10 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     };
 
-    let findings = match eff2_lint::lint_workspace(&root) {
-        Ok(f) => f,
+    // lint:allow(det.wall_clock): measuring the linter's own cost, not producing trace output
+    let started = std::time::Instant::now();
+    let report = match eff2_lint::lint_workspace_report(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!(
                 "eff2-lint: failed to read workspace at {}: {e}",
@@ -66,6 +123,19 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let elapsed_ms = started.elapsed().as_millis();
+
+    let mut findings = report.findings;
+    if let Some(git_ref) = &since {
+        let changed = match changed_files(&root, git_ref) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("eff2-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        findings.retain(|f| changed.iter().any(|c| c == &f.file));
+    }
 
     if json {
         println!("{}", eff2_lint::findings_to_json(&findings));
@@ -79,6 +149,11 @@ fn main() -> ExitCode {
             println!("eff2-lint: {} finding(s)", findings.len());
         }
     }
+    // Stderr so `--json` stdout stays machine-parseable.
+    eprintln!(
+        "lint: {} files, {} symbols, {} ms",
+        report.files, report.symbols, elapsed_ms
+    );
     if deny && !findings.is_empty() {
         return ExitCode::FAILURE;
     }

@@ -1,12 +1,28 @@
 //! The rule set: panic-freedom, determinism, error-taxonomy and hygiene.
 //!
-//! Each rule is a token-pattern check with a crate/file scope. Rules fire
-//! only on code tokens outside test regions, attributes and `macro_rules!`
-//! bodies (see [`crate::regions`]); comments, doc comments and string
-//! literals are skipped by construction of the token stream.
+//! Each line rule is a token-pattern check with a crate/file scope. Rules
+//! fire only on code tokens outside test regions, attributes and
+//! `macro_rules!` bodies (see [`crate::regions`]); comments, doc comments
+//! and string literals are skipped by construction of the token stream.
+//!
+//! The site detectors live on [`View`] so the line rules and the symbol
+//! pass's fact extractor ([`crate::symbols`]) agree *exactly* on what
+//! constitutes a panic or nondeterminism site: an unwaived line finding
+//! and an interprocedural fact are always the same token pattern.
 
 use crate::lexer::{is_keyword, Token, TokenKind};
 use crate::regions::Region;
+
+/// One hop of call-chain evidence: a function and where it is defined.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hop {
+    /// The function's display name (`crate::Type::method` style).
+    pub name: String,
+    /// Path of the defining file, relative to the workspace root.
+    pub file: String,
+    /// 1-based line of the `fn` item.
+    pub line: u32,
+}
 
 /// A single reported problem.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -19,6 +35,22 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable description of the problem.
     pub message: String,
+    /// Call-chain evidence for interprocedural rules, entry first, the
+    /// function containing the source site last. Empty for line rules.
+    pub chain: Vec<Hop>,
+}
+
+impl Finding {
+    /// A line-local finding (no call chain).
+    pub(crate) fn local(rule: &'static str, file: &str, line: u32, message: String) -> Self {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+            chain: Vec::new(),
+        }
+    }
 }
 
 /// Description of one rule, for `--rules` listings and the docs table.
@@ -45,6 +77,10 @@ pub const RULES: &[RuleInfo] = &[
         summary: "no direct slice/array indexing `x[i]` in non-test library code",
     },
     RuleInfo {
+        id: "panic.reach",
+        summary: "no unwaived panic site transitively reachable from a public API of a panic-free crate",
+    },
+    RuleInfo {
         id: "det.hash_container",
         summary: "no HashMap/HashSet in trace-producing crates (core/storage/chaos/serve/shard/metrics/eval/descriptor)",
     },
@@ -59,6 +95,14 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "det.thread_spawn",
         summary: "no std::thread::spawn outside crates/parallel — use the eff2-parallel wrappers",
+    },
+    RuleInfo {
+        id: "det.taint",
+        summary: "no nondeterminism source transitively reachable from a public API of a deterministic crate",
+    },
+    RuleInfo {
+        id: "clock.discipline",
+        summary: "ChunkSource decorators forward take_injected_delay; every chunk-consuming path charges the pipeline clock",
     },
     RuleInfo {
         id: "err.box_error",
@@ -84,8 +128,9 @@ pub fn is_rule(id: &str) -> bool {
 }
 
 /// Crates whose outputs feed traces or reported figures: HashMap/HashSet
-/// iteration order and ad-hoc float accumulation are banned here.
-const DETERMINISTIC_CRATES: &[&str] = &[
+/// iteration order and ad-hoc float accumulation are banned here, and
+/// `det.taint` guards their public APIs transitively.
+pub(crate) const DETERMINISTIC_CRATES: &[&str] = &[
     "core",
     "storage",
     "chaos",
@@ -99,6 +144,20 @@ const DETERMINISTIC_CRATES: &[&str] = &[
 /// Crates that are command-line binaries: printing to stdout/stderr is
 /// their job, so `hyg.print` does not apply.
 const CLI_CRATES: &[&str] = &["eval", "lint"];
+
+/// Files exempt from `det.wall_clock` (and hence from wall-clock taint):
+/// storage::diskmodel *owns* the virtual clock, and bench measures wall
+/// time by design.
+pub(crate) fn wall_clock_exempt(crate_name: &str, rel_path: &str) -> bool {
+    crate_name == "bench" || (crate_name == "storage" && rel_path.ends_with("diskmodel.rs"))
+}
+
+/// Crates exempt from `det.thread_spawn` (and thread-spawn taint):
+/// eff2-parallel owns raw threads — its wrappers pin worker counts and
+/// merge order so everyone else stays deterministic.
+pub(crate) fn thread_spawn_exempt(crate_name: &str) -> bool {
+    crate_name == "parallel"
+}
 
 /// Integer primitive names: `.sum::<usize>()` over these is deterministic
 /// regardless of order, so `det.float_accum` permits it.
@@ -119,37 +178,207 @@ fn is_integer_type(s: &str) -> bool {
     )
 }
 
+/// How a `.sum()`/`.product()` site is written, for message wording.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AccumShape {
+    /// Bare `.sum()` — the accumulator type is hidden.
+    Bare,
+    /// `.sum::<f32>()` — an explicitly non-integer turbofish.
+    FloatTurbofish,
+}
+
+/// A window over one file's code tokens. Both the line rules and the
+/// symbol pass's fact extractor call these detectors, so a "site" means
+/// the same thing everywhere.
+#[derive(Clone, Copy)]
+pub(crate) struct View<'a> {
+    tokens: &'a [Token],
+    code: &'a [usize],
+}
+
+impl<'a> View<'a> {
+    pub(crate) fn new(tokens: &'a [Token], code: &'a [usize]) -> Self {
+        View { tokens, code }
+    }
+
+    /// Number of code tokens in the view.
+    pub(crate) fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// The token at code position `code_pos`.
+    pub(crate) fn tok(&self, code_pos: usize) -> Option<&'a Token> {
+        self.code.get(code_pos).and_then(|&i| self.tokens.get(i))
+    }
+
+    /// The raw token-stream index backing code position `code_pos`.
+    pub(crate) fn raw_index(&self, code_pos: usize) -> Option<usize> {
+        self.code.get(code_pos).copied()
+    }
+
+    /// Whether `at`/`at+1` form a `::` path separator.
+    fn path_sep(&self, at: usize) -> bool {
+        self.tok(at).is_some_and(|a| a.is_punct(':'))
+            && self.tok(at + 1).is_some_and(|b| b.is_punct(':'))
+    }
+
+    /// `.unwrap(` / `.expect(`: returns the method name.
+    pub(crate) fn unwrap_site(&self, at: usize) -> Option<&'a str> {
+        let t = self.tok(at)?;
+        if t.kind != TokenKind::Ident || !matches!(t.text.as_str(), "unwrap" | "expect") {
+            return None;
+        }
+        let after_dot = at > 0 && self.tok(at - 1).is_some_and(|p| p.is_punct('.'));
+        let called = self.tok(at + 1).is_some_and(|n| n.is_punct('('));
+        (after_dot && called).then_some(t.text.as_str())
+    }
+
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`: the macro name.
+    pub(crate) fn panic_macro_site(&self, at: usize) -> Option<&'a str> {
+        let t = self.tok(at)?;
+        if t.kind != TokenKind::Ident
+            || !matches!(
+                t.text.as_str(),
+                "panic" | "unreachable" | "todo" | "unimplemented"
+            )
+        {
+            return None;
+        }
+        self.tok(at + 1)
+            .is_some_and(|n| n.is_punct('!'))
+            .then_some(t.text.as_str())
+    }
+
+    /// Direct indexing `x[i]` (an opening `[` right after a value).
+    pub(crate) fn index_site(&self, at: usize) -> bool {
+        let Some(t) = self.tok(at) else { return false };
+        if !t.is_punct('[') || at == 0 {
+            return false;
+        }
+        let Some(prev) = self.tok(at - 1) else {
+            return false;
+        };
+        match prev.kind {
+            TokenKind::Ident => !is_keyword(&prev.text),
+            TokenKind::Punct => matches!(prev.text.chars().next(), Some(')') | Some(']')),
+            _ => false,
+        }
+    }
+
+    /// `HashMap` / `HashSet` mention: returns the container name.
+    pub(crate) fn hash_container_site(&self, at: usize) -> Option<&'a str> {
+        let t = self.tok(at)?;
+        (t.kind == TokenKind::Ident && matches!(t.text.as_str(), "HashMap" | "HashSet"))
+            .then_some(t.text.as_str())
+    }
+
+    /// `SystemTime` mention or `Instant::now`: a short site label.
+    pub(crate) fn wall_clock_site(&self, at: usize) -> Option<&'static str> {
+        let t = self.tok(at)?;
+        if t.kind != TokenKind::Ident {
+            return None;
+        }
+        if t.text == "SystemTime" {
+            return Some("SystemTime");
+        }
+        if t.text == "Instant"
+            && self.path_sep(at + 1)
+            && self.tok(at + 3).is_some_and(|c| c.is_ident("now"))
+        {
+            return Some("Instant::now");
+        }
+        None
+    }
+
+    /// `.sum()` / `.product()` with a hidden or non-integer accumulator:
+    /// returns the method name and how the site is written.
+    pub(crate) fn float_accum_site(&self, at: usize) -> Option<(&'a str, AccumShape)> {
+        let t = self.tok(at)?;
+        if t.kind != TokenKind::Ident || !matches!(t.text.as_str(), "sum" | "product") {
+            return None;
+        }
+        if at == 0 || !self.tok(at - 1).is_some_and(|p| p.is_punct('.')) {
+            return None;
+        }
+        // `.sum::<integer>()` is order-independent; anything else (bare
+        // `.sum()`, or a float turbofish) is a site.
+        if self.tok(at + 1).is_some_and(|n| n.is_punct('(')) {
+            return Some((t.text.as_str(), AccumShape::Bare));
+        }
+        let turbofish = self.path_sep(at + 1) && self.tok(at + 3).is_some_and(|c| c.is_punct('<'));
+        if turbofish {
+            let int = self
+                .tok(at + 4)
+                .is_some_and(|ty| ty.kind == TokenKind::Ident && is_integer_type(&ty.text));
+            if !int {
+                return Some((t.text.as_str(), AccumShape::FloatTurbofish));
+            }
+        }
+        None
+    }
+
+    /// `thread::spawn(`.
+    pub(crate) fn thread_spawn_site(&self, at: usize) -> bool {
+        let Some(t) = self.tok(at) else { return false };
+        t.kind == TokenKind::Ident
+            && t.text == "thread"
+            && self.path_sep(at + 1)
+            && self.tok(at + 3).is_some_and(|c| c.is_ident("spawn"))
+            && self.tok(at + 4).is_some_and(|d| d.is_punct('('))
+    }
+
+    /// A chunk-consuming call: `.next_chunk(` / `.fetch_through(`.
+    /// Returns the method name.
+    pub(crate) fn chunk_consume_site(&self, at: usize) -> Option<&'a str> {
+        let t = self.tok(at)?;
+        if t.kind != TokenKind::Ident || !matches!(t.text.as_str(), "next_chunk" | "fetch_through")
+        {
+            return None;
+        }
+        let after_dot = at > 0 && self.tok(at - 1).is_some_and(|p| p.is_punct('.'));
+        let called = self.tok(at + 1).is_some_and(|n| n.is_punct('('));
+        (after_dot && called).then_some(t.text.as_str())
+    }
+
+    /// A modelled-time charge: a call to one of the `PipelineClock` /
+    /// virtual-clock charge methods. Returns the method name.
+    pub(crate) fn clock_charge_site(&self, at: usize) -> Option<&'a str> {
+        let t = self.tok(at)?;
+        if t.kind != TokenKind::Ident
+            || !matches!(
+                t.text.as_str(),
+                "chunk_overlapped" | "chunk_serial" | "io_done_after" | "cpu_after"
+            )
+        {
+            return None;
+        }
+        let after_dot = at > 0 && self.tok(at - 1).is_some_and(|p| p.is_punct('.'));
+        let called = self.tok(at + 1).is_some_and(|n| n.is_punct('('));
+        (after_dot && called).then_some(t.text.as_str())
+    }
+}
+
 struct Scan<'a> {
     crate_name: &'a str,
     rel_path: &'a str,
-    tokens: &'a [Token],
+    view: View<'a>,
     regions: &'a [Region],
-    /// Indices of non-comment tokens.
-    code: &'a [usize],
     findings: Vec<Finding>,
 }
 
 impl Scan<'_> {
-    fn tok(&self, code_pos: usize) -> Option<&Token> {
-        self.code.get(code_pos).and_then(|&i| self.tokens.get(i))
-    }
-
     /// Whether the token at `code_pos` sits in a region rules must skip.
     fn skipped(&self, code_pos: usize) -> bool {
-        self.code
-            .get(code_pos)
-            .and_then(|&i| self.regions.get(i))
+        self.view
+            .raw_index(code_pos)
+            .and_then(|i| self.regions.get(i))
             .is_none_or(|r| r.test || r.attr || r.macro_body)
     }
 
     fn report(&mut self, rule: &'static str, code_pos: usize, message: String) {
-        let line = self.tok(code_pos).map_or(0, |t| t.line);
-        self.findings.push(Finding {
-            rule,
-            file: self.rel_path.to_string(),
-            line,
-            message,
-        });
+        let line = self.view.tok(code_pos).map_or(0, |t| t.line);
+        self.findings
+            .push(Finding::local(rule, self.rel_path, line, message));
     }
 
     fn in_deterministic_crate(&self) -> bool {
@@ -159,14 +388,8 @@ impl Scan<'_> {
     // ----- panic-freedom ---------------------------------------------------
 
     fn panic_unwrap(&mut self, at: usize) {
-        let Some(t) = self.tok(at) else { return };
-        if t.kind != TokenKind::Ident || !matches!(t.text.as_str(), "unwrap" | "expect") {
-            return;
-        }
-        let after_dot = at > 0 && self.tok(at - 1).is_some_and(|p| p.is_punct('.'));
-        let called = self.tok(at + 1).is_some_and(|n| n.is_punct('('));
-        if after_dot && called {
-            let name = t.text.clone();
+        if let Some(name) = self.view.unwrap_site(at) {
+            let name = name.to_string();
             self.report(
                 "panic.unwrap",
                 at,
@@ -176,17 +399,8 @@ impl Scan<'_> {
     }
 
     fn panic_macro(&mut self, at: usize) {
-        let Some(t) = self.tok(at) else { return };
-        if t.kind != TokenKind::Ident
-            || !matches!(
-                t.text.as_str(),
-                "panic" | "unreachable" | "todo" | "unimplemented"
-            )
-        {
-            return;
-        }
-        if self.tok(at + 1).is_some_and(|n| n.is_punct('!')) {
-            let name = t.text.clone();
+        if let Some(name) = self.view.panic_macro_site(at) {
+            let name = name.to_string();
             self.report(
                 "panic.macro",
                 at,
@@ -196,17 +410,7 @@ impl Scan<'_> {
     }
 
     fn panic_index(&mut self, at: usize) {
-        let Some(t) = self.tok(at) else { return };
-        if !t.is_punct('[') || at == 0 {
-            return;
-        }
-        let Some(prev) = self.tok(at - 1) else { return };
-        let indexes = match prev.kind {
-            TokenKind::Ident => !is_keyword(&prev.text),
-            TokenKind::Punct => matches!(prev.text.chars().next(), Some(')') | Some(']')),
-            _ => false,
-        };
-        if indexes {
+        if self.view.index_site(at) {
             self.report(
                 "panic.index",
                 at,
@@ -222,9 +426,8 @@ impl Scan<'_> {
         if !self.in_deterministic_crate() {
             return;
         }
-        let Some(t) = self.tok(at) else { return };
-        if t.kind == TokenKind::Ident && matches!(t.text.as_str(), "HashMap" | "HashSet") {
-            let name = t.text.clone();
+        if let Some(name) = self.view.hash_container_site(at) {
+            let name = name.to_string();
             self.report(
                 "det.hash_container",
                 at,
@@ -234,37 +437,23 @@ impl Scan<'_> {
     }
 
     fn det_wall_clock(&mut self, at: usize) {
-        // storage::diskmodel owns the virtual clock; bench measures wall
-        // time by design.
-        if self.crate_name == "bench"
-            || (self.crate_name == "storage" && self.rel_path.ends_with("diskmodel.rs"))
-        {
+        if wall_clock_exempt(self.crate_name, self.rel_path) {
             return;
         }
-        let Some(t) = self.tok(at) else { return };
-        if t.kind != TokenKind::Ident {
-            return;
-        }
-        if t.text == "SystemTime" {
-            self.report(
+        match self.view.wall_clock_site(at) {
+            Some("SystemTime") => self.report(
                 "det.wall_clock",
                 at,
                 "SystemTime makes output depend on the host clock — use the virtual DiskModel clock"
                     .to_string(),
-            );
-            return;
-        }
-        if t.text == "Instant"
-            && self.tok(at + 1).is_some_and(|a| a.is_punct(':'))
-            && self.tok(at + 2).is_some_and(|b| b.is_punct(':'))
-            && self.tok(at + 3).is_some_and(|c| c.is_ident("now"))
-        {
-            self.report(
+            ),
+            Some(_) => self.report(
                 "det.wall_clock",
                 at,
                 "Instant::now makes output depend on the host — use the virtual DiskModel clock"
                     .to_string(),
-            );
+            ),
+            None => {}
         }
     }
 
@@ -272,56 +461,25 @@ impl Scan<'_> {
         if !self.in_deterministic_crate() {
             return;
         }
-        let Some(t) = self.tok(at) else { return };
-        if t.kind != TokenKind::Ident || !matches!(t.text.as_str(), "sum" | "product") {
-            return;
-        }
-        if at == 0 || !self.tok(at - 1).is_some_and(|p| p.is_punct('.')) {
-            return;
-        }
-        // `.sum::<integer>()` is order-independent; anything else (bare
-        // `.sum()`, or a float turbofish) is flagged.
-        let name = t.text.clone();
-        if self.tok(at + 1).is_some_and(|n| n.is_punct('(')) {
-            self.report(
-                "det.float_accum",
-                at,
-                format!(".{name}() hides its accumulator type — use .{name}::<uN>() for integers or the kernels module for floats"),
-            );
-            return;
-        }
-        let turbofish = self.tok(at + 1).is_some_and(|a| a.is_punct(':'))
-            && self.tok(at + 2).is_some_and(|b| b.is_punct(':'))
-            && self.tok(at + 3).is_some_and(|c| c.is_punct('<'));
-        if turbofish {
-            let int = self
-                .tok(at + 4)
-                .is_some_and(|ty| ty.kind == TokenKind::Ident && is_integer_type(&ty.text));
-            if !int {
-                self.report(
-                    "det.float_accum",
-                    at,
-                    format!("float .{name}::<_>() accumulation order is a determinism hazard — use the kernels module"),
-                );
-            }
+        if let Some((name, shape)) = self.view.float_accum_site(at) {
+            let name = name.to_string();
+            let message = match shape {
+                AccumShape::Bare => format!(
+                    ".{name}() hides its accumulator type — use .{name}::<uN>() for integers or the kernels module for floats"
+                ),
+                AccumShape::FloatTurbofish => format!(
+                    "float .{name}::<_>() accumulation order is a determinism hazard — use the kernels module"
+                ),
+            };
+            self.report("det.float_accum", at, message);
         }
     }
 
     fn det_thread_spawn(&mut self, at: usize) {
-        // eff2-parallel owns raw threads: its wrappers pin worker counts
-        // and merge order so everyone else stays deterministic.
-        if self.crate_name == "parallel" {
+        if thread_spawn_exempt(self.crate_name) {
             return;
         }
-        let Some(t) = self.tok(at) else { return };
-        if t.kind != TokenKind::Ident || t.text != "thread" {
-            return;
-        }
-        if self.tok(at + 1).is_some_and(|a| a.is_punct(':'))
-            && self.tok(at + 2).is_some_and(|b| b.is_punct(':'))
-            && self.tok(at + 3).is_some_and(|c| c.is_ident("spawn"))
-            && self.tok(at + 4).is_some_and(|d| d.is_punct('('))
-        {
+        if self.view.thread_spawn_site(at) {
             self.report(
                 "det.thread_spawn",
                 at,
@@ -334,17 +492,19 @@ impl Scan<'_> {
     // ----- error taxonomy --------------------------------------------------
 
     fn err_box_error(&mut self, at: usize) {
-        let Some(t) = self.tok(at) else { return };
-        if !t.is_ident("Box") || !self.tok(at + 1).is_some_and(|n| n.is_punct('<')) {
+        let Some(t) = self.view.tok(at) else { return };
+        if !t.is_ident("Box") || !self.view.tok(at + 1).is_some_and(|n| n.is_punct('<')) {
             return;
         }
-        if !self.tok(at + 2).is_some_and(|n| n.is_ident("dyn")) {
+        if !self.view.tok(at + 2).is_some_and(|n| n.is_ident("dyn")) {
             return;
         }
         // Scan the angle-bracketed span (bounded) for an `Error` ident.
         let mut depth = 0isize;
         for off in 1..64 {
-            let Some(n) = self.tok(at + off) else { break };
+            let Some(n) = self.view.tok(at + off) else {
+                break;
+            };
             if n.is_punct('<') {
                 depth += 1;
             } else if n.is_punct('>') {
@@ -365,8 +525,8 @@ impl Scan<'_> {
     }
 
     fn err_string_error(&mut self, at: usize) {
-        let Some(t) = self.tok(at) else { return };
-        if !t.is_ident("Result") || !self.tok(at + 1).is_some_and(|n| n.is_punct('<')) {
+        let Some(t) = self.view.tok(at) else { return };
+        if !t.is_ident("Result") || !self.view.tok(at + 1).is_some_and(|n| n.is_punct('<')) {
             return;
         }
         // Walk to the matching `>`; remember the tokens after the last
@@ -375,7 +535,9 @@ impl Scan<'_> {
         let mut last_comma_off: Option<usize> = None;
         let mut close_off: Option<usize> = None;
         for off in 1..96 {
-            let Some(n) = self.tok(at + off) else { break };
+            let Some(n) = self.view.tok(at + off) else {
+                break;
+            };
             if n.is_punct('<') {
                 depth += 1;
             } else if n.is_punct('>') {
@@ -393,6 +555,7 @@ impl Scan<'_> {
         if let (Some(comma), Some(close)) = (last_comma_off, close_off) {
             if close == comma + 2
                 && self
+                    .view
                     .tok(at + comma + 1)
                     .is_some_and(|e| e.is_ident("String"))
             {
@@ -412,7 +575,7 @@ impl Scan<'_> {
         if CLI_CRATES.contains(&self.crate_name) {
             return;
         }
-        let Some(t) = self.tok(at) else { return };
+        let Some(t) = self.view.tok(at) else { return };
         if t.kind != TokenKind::Ident
             || !matches!(
                 t.text.as_str(),
@@ -421,7 +584,7 @@ impl Scan<'_> {
         {
             return;
         }
-        if self.tok(at + 1).is_some_and(|n| n.is_punct('!')) {
+        if self.view.tok(at + 1).is_some_and(|n| n.is_punct('!')) {
             let name = t.text.clone();
             self.report(
                 "hyg.print",
@@ -446,9 +609,8 @@ pub fn apply(
     let mut scan = Scan {
         crate_name,
         rel_path,
-        tokens,
+        view: View::new(tokens, code),
         regions,
-        code,
         findings: Vec::new(),
     };
     for at in 0..code.len() {

@@ -50,6 +50,31 @@ macro_rules! fixture_test {
     };
 }
 
+/// Lints several fixtures as one mini-workspace (so the call graph
+/// crosses crate boundaries) and asserts the `(file, line, rule)`
+/// multiset across all files matches the markers exactly.
+fn group_check(files: &[(&str, &str, &str)]) {
+    let inputs: Vec<(String, String, String)> = files
+        .iter()
+        .map(|(c, f, s)| ((*c).to_string(), (*f).to_string(), (*s).to_string()))
+        .collect();
+    let mut expected: Vec<(String, u32, String)> = Vec::new();
+    for (_, file, source) in files {
+        for (line, rule) in expected_markers(source) {
+            expected.push(((*file).to_string(), line, rule));
+        }
+    }
+    expected.sort();
+    let mut got: Vec<(String, u32, String)> = eff2_lint::lint_files(&inputs)
+        .findings
+        .into_iter()
+        .map(|f| (f.file, f.line, f.rule.to_string()))
+        .collect();
+    got.sort();
+    let names: Vec<&str> = files.iter().map(|(_, f, _)| *f).collect();
+    assert_eq!(got, expected, "fixture group {names:?}");
+}
+
 fixture_test!(panic_unwrap, "core", "panic_unwrap.rs");
 fixture_test!(panic_macro, "core", "panic_macro.rs");
 fixture_test!(panic_index, "core", "panic_index.rs");
@@ -69,6 +94,98 @@ fixture_test!(hyg_print, "descriptor", "hyg_print.rs");
 fixture_test!(hyg_waiver, "core", "hyg_waiver.rs");
 fixture_test!(waivers_ok, "core", "waivers_ok.rs");
 fixture_test!(tricky_lexing, "core", "tricky_lexing.rs");
+fixture_test!(clock_consume, "serve", "clock_consume_serve.rs");
+fixture_test!(clock_decorator, "chaos", "clock_decorator_chaos.rs");
+
+#[test]
+fn det_taint_crosses_crates_and_respects_waivers() {
+    // Positive: depth-2 chain core::api -> srtree::middle -> srtree::leaf
+    // -> HashMap, where the source crate is outside the determinism scope
+    // (no line rule fires there). Negatives: waived-at-entry, integer sum.
+    group_check(&[
+        (
+            "core",
+            "taint_entry_core.rs",
+            include_str!("fixtures/taint_entry_core.rs"),
+        ),
+        (
+            "srtree",
+            "taint_helper_srtree.rs",
+            include_str!("fixtures/taint_helper_srtree.rs"),
+        ),
+    ]);
+}
+
+#[test]
+fn panic_reach_crosses_crates_and_respects_waivers() {
+    // Positive: storage::load_all reaches the unwaived unwrap in
+    // json::parse_or_die. Negatives: waived at the entry, and waived at
+    // the source site (which cuts every chain through it).
+    group_check(&[
+        (
+            "storage",
+            "reach_entry_storage.rs",
+            include_str!("fixtures/reach_entry_storage.rs"),
+        ),
+        (
+            "json",
+            "reach_helper_json.rs",
+            include_str!("fixtures/reach_helper_json.rs"),
+        ),
+    ]);
+}
+
+#[test]
+fn taint_chain_reports_every_hop_with_file_and_line() {
+    let inputs = vec![
+        (
+            "core".to_string(),
+            "taint_entry_core.rs".to_string(),
+            include_str!("fixtures/taint_entry_core.rs").to_string(),
+        ),
+        (
+            "srtree".to_string(),
+            "taint_helper_srtree.rs".to_string(),
+            include_str!("fixtures/taint_helper_srtree.rs").to_string(),
+        ),
+    ];
+    let report = eff2_lint::lint_files(&inputs);
+    let finding = report
+        .findings
+        .iter()
+        .find(|f| f.rule == "det.taint")
+        .expect("the transitive positive must survive");
+    // api -> middle -> leaf: three hops, each carrying file:line.
+    assert_eq!(finding.chain.len(), 3, "chain: {:?}", finding.chain);
+    assert!(finding
+        .chain
+        .iter()
+        .all(|h| h.line > 0 && !h.file.is_empty()));
+    assert!(
+        finding
+            .message
+            .contains("-> HashMap @ taint_helper_srtree.rs:"),
+        "evidence must name the source site: {}",
+        finding.message
+    );
+}
+
+#[test]
+fn taint_propagation_terminates_on_call_cycles() {
+    // ping <-> pong is a cycle; the BFS visited-set terminates it and the
+    // source behind the cycle is still reported exactly once at the entry.
+    let src = "pub fn entry() { ping(); }\n\
+               fn ping() { pong(); }\n\
+               fn pong() { ping(); sink(); }\n\
+               fn sink() { let m = std::collections::HashMap::new(); m.clear(); }\n";
+    assert_eq!(
+        findings_of("core", "cycle.rs", src),
+        vec![
+            (1, "det.taint".to_string()),
+            (4, "det.hash_container".to_string()),
+        ]
+    );
+}
 
 #[test]
 fn det_rules_scope_to_deterministic_crates() {
@@ -172,6 +289,10 @@ fn every_rule_has_fixture_coverage() {
         include_str!("fixtures/err_string_error.rs"),
         include_str!("fixtures/hyg_print.rs"),
         include_str!("fixtures/hyg_waiver.rs"),
+        include_str!("fixtures/taint_entry_core.rs"),
+        include_str!("fixtures/reach_entry_storage.rs"),
+        include_str!("fixtures/clock_consume_serve.rs"),
+        include_str!("fixtures/clock_decorator_chaos.rs"),
     ];
     for rule in eff2_lint::RULES {
         let covered = corpus

@@ -1,0 +1,25 @@
+//! clock.discipline (path half), linted as crate `serve` (clocked).
+//! A public API that consumes chunks on a path with no modelled-time
+//! charge anywhere is a finding at the entry; charging anywhere on the
+//! path (including the entry itself) clears it.
+
+/// Positive: drive -> pull -> next_chunk, no charge on the path.
+pub fn drive(s: &mut Session) -> Option<Chunk> { //~ clock.discipline
+    pull(s)
+}
+
+fn pull(s: &mut Session) -> Option<Chunk> {
+    s.stream.next_chunk()
+}
+
+/// Negative: same consuming helper, but the entry charges the clock.
+pub fn drive_charged(s: &mut Session) -> Option<Chunk> {
+    let c = pull(s);
+    s.clock.chunk_overlapped(4096, 1.0);
+    c
+}
+
+// lint:allow(clock.discipline): diagnostic peek, never used for timing
+pub fn drive_peek(s: &mut Session) -> Option<Chunk> {
+    pull(s)
+}

@@ -1,0 +1,58 @@
+//! clock.discipline (decorator half), linted as crate `chaos`.
+//! A `ChunkStream` impl whose `next_chunk` delegates to an inner stream
+//! must override `take_injected_delay` AND pull the inner stream's
+//! delay somewhere, or injected fault delays silently vanish.
+
+/// Positive: delegates but drops the inner delay on the floor.
+pub struct DropsDelay {
+    inner: Box<dyn ChunkStream>,
+}
+
+impl ChunkStream for DropsDelay {
+    fn next_chunk(&mut self) -> Option<Chunk> { //~ clock.discipline
+        self.inner.next_chunk()
+    }
+}
+
+/// Negative: the real decorator shape — pulls the inner delay inside
+/// `next_chunk`, drains a local accumulator in the override.
+pub struct ForwardsDelay {
+    inner: Box<dyn ChunkStream>,
+    pending: f64,
+}
+
+impl ChunkStream for ForwardsDelay {
+    fn next_chunk(&mut self) -> Option<Chunk> {
+        let c = self.inner.next_chunk();
+        self.pending += self.inner.take_injected_delay();
+        c
+    }
+
+    fn take_injected_delay(&mut self) -> f64 {
+        std::mem::take(&mut self.pending)
+    }
+}
+
+/// Negative: a leaf stream — next_chunk does not delegate, so it is not
+/// a decorator and owes no forwarding.
+pub struct LeafStream {
+    items: Vec<Chunk>,
+}
+
+impl ChunkStream for LeafStream {
+    fn next_chunk(&mut self) -> Option<Chunk> {
+        self.items.pop()
+    }
+}
+
+/// Negative: delegating without forwarding, but waived at the site.
+pub struct WaivedTap {
+    inner: Box<dyn ChunkStream>,
+}
+
+impl ChunkStream for WaivedTap {
+    // lint:allow(clock.discipline): counts chunks only, timeline owned by inner
+    fn next_chunk(&mut self) -> Option<Chunk> {
+        self.inner.next_chunk()
+    }
+}

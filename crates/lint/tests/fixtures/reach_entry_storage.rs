@@ -1,0 +1,19 @@
+//! panic.reach entry side: public APIs of a panic-free crate (`storage`)
+//! calling into `reach_helper_json.rs` (linted as `json`). Linted as a
+//! group with that file.
+
+/// Positive: reaches the unwaived unwrap in json::parse_or_die.
+pub fn load_all() -> u32 { //~ panic.reach
+    eff2_json::parse_or_die("[1,2]")
+}
+
+// lint:allow(panic.reach): startup-only path, aborting here is acceptable
+pub fn load_at_boot() -> u32 {
+    eff2_json::parse_or_die("[1,2]")
+}
+
+/// Negative: the helper's unwrap is waived at the source site, which
+/// cuts every chain through it.
+pub fn load_checked() -> u32 {
+    eff2_json::parse_checked("[1,2]")
+}

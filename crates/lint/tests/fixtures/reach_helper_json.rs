@@ -1,0 +1,14 @@
+//! panic.reach helper side, linted as crate `json`. The panic line rules
+//! fire here directly (markers below); `parse_or_die` is itself a public
+//! fn of a panic-free crate, but a source *inside* the entry is depth-0
+//! territory owned by the line rule, so no panic.reach fires here — only
+//! at the cross-crate entries in `reach_entry_storage.rs`.
+
+pub fn parse_or_die(s: &str) -> u32 {
+    s.trim_start_matches('[').split(',').next().unwrap().parse().unwrap() //~ panic.unwrap panic.unwrap
+}
+
+pub fn parse_checked(s: &str) -> u32 {
+    // lint:allow(panic.unwrap): input validated by the caller's schema check
+    s.trim_start_matches('[').split(',').next().unwrap().parse().unwrap_or(0)
+}

@@ -1,0 +1,19 @@
+//! det.taint entry side: public APIs of a deterministic crate (`core`)
+//! reaching a nondeterminism source buried two calls deep in the helper
+//! crate (`taint_helper_srtree.rs`, linted as `srtree`). Linted as a
+//! group — the chain crosses the crate boundary.
+
+/// Depth-2 transitive positive: api -> middle -> leaf -> HashMap.
+pub fn api() -> usize { //~ det.taint
+    eff2_srtree::middle()
+}
+
+// lint:allow(det.taint): debug-only surface, output never feeds traces
+pub fn waived_api() -> usize {
+    eff2_srtree::middle()
+}
+
+/// Integer accumulation downstream is order-independent: negative.
+pub fn totals(v: &[u32]) -> u32 {
+    eff2_srtree::total(v)
+}

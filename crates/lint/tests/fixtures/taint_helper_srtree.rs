@@ -1,0 +1,19 @@
+//! det.taint helper side, linted as crate `srtree` (NOT a deterministic
+//! crate, so the HashMap line rule does not fire here — exactly the hole
+//! the taint pass closes). No markers: every finding in this group is
+//! reported at the entry in `taint_entry_core.rs`.
+
+pub fn middle() -> usize {
+    leaf()
+}
+
+fn leaf() -> usize {
+    let m = std::collections::HashMap::new();
+    m.insert(1u32, 2u32);
+    m.len()
+}
+
+/// Integer accumulation: order-independent, not a nondeterminism source.
+pub fn total(v: &[u32]) -> u32 {
+    v.iter().sum::<u32>()
+}

@@ -93,8 +93,15 @@ impl Rect {
 
     /// Sum of edge lengths — the R\*-tree "margin" used as a split goodness
     /// measure (24-dimensional volumes under/overflow `f32`, margins don't).
+    /// Accumulated serially in dimension order so the value is bit-identical
+    /// everywhere this is computed (it feeds split decisions, hence tree
+    /// shape, hence every trace).
     pub fn margin(&self) -> f32 {
-        (0..DIM).map(|d| (self.max[d] - self.min[d]).max(0.0)).sum()
+        let mut acc = 0.0f32;
+        for d in 0..DIM {
+            acc += (self.max[d] - self.min[d]).max(0.0);
+        }
+        acc
     }
 
     /// Squared minimum distance from `q` to any point of the rectangle

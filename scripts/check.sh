@@ -18,8 +18,14 @@ cargo build --release -p eff2-examples
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> eff2-lint --deny (workspace invariant audit)"
-cargo run --release -p eff2-lint -- --deny
+echo "==> eff2-lint --deny (workspace invariant audit, incl. interprocedural rules)"
+LINT_ERR="$(mktemp)"
+cargo run --release -p eff2-lint -- --deny 2>"$LINT_ERR"
+cat "$LINT_ERR" >&2
+# The timing line ("lint: N files, M symbols, K ms") tracks analysis cost
+# as the workspace grows; its absence means the audit did not really run.
+grep -q "^lint: " "$LINT_ERR"
+rm -f "$LINT_ERR"
 
 echo "==> eval exp4 smoke (tiny-scale serving sweep)"
 EXP4_OUT="$(mktemp -d)"
