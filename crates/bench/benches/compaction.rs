@@ -1,0 +1,130 @@
+//! Live-mutation compaction overhead: wall-clock cost of the epoch
+//! layer's fold/rebalance machinery.
+//!
+//! `begin_compaction` isolates the deterministic compactor itself (fold
+//! the pinned delta, reassign inserts, merge/split, write the next
+//! generation file pair). The `live_serve` cells run the same merged
+//! query + skewed-mutation timeline through a [`LiveServer`] with
+//! compaction off vs on: their difference is the orchestration overhead
+//! of paying compaction cost in ticks interleaved with serving, on top
+//! of identical per-query answers (see the serve crate's live-mutation
+//! property test).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use eff2_bench::fixtures;
+use eff2_core::chunkers::{ChunkFormer, SrTreeChunker};
+use eff2_core::search::{SearchParams, StopRule};
+use eff2_epoch::MutableIndex;
+use eff2_serve::{merge_timelines, CompactionPolicy, LiveEvent, LiveServer};
+use eff2_storage::diskmodel::VirtualDuration;
+use eff2_workload::{skewed_mutation_trace, MutationOp};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+const TARGET_CHUNK: usize = 100;
+const N_QUERIES: usize = 16;
+const N_OPS: usize = 128;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = fixtures::bench_dir().join(format!("compaction_{tag}"));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn build_index(tag: &str) -> MutableIndex {
+    let set = fixtures::collection();
+    let formation = SrTreeChunker {
+        leaf_size: TARGET_CHUNK,
+    }
+    .form(set);
+    MutableIndex::create(
+        &scratch(tag),
+        "bench",
+        set,
+        &formation.chunks,
+        4_096,
+        None,
+        fixtures::model(),
+        TARGET_CHUNK,
+    )
+    .expect("create index")
+}
+
+fn mutation_events(n_ops: usize, rate: f64) -> Vec<(VirtualDuration, LiveEvent)> {
+    skewed_mutation_trace(fixtures::collection(), n_ops, 0.9, rate, 1.1, 42)
+        .events
+        .iter()
+        .map(|e| {
+            let event = match &e.op {
+                MutationOp::Insert { id, vector } => LiveEvent::Insert {
+                    id: *id,
+                    vector: *vector,
+                },
+                MutationOp::Delete { id } => LiveEvent::Delete { id: *id },
+            };
+            (VirtualDuration::from_secs(e.at_secs), event)
+        })
+        .collect()
+}
+
+fn compaction_overhead(c: &mut Criterion) {
+    let params = SearchParams {
+        k: 30,
+        stop: StopRule::Chunks(8),
+        prefetch_depth: 2,
+        log_snapshots: false,
+    };
+
+    let mut g = c.benchmark_group("compaction_overhead");
+    g.sample_size(10);
+
+    // The compactor alone: fold a pending delta of N ops into the next
+    // generation. `begin_compaction` is read-only on the index, so one
+    // prepared index serves every iteration.
+    for n_ops in [64usize, 256] {
+        let mut index = build_index(&format!("fold_{n_ops}"));
+        for (_, event) in mutation_events(n_ops, 1_000.0) {
+            match event {
+                LiveEvent::Insert { id, vector } => index.insert(id, vector).expect("insert"),
+                LiveEvent::Delete { id } => index.delete(id).expect("delete"),
+                LiveEvent::Query(_) => unreachable!("mutation trace has no queries"),
+            }
+        }
+        g.throughput(Throughput::Elements(n_ops as u64));
+        g.bench_with_input(
+            BenchmarkId::new("begin_compaction", n_ops),
+            &n_ops,
+            |b, _| b.iter(|| black_box(index.begin_compaction().expect("compaction plan"))),
+        );
+    }
+
+    // End-to-end: the same merged timeline served with compaction off vs
+    // on. Index construction repeats in both cells, so the difference is
+    // the interleaved-compaction overhead.
+    let queries: Vec<(_, VirtualDuration)> = fixtures::queries(N_QUERIES)
+        .into_iter()
+        .map(|q| (q, VirtualDuration::ZERO))
+        .collect();
+    let trace = merge_timelines(&queries, &mutation_events(N_OPS, 1_000.0));
+    g.throughput(Throughput::Elements(N_QUERIES as u64));
+    for policy in [CompactionPolicy::Never, CompactionPolicy::EveryOps(64)] {
+        g.bench_with_input(
+            BenchmarkId::new("live_serve", policy.name()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    let index = build_index("serve");
+                    black_box(
+                        LiveServer::new(index, params, p)
+                            .serve_trace(&trace)
+                            .expect("live serve"),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, compaction_overhead);
+criterion_main!(benches);

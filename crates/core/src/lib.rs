@@ -55,4 +55,4 @@ pub use search::{
     Degradation, ResultFidelity, SearchLog, SearchParams, SearchResult, StopRule,
 };
 pub use session::{evaluate_stop_rules, rule_fires, ChunkRanking, SearchSession, SkipPolicy};
-pub use snapshot::Snapshot;
+pub use snapshot::{EpochSnapshot, Snapshot};

@@ -34,6 +34,7 @@ use eff2_descriptor::{
 };
 use eff2_storage::chunkfile::ChunkPayload;
 use eff2_storage::diskmodel::{DiskModel, PipelineClock, VirtualDuration};
+use eff2_storage::epoch::FoldedDelta;
 use eff2_storage::source::{ChunkSource, ChunkStream, PrefetchSource, SourcedChunk};
 use eff2_storage::{ChunkStore, ErrorClass, Result};
 use std::collections::BTreeMap;
@@ -512,6 +513,10 @@ pub struct SearchSession {
     /// `Some` for a quantized (ADC) session — see
     /// [`open_quantized`](Self::open_quantized).
     adc: Option<AdcScan>,
+    /// `Some` for a session pinned to a mutated epoch — see
+    /// [`apply_delta`](Self::apply_delta). Base rows whose ids are
+    /// tombstoned here are filtered out of every scan.
+    delta: Option<Arc<FoldedDelta>>,
     wall_start: std::time::Instant,
     exhausted: bool,
     skip: SkipPolicy,
@@ -674,12 +679,57 @@ impl SearchSession {
             neighbors: NeighborSet::new(params.k),
             log,
             adc: None,
+            delta: None,
             // lint:allow(det.wall_clock): log.wall is informational; it never feeds the virtual clock or modelled figures
             wall_start: std::time::Instant::now(),
             exhausted: false,
             skip: SkipPolicy::Abort,
             #[cfg(debug_assertions)]
             invariants,
+        }
+    }
+
+    /// Pins this session to a mutated epoch by applying the epoch's folded
+    /// delta, **before the first step**:
+    ///
+    /// * the live delta rows are scanned right now, as one delta-chunk
+    ///   read — distances offered into the neighbour set in delta order,
+    ///   the read charged to the pipeline clock like any chunk (I/O of the
+    ///   record-layout bytes overlapped with the scan CPU);
+    /// * every later chunk scan filters out base rows whose ids the delta
+    ///   tombstones (deleted or superseded descriptors).
+    ///
+    /// An empty delta is a strict no-op: the session stays on the fused
+    /// unfiltered kernel and remains bit-identical to a pre-epoch session
+    /// — that is the read-compat contract for v2/v3 stores opened through
+    /// the epoch layer. Quantized (ADC) sessions also honour tombstones;
+    /// their rerank tail re-reads raw rows of *accepted* candidates only,
+    /// which by construction are never tombstoned.
+    ///
+    /// Completion stays exact over the epoch's live set: the remaining
+    /// bound is a lower bound over a superset of the live base rows, and
+    /// the delta rows are all consumed up front.
+    pub fn apply_delta(&mut self, delta: &Arc<FoldedDelta>) {
+        debug_assert_eq!(
+            self.log.chunks_read, 0,
+            "apply_delta must run before the scan"
+        );
+        if delta.is_empty() {
+            return;
+        }
+        if !delta.inserts.is_empty() {
+            for (id, vector) in &delta.inserts {
+                self.neighbors
+                    .offer(*id, l2_sq(self.query.as_array(), vector.as_array()));
+            }
+            let io = self.model.io_time(delta.scan_bytes());
+            let cpu = self.model.scan_time(delta.inserts.len());
+            let _ = self.clock.chunk_overlapped(io, cpu);
+            self.log.bytes_read += delta.scan_bytes();
+            self.log.descriptors_scanned += delta.inserts.len() as u64;
+        }
+        if !delta.tombstones.is_empty() {
+            self.delta = Some(Arc::clone(delta));
         }
     }
 
@@ -937,10 +987,29 @@ impl SearchSession {
             // total order).
             adc_l2_sq_batch(&adc.prep, &chunk.payload.codes, &mut adc.dists);
             debug_assert_eq!(adc.dists.len(), chunk.payload.ids.len());
+            let delta = self.delta.as_deref();
             for (&id, &d) in chunk.payload.ids.iter().zip(adc.dists.iter()) {
+                if delta.is_some_and(|d| d.tombstones.contains(&id)) {
+                    continue;
+                }
                 if self.neighbors.offer(id, d) {
                     adc.id_chunk.insert(id, chunk.id as u32);
                 }
+            }
+        } else if let Some(delta) = self.delta.as_deref() {
+            // Epoch-pinned scan: same distances as the fused kernel, but
+            // rows the delta tombstones (deleted or superseded in this
+            // epoch) never reach the neighbour set. The explicit loop is
+            // bit-identical to the fused kernel on the surviving rows —
+            // the same precedent as the ADC offer loop above.
+            for (row, &id) in as_rows(&chunk.payload.packed)
+                .iter()
+                .zip(chunk.payload.ids.iter())
+            {
+                if delta.tombstones.contains(&id) {
+                    continue;
+                }
+                self.neighbors.offer(id, l2_sq(self.query.as_array(), row));
             }
         } else {
             // Scan the chunk against the query (fused block kernel:

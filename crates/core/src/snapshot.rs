@@ -16,6 +16,7 @@ use crate::search::{SearchParams, SearchResult};
 use crate::session::{ChunkRanking, SearchSession};
 use eff2_descriptor::Vector;
 use eff2_storage::diskmodel::DiskModel;
+use eff2_storage::epoch::FoldedDelta;
 use eff2_storage::source::{ChunkSource, PrefetchSource, ResidentSource};
 use eff2_storage::{ChunkStore, Result};
 use std::sync::Arc;
@@ -114,6 +115,123 @@ impl ChunkIndex {
     }
 }
 
+/// An immutable view of one *epoch* of a mutable index: a base
+/// [`Snapshot`] (one compaction generation's write-once chunk files) plus
+/// the folded prefix of the delta op log that was pinned when the epoch
+/// was taken.
+///
+/// Every session opened through an `EpochSnapshot` sees exactly this
+/// epoch — inserts folded into the delta are offered up front, base rows
+/// the delta tombstones are filtered from every scan — no matter what
+/// writers append or the compactor folds afterwards. Like [`Snapshot`] it
+/// is `Clone` in O(1): the base store handle and the folded delta are both
+/// `Arc`-backed, so two clones search bit-identically.
+#[derive(Clone, Debug)]
+pub struct EpochSnapshot {
+    base: Snapshot,
+    generation: u64,
+    epoch: u64,
+    delta: Arc<FoldedDelta>,
+}
+
+impl EpochSnapshot {
+    /// Pins `base` (compaction generation `generation`) together with the
+    /// folded delta prefix that defines epoch `epoch`.
+    pub fn new(base: Snapshot, generation: u64, epoch: u64, delta: Arc<FoldedDelta>) -> Self {
+        EpochSnapshot {
+            base,
+            generation,
+            epoch,
+            delta,
+        }
+    }
+
+    /// Epoch zero of a never-mutated index: generation 0, an empty delta.
+    /// Sessions through it are bit-identical to sessions on `base` itself
+    /// — the read-compat contract for v2/v3 stores opened through the
+    /// epoch layer.
+    pub fn unchanged(base: Snapshot) -> Self {
+        EpochSnapshot::new(base, 0, 0, Arc::new(FoldedDelta::default()))
+    }
+
+    /// The base generation's immutable view.
+    pub fn base(&self) -> &Snapshot {
+        &self.base
+    }
+
+    /// The compaction generation this epoch's chunk files belong to.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The epoch counter: total delta ops (folded + pinned) applied to the
+    /// index when this snapshot was taken.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The folded delta pinned by this epoch.
+    pub fn delta(&self) -> &Arc<FoldedDelta> {
+        &self.delta
+    }
+
+    /// Ranks the base generation's chunks for `query`.
+    pub fn rank(&self, query: &Vector) -> ChunkRanking {
+        self.base.rank(query)
+    }
+
+    /// A detached session pinned to this epoch: the delta is applied
+    /// before the first step, so the caller only feeds base chunks.
+    pub fn session(&self, query: &Vector, params: &SearchParams) -> SearchSession {
+        let mut session = self.base.session(query, params);
+        session.apply_delta(&self.delta);
+        session
+    }
+
+    /// [`session`](Self::session) over a pre-computed ranking.
+    pub fn session_from_ranking(
+        &self,
+        ranking: ChunkRanking,
+        query: &Vector,
+        params: &SearchParams,
+    ) -> SearchSession {
+        let mut session = self.base.session_from_ranking(ranking, query, params);
+        session.apply_delta(&self.delta);
+        session
+    }
+
+    /// A self-driving epoch-pinned session pulling base chunks from
+    /// `source`.
+    pub fn session_with_source(
+        &self,
+        query: &Vector,
+        params: &SearchParams,
+        source: Arc<dyn ChunkSource>,
+    ) -> SearchSession {
+        let mut session = self.base.session_with_source(query, params, source);
+        session.apply_delta(&self.delta);
+        session
+    }
+
+    /// Executes one query serially over a private prefetching source — the
+    /// solo reference run that concurrent serving schedules under mutation
+    /// are bit-compared against.
+    pub fn search(&self, query: &Vector, params: &SearchParams) -> Result<SearchResult> {
+        let source: Arc<dyn ChunkSource> = Arc::new(PrefetchSource::new(
+            self.base.store(),
+            params.prefetch_depth,
+        ));
+        let mut session = self.session_with_source(query, params, source);
+        session.run_to_stop()?;
+        Ok(session.into_result())
+    }
+
+    /// A [`ResidentSource`] over this epoch's base store.
+    pub fn resident_source(&self, budget_bytes: u64) -> ResidentSource {
+        self.base.resident_source(budget_bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +319,71 @@ mod tests {
         assert_eq!(
             fed.log.total_virtual.as_secs().to_bits(),
             want.log.total_virtual.as_secs().to_bits()
+        );
+    }
+
+    #[test]
+    fn epoch_zero_is_bit_identical_to_base_snapshot() {
+        let index = build_index("epoch_zero", 300);
+        let snap = index.snapshot();
+        let epoch = EpochSnapshot::unchanged(snap.clone());
+        let q = Vector::splat(11.0);
+        let params = SearchParams::exact(5);
+        let base = snap.search(&q, &params).expect("base");
+        let pinned = epoch.search(&q, &params).expect("pinned");
+        assert_eq!(base.neighbors.len(), pinned.neighbors.len());
+        for (x, y) in base.neighbors.iter().zip(pinned.neighbors.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+        assert_eq!(
+            base.log.total_virtual.as_secs().to_bits(),
+            pinned.log.total_virtual.as_secs().to_bits()
+        );
+        assert_eq!(
+            base.log.bytes_read, pinned.log.bytes_read,
+            "empty delta must not charge any extra I/O"
+        );
+    }
+
+    #[test]
+    fn epoch_snapshot_serves_inserts_and_hides_tombstones() {
+        use eff2_storage::epoch::{DeltaOp, FoldedDelta};
+
+        let index = build_index("epoch_mut", 300);
+        let snap = index.snapshot();
+        let q = Vector::splat(0.0);
+        let params = SearchParams::exact(3);
+        let base = snap.search(&q, &params).expect("base");
+        let best = base.neighbors[0].id;
+
+        // Delete the base winner and insert a new exact-match row.
+        let delta = Arc::new(FoldedDelta::from_ops(&[
+            DeltaOp::Delete { id: best },
+            DeltaOp::Insert {
+                id: 9_000,
+                vector: q,
+            },
+        ]));
+        let epoch = EpochSnapshot::new(snap.clone(), 0, 2, Arc::clone(&delta));
+        assert_eq!(epoch.epoch(), 2);
+        assert_eq!(epoch.generation(), 0);
+        let got = epoch.search(&q, &params).expect("pinned");
+        let ids: Vec<u32> = got.neighbors.iter().map(|n| n.id).collect();
+        assert_eq!(ids[0], 9_000, "delta insert at distance zero must win");
+        assert!(
+            !ids.contains(&best),
+            "tombstoned base row {best} must never be served"
+        );
+        // Clones of the pinned epoch stay bit-identical.
+        let twin = epoch.clone().search(&q, &params).expect("twin");
+        for (x, y) in got.neighbors.iter().zip(twin.neighbors.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.dist.to_bits(), y.dist.to_bits());
+        }
+        assert_eq!(
+            got.log.total_virtual.as_secs().to_bits(),
+            twin.log.total_virtual.as_secs().to_bits()
         );
     }
 }

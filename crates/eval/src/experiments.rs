@@ -7,20 +7,26 @@ use crate::lab::{IndexHandle, Lab};
 use crate::EvalResult;
 use eff2_chaos::plan::TRANSIENT_CLEAR;
 use eff2_chaos::{Fault, FaultConfig, FaultPlan, FaultSource, RetryPolicy, RetrySource};
+use eff2_core::chunkers::{ChunkFormer, RoundRobinChunker, SrTreeChunker};
 use eff2_core::coarse::CoarseQuantizer;
 use eff2_core::search::{search, SearchParams, SearchResult, StopRule};
 use eff2_core::session::{evaluate_stop_rules, SearchSession, SkipPolicy};
 use eff2_core::snapshot::Snapshot;
 use eff2_core::{search_quantized_with, search_two_level};
 use eff2_descriptor::Vector;
+use eff2_epoch::MutableIndex;
 use eff2_metrics::{
-    fleet_quality_curve, precision_at, GroundTruth, LatencySummary, QualityCurve, Table,
+    fleet_quality_curve, imbalance_factor, precision_at, GroundTruth, LatencySummary, QualityCurve,
+    Table,
 };
-use eff2_serve::{FleetConfig, FleetScheduler, Policy, Scheduler, SchedulerConfig};
+use eff2_serve::{
+    merge_timelines, CompactionPolicy, FleetConfig, FleetScheduler, LiveEvent, LiveServer, Policy,
+    Scheduler, SchedulerConfig,
+};
 use eff2_shard::Placement;
 use eff2_storage::diskmodel::VirtualDuration;
 use eff2_storage::source::{ChunkSource, FileSource};
-use eff2_workload::{poisson_arrivals, zipf_assignments};
+use eff2_workload::{poisson_arrivals, skewed_mutation_trace, zipf_assignments, MutationOp};
 use std::sync::Arc;
 
 /// The neighbour counts Figures 6/7 trace (scaled to the configured k).
@@ -1359,6 +1365,272 @@ pub fn exp7(lab: &Lab) -> EvalResult<String> {
     ))
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 8: live mutability — serving under skewed ingest
+// ---------------------------------------------------------------------------
+
+/// The ingest-rate multipliers experiment 8 sweeps: mutation arrivals at
+/// this multiple of the query arrival rate.
+pub fn exp8_ingest_multipliers() -> Vec<f64> {
+    vec![0.5, 4.0]
+}
+
+/// Experiment 8's target chunk size. Fixed rather than scale-derived:
+/// rebalancing operates at chunk granularity, so the sweep needs enough
+/// chunks that a skewed ingest stream can actually concentrate load — at
+/// the scale-derived MEDIUM leaf a tiny lab has ~10 chunks and the whole
+/// mutation stream fits inside one average chunk's worth of delta.
+pub fn exp8_target_chunk() -> usize {
+    32
+}
+
+/// The effective per-bucket scan loads of a live index: the physical
+/// descriptor count of every final-generation chunk, plus — when delta
+/// inserts are still unfolded — one extra bucket for the delta chunk,
+/// which *every* query scans in full. Under `Never` the skewed inserts
+/// pile up there, which is exactly the hot spot online compaction folds
+/// away.
+fn exp8_effective_loads(report_loads: &[usize], pending_inserts: usize) -> Vec<usize> {
+    let mut loads = report_loads.to_vec();
+    if pending_inserts > 0 {
+        loads.push(pending_inserts);
+    }
+    loads
+}
+
+/// Regenerates **Experiment 8**: the live-mutation sweep. A skewed
+/// (Zipf-anchored) stream of inserts and deletes is merged with the
+/// Poisson DQ query timeline and offered to a [`LiveServer`] for every
+/// chunker × ingest rate × compaction policy. Every completed query is
+/// bit-compared against a solo run on the epoch snapshot it pinned at
+/// admission (mutation may change *which* epoch a query sees, never what
+/// a pinned epoch computes), the background compactor's chunk-size bound
+/// is checked on every installed generation, and the final imbalance
+/// factor shows online compaction absorbing the skewed ingest that a
+/// never-compacting index accumulates in its delta chunk.
+pub fn exp8(lab: &Lab) -> EvalResult<String> {
+    let dq = lab.dq()?;
+    if dq.is_empty() {
+        return Err("exp8 needs a non-empty DQ workload".into());
+    }
+    let params = SearchParams {
+        k: lab.scale.k,
+        stop: StopRule::ToCompletionEps(0.5),
+        prefetch_depth: 2,
+        log_snapshots: false,
+    };
+    let leaf = exp8_target_chunk();
+    let n_ops = (lab.set.len() / 10).clamp(120, 1_500);
+    let trigger = (n_ops / 3).max(8);
+    let policies = vec![CompactionPolicy::Never, CompactionPolicy::EveryOps(trigger)];
+    let chunkers: Vec<(&str, Box<dyn ChunkFormer>)> = vec![
+        ("sr-tree", Box::new(SrTreeChunker { leaf_size: leaf })),
+        (
+            "round-robin",
+            Box::new(RoundRobinChunker {
+                n_chunks: (lab.set.len() / leaf.max(1)).max(2),
+            }),
+        ),
+    ];
+
+    let cells_dir = lab.results_dir()?.join("exp8-cells");
+    let mut t = Table::new(
+        &format!(
+            "Experiment 8. Serving under live mutation (DQ + {n_ops} skewed ops, \
+             target chunk = {leaf}, compaction trigger = {trigger} ops)"
+        ),
+        &[
+            "Chunker",
+            "Ingest x",
+            "Policy",
+            "Queries",
+            "Mutations",
+            "Compactions",
+            "Gen",
+            "Epoch",
+            "Max chunk",
+            "Pending delta",
+            "Imbalance",
+            "p50 s",
+            "p99 s",
+            "Compaction s",
+            "Pinned-identical",
+        ],
+    );
+
+    let mut all_identical = true;
+    let mut bound_ok = true;
+    let mut compaction_ran_everywhere = true;
+    // (chunker, multiplier) → final imbalance factor per policy name.
+    let mut imbalances: Vec<(String, f64, String, f64)> = Vec::new();
+
+    for (cname, former) in &chunkers {
+        let formation = former.form(&lab.set);
+
+        // Serial reference over the pristine generation-0 index: sets the
+        // query arrival rate (2× serial capacity) the whole chunker row
+        // shares.
+        let ref_dir = cells_dir.join(format!("{cname}-ref"));
+        std::fs::remove_dir_all(&ref_dir).ok();
+        std::fs::create_dir_all(&ref_dir)?;
+        let reference = MutableIndex::create(
+            &ref_dir,
+            "live",
+            &lab.set,
+            &formation.chunks,
+            lab.scale.page_size,
+            None,
+            lab.model,
+            leaf,
+        )?;
+        let pristine = reference.pin();
+        let mut serial_secs = 0.0f64;
+        for query in &dq.queries {
+            serial_secs += pristine.search(query, &params)?.log.total_virtual.as_secs();
+        }
+        let query_rate = 2.0 * dq.len() as f64 / serial_secs.max(1e-9);
+        let arrivals = poisson_arrivals(dq.len(), query_rate, lab.scale.seed ^ 0xA8);
+        let queries: Vec<(Vector, VirtualDuration)> = dq
+            .queries
+            .iter()
+            .zip(arrivals.arrivals.iter())
+            .map(|(q, &at)| (*q, VirtualDuration::from_secs(at)))
+            .collect();
+
+        for &mult in &exp8_ingest_multipliers() {
+            let mtrace = skewed_mutation_trace(
+                &lab.set,
+                n_ops,
+                0.9,
+                mult * query_rate,
+                1.1,
+                lab.scale.seed ^ 0xE8,
+            );
+            let mutations: Vec<(VirtualDuration, LiveEvent)> = mtrace
+                .events
+                .iter()
+                .map(|e| {
+                    let event = match &e.op {
+                        MutationOp::Insert { id, vector } => LiveEvent::Insert {
+                            id: *id,
+                            vector: *vector,
+                        },
+                        MutationOp::Delete { id } => LiveEvent::Delete { id: *id },
+                    };
+                    (VirtualDuration::from_secs(e.at_secs), event)
+                })
+                .collect();
+            let trace = merge_timelines(&queries, &mutations);
+
+            for policy in &policies {
+                eprintln!("[exp8] {cname} × {mult}× ingest × {} …", policy.name());
+                let cell_dir = cells_dir.join(format!("{cname}-x{mult}-{}", policy.name()));
+                std::fs::remove_dir_all(&cell_dir).ok();
+                std::fs::create_dir_all(&cell_dir)?;
+                let index = MutableIndex::create(
+                    &cell_dir,
+                    "live",
+                    &lab.set,
+                    &formation.chunks,
+                    lab.scale.page_size,
+                    None,
+                    lab.model,
+                    leaf,
+                )?;
+                let server = LiveServer::new(index, params, *policy);
+                let (report, final_index) = server.serve_trace(&trace)?;
+
+                // Every completion must be bit-identical to a solo run on
+                // the epoch snapshot it pinned at admission.
+                let mut identical = report.completions.len() == dq.len();
+                for c in &report.completions {
+                    let solo = c.snapshot.search(&c.query, &params)?;
+                    identical = identical && results_bit_identical(&solo, &c.result);
+                }
+                all_identical = all_identical && identical;
+
+                if report.stats.compactions > 0 {
+                    bound_ok = bound_ok && report.stats.max_installed_chunk <= 2 * leaf;
+                } else if matches!(policy, CompactionPolicy::EveryOps(_)) {
+                    compaction_ran_everywhere = false;
+                }
+
+                let pending = final_index.pin().delta().inserts.len();
+                let loads = exp8_effective_loads(&report.final_chunk_loads, pending);
+                let imbalance = imbalance_factor(&loads);
+                imbalances.push((format!("{cname}-x{mult}"), mult, policy.name(), imbalance));
+
+                let latencies: Vec<f64> = report
+                    .completions
+                    .iter()
+                    .map(|c| c.latency().as_secs())
+                    .collect();
+                let lat = LatencySummary::from_secs(&latencies);
+                t.row(vec![
+                    (*cname).to_string(),
+                    fmt_f(mult, 1),
+                    policy.name(),
+                    report.stats.queries.to_string(),
+                    report.stats.mutations.to_string(),
+                    report.stats.compactions.to_string(),
+                    final_index.generation().to_string(),
+                    final_index.epoch().to_string(),
+                    report
+                        .final_chunk_loads
+                        .iter()
+                        .max()
+                        .copied()
+                        .unwrap_or(0)
+                        .to_string(),
+                    pending.to_string(),
+                    fmt_f(imbalance, 3),
+                    fmt_f(lat.p50_secs, 3),
+                    fmt_f(lat.p99_secs, 3),
+                    fmt_f(report.stats.compaction_cost_secs, 3),
+                    if identical { "yes" } else { "NO" }.to_string(),
+                ]);
+            }
+        }
+    }
+
+    // Per (chunker × rate) pair: the compacting cell must end better
+    // balanced than the never-compacting one.
+    let mut compaction_reduces = true;
+    let pairs: std::collections::BTreeSet<String> =
+        imbalances.iter().map(|(k, _, _, _)| k.clone()).collect();
+    for pair in &pairs {
+        let of = |policy_prefix: &str| {
+            imbalances
+                .iter()
+                .find(|(k, _, p, _)| k == pair && p.starts_with(policy_prefix))
+                .map(|(_, _, _, f)| *f)
+        };
+        if let (Some(never), Some(compacting)) = (of("never"), of("every-")) {
+            compaction_reduces = compaction_reduces && compacting < never;
+        } else {
+            compaction_reduces = false;
+        }
+    }
+
+    let rendered = t.render();
+    let dir = lab.results_dir()?;
+    t.save_csv(&dir.join("exp8.csv"))?;
+    Ok(format!(
+        "{rendered}\n\
+         Every served result bit-identical to a solo run on its pinned epoch snapshot: {}.\n\
+         Compactor kept every installed chunk within 2x the target size: {}.\n\
+         Online compaction ran in every compacting cell and reduced the final imbalance \
+         factor vs never-compacting under skewed ingest: {}.\n",
+        if all_identical { "yes" } else { "NO" },
+        if bound_ok { "yes" } else { "NO" },
+        if compaction_ran_everywhere && compaction_reduces {
+            "yes"
+        } else {
+            "NO"
+        },
+    ))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1520,6 +1792,31 @@ mod tests {
             .unwrap()
             .join("exp7_failover.csv")
             .exists());
+    }
+
+    #[test]
+    fn exp8_smoke() {
+        let lab = tiny_lab("e8");
+        let report = exp8(&lab).expect("exp8");
+        assert!(report.contains("Experiment 8"));
+        assert!(
+            report.contains(
+                "Every served result bit-identical to a solo run on its pinned epoch snapshot: yes"
+            ),
+            "mutation changed a pinned answer:\n{report}"
+        );
+        assert!(
+            report.contains("Compactor kept every installed chunk within 2x the target size: yes"),
+            "a compaction installed an oversized chunk:\n{report}"
+        );
+        assert!(
+            report.contains(
+                "Online compaction ran in every compacting cell and reduced the final \
+                 imbalance factor vs never-compacting under skewed ingest: yes"
+            ),
+            "compaction failed to rebalance the skewed ingest:\n{report}"
+        );
+        assert!(lab.results_dir().unwrap().join("exp8.csv").exists());
     }
 
     #[test]

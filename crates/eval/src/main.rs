@@ -16,6 +16,7 @@
 //!   exp5     the chaos sweep — quality degradation under injected chunk loss
 //!   exp6     the quantization sweep — ADC scans, rerank depths, two-level ranking
 //!   exp7     the sharded-fleet sweep — shards × replication × placement, with failover
+//!   exp8     the live-mutation sweep — ingest rate × compaction policy × chunker
 //!   all      everything above, in order
 //! ```
 //!
@@ -29,7 +30,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|exp6|exp7|all> \
+        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|exp6|exp7|exp8|all> \
          [--scale N] [--queries N] [--seed S] [--out DIR]"
     );
     std::process::exit(2);
@@ -124,6 +125,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
         "exp5" => print!("{}", experiments::exp5(&lab)?),
         "exp6" => print!("{}", experiments::exp6(&lab)?),
         "exp7" => print!("{}", experiments::exp7(&lab)?),
+        "exp8" => print!("{}", experiments::exp8(&lab)?),
         "all" => {
             print!("{}", experiments::table1(&lab)?);
             print!("{}", experiments::fig1(&lab)?);
@@ -134,6 +136,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
             print!("{}", experiments::exp5(&lab)?);
             print!("{}", experiments::exp6(&lab)?);
             print!("{}", experiments::exp7(&lab)?);
+            print!("{}", experiments::exp8(&lab)?);
         }
         _ => usage(),
     }

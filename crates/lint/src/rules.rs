@@ -139,6 +139,7 @@ pub(crate) const DETERMINISTIC_CRATES: &[&str] = &[
     "metrics",
     "eval",
     "descriptor",
+    "epoch",
 ];
 
 /// Crates that are command-line binaries: printing to stdout/stderr is

@@ -250,6 +250,34 @@ fn det_rules_cover_the_chaos_crate() {
 }
 
 #[test]
+fn det_rules_cover_the_epoch_crate() {
+    // Compaction folds and generation files feed every served result: the
+    // epoch crate is inside the determinism scope, so hash-iteration,
+    // float-accumulation and wall-clock fixtures fire there exactly as
+    // they do in core/storage.
+    for (name, source) in [
+        (
+            "det_hash_container.rs",
+            include_str!("fixtures/det_hash_container.rs"),
+        ),
+        (
+            "det_float_accum.rs",
+            include_str!("fixtures/det_float_accum.rs"),
+        ),
+        (
+            "det_wall_clock.rs",
+            include_str!("fixtures/det_wall_clock.rs"),
+        ),
+    ] {
+        assert_eq!(
+            findings_of("epoch", name, source),
+            expected_markers(source),
+            "fixture {name} linted as crate `epoch`"
+        );
+    }
+}
+
+#[test]
 fn hyg_print_exempts_cli_crates() {
     let source = include_str!("fixtures/hyg_print.rs");
     assert_eq!(findings_of("eval", "fixture.rs", source), Vec::new());

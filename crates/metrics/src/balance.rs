@@ -1,0 +1,53 @@
+//! Load-balance metrics shared across layers.
+//!
+//! The Tavenard/Amsaleg/Jégou *imbalance factor* — max load over mean
+//! load — is reported in two places that must agree on the definition:
+//! exp7's shard placement (loads = primary chunks per shard node) and
+//! exp8's live-mutation serving (loads = descriptors per chunk of the
+//! final generation, where online compaction is what keeps the factor
+//! down under skewed inserts). This module is the one definition both
+//! columns cite.
+
+/// Max load over mean load: 1.0 is perfect balance, `n` means the
+/// hottest bucket carries `n` uniform shares. Degenerate inputs — no
+/// buckets, or all loads zero — are trivially balanced (1.0).
+pub fn imbalance_factor(loads: &[usize]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let max = loads.iter().copied().max().unwrap_or(0) as f64;
+    let mean = loads.iter().sum::<usize>() as f64 / loads.len() as f64;
+    if mean == 0.0 {
+        1.0
+    } else {
+        max / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_loads_are_perfectly_balanced() {
+        assert!((imbalance_factor(&[5, 5, 5, 5]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_is_the_hot_buckets_share() {
+        // 9 + 1 + 1 + 1 over 4 buckets: mean 3, max 9 → factor 3.
+        assert!((imbalance_factor(&[9, 1, 1, 1]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_trivially_balanced() {
+        assert!((imbalance_factor(&[]) - 1.0).abs() < 1e-12);
+        assert!((imbalance_factor(&[0, 0, 0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_buckets_count_toward_the_mean() {
+        // 6 + 0 + 0: mean 2, max 6 → factor 3 (an idle bucket is skew).
+        assert!((imbalance_factor(&[6, 0, 0]) - 3.0).abs() < 1e-12);
+    }
+}

@@ -14,11 +14,13 @@
 //! * [`table`] — aligned text tables and CSV output for the experiment
 //!   harness.
 
+pub mod balance;
 pub mod curves;
 pub mod latency;
 pub mod table;
 pub mod truth;
 
+pub use balance::imbalance_factor;
 pub use curves::{precision_at, quality_curve, QualityCurve};
 pub use latency::{fleet_quality_curve, FleetQualityPoint, LatencySummary};
 pub use table::{write_csv, Table};

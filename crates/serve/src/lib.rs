@@ -30,10 +30,22 @@
 //! merged answer bit-identical to the solo single-device run, and
 //! replicated copies turning permanent chunk loss into failover.
 
+//!
+//! Serving under *live mutation* lives in [`live`]: a [`LiveServer`]
+//! merges query and insert/delete arrivals on one fleet clock, pins each
+//! session to an immutable epoch snapshot at admission, and pays the
+//! online compactor's fold as ticks interleaved 1:1 with the serve path —
+//! every completion stays bit-identical to a solo run against its pinned
+//! epoch.
+
 pub mod error;
 pub mod fleet;
+pub mod live;
 pub mod scheduler;
 
 pub use error::{Result, ServeError};
 pub use fleet::{FleetConfig, FleetReport, FleetScheduler, LossScope};
+pub use live::{
+    merge_timelines, CompactionPolicy, LiveCompletion, LiveEvent, LiveReport, LiveServer, LiveStats,
+};
 pub use scheduler::{Completion, Policy, Scheduler, SchedulerConfig, ServeReport, ServeStats};

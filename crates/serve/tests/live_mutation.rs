@@ -1,0 +1,258 @@
+//! The live-mutation headline property: under ANY randomized interleaving
+//! of inserts, deletes, compactions and searches — for every chunker and
+//! every stop rule — each served query's `SearchResult` is bit-for-bit
+//! identical to a solo run of that query against the epoch snapshot it
+//! pinned at admission. Mutation changes *which* epoch a query sees,
+//! never what a pinned epoch computes.
+
+use eff2_core::chunkers::{ChunkFormer, RoundRobinChunker, SrTreeChunker};
+use eff2_core::search::{SearchParams, SearchResult, StopRule};
+use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+use eff2_epoch::MutableIndex;
+use eff2_serve::{merge_timelines, CompactionPolicy, LiveEvent, LiveServer};
+use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let unique = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("eff2_live_{tag}_{}_{unique}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn lumpy_set(n: usize) -> DescriptorSet {
+    (0..n)
+        .map(|i| {
+            let blob = (i % 5) as f32 * 20.0;
+            let mut v = Vector::splat(blob);
+            v[0] += ((i * 31) % 23) as f32 * 0.3;
+            v[3] -= ((i * 17) % 19) as f32 * 0.2;
+            Descriptor::new(i as u32, v)
+        })
+        .collect()
+}
+
+fn vd_bits(t: VirtualDuration) -> u64 {
+    t.as_secs().to_bits()
+}
+
+fn assert_bit_identical(want: &SearchResult, got: &SearchResult, tag: &str) {
+    assert_eq!(want.neighbors.len(), got.neighbors.len(), "{tag}: k");
+    for (w, g) in want.neighbors.iter().zip(got.neighbors.iter()) {
+        assert_eq!(w.id, g.id, "{tag}: neighbor id");
+        assert_eq!(w.dist.to_bits(), g.dist.to_bits(), "{tag}: neighbor dist");
+    }
+    let (wl, gl) = (&want.log, &got.log);
+    assert_eq!(wl.chunks_read, gl.chunks_read, "{tag}: chunks_read");
+    assert_eq!(
+        wl.descriptors_scanned, gl.descriptors_scanned,
+        "{tag}: scanned"
+    );
+    assert_eq!(wl.bytes_read, gl.bytes_read, "{tag}: bytes");
+    assert_eq!(
+        vd_bits(wl.total_virtual),
+        vd_bits(gl.total_virtual),
+        "{tag}: total virtual"
+    );
+    assert_eq!(wl.completed, gl.completed, "{tag}: completed");
+    assert_eq!(wl.events.len(), gl.events.len(), "{tag}: event count");
+    for (w, g) in wl.events.iter().zip(gl.events.iter()) {
+        assert_eq!(w.chunk_id, g.chunk_id, "{tag}: chunk_id");
+        assert_eq!(
+            vd_bits(w.completed_at),
+            vd_bits(g.completed_at),
+            "{tag}: completed_at"
+        );
+        assert_eq!(w.kth_dist.to_bits(), g.kth_dist.to_bits(), "{tag}: kth");
+    }
+}
+
+fn build_index(
+    tag: &str,
+    set: &DescriptorSet,
+    former: &dyn ChunkFormer,
+    target: usize,
+) -> MutableIndex {
+    let formation = former.form(set);
+    MutableIndex::create(
+        &tmp_dir(tag),
+        "live",
+        set,
+        &formation.chunks,
+        512,
+        None,
+        DiskModel::ata_2005(),
+        target,
+    )
+    .expect("create")
+}
+
+fn arb_former() -> impl Strategy<Value = Box<dyn ChunkFormer>> {
+    prop_oneof![
+        (15usize..50)
+            .prop_map(|leaf| Box::new(SrTreeChunker { leaf_size: leaf }) as Box<dyn ChunkFormer>),
+        (2usize..12)
+            .prop_map(|n| Box::new(RoundRobinChunker { n_chunks: n }) as Box<dyn ChunkFormer>),
+    ]
+}
+
+fn arb_stop() -> impl Strategy<Value = StopRule> {
+    prop_oneof![
+        (1usize..8).prop_map(StopRule::Chunks),
+        (0.01f64..0.15).prop_map(|s| StopRule::VirtualTime(VirtualDuration::from_secs(s))),
+        Just(StopRule::ToCompletion),
+        (0.0f32..1.0).prop_map(StopRule::ToCompletionEps),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = CompactionPolicy> {
+    prop_oneof![
+        Just(CompactionPolicy::Never),
+        (3usize..20).prop_map(CompactionPolicy::EveryOps),
+    ]
+}
+
+/// One drawn mutation: `insert` decides the op, `pick` selects the target
+/// (a base id to delete, or which base vector a fresh insert lands near).
+#[derive(Clone, Debug)]
+struct OpDraw {
+    insert: bool,
+    pick: usize,
+    jitter: f32,
+}
+
+fn arb_ops(max: usize) -> impl Strategy<Value = Vec<OpDraw>> {
+    proptest::collection::vec(
+        (0usize..2, 0usize..10_000, -0.5f32..0.5).prop_map(|(coin, pick, jitter)| OpDraw {
+            insert: coin == 0,
+            pick,
+            jitter,
+        }),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Searches under concurrent mutation and online compaction ≡ solo
+    /// runs on their pinned epoch snapshots, for every chunker × stop
+    /// rule × compaction policy the strategy draws.
+    #[test]
+    fn served_under_mutation_equals_solo_on_pinned_epoch(
+        (former, stop, policy) in (arb_former(), arb_stop(), arb_policy()),
+        (n, n_queries, k) in (120usize..320, 2usize..8, 1usize..10),
+        ops in arb_ops(36),
+        (gap_q_ms, gap_m_ms) in (0.5f64..20.0, 0.2f64..8.0),
+    ) {
+        let set = lumpy_set(n);
+        let index = build_index("prop", &set, former.as_ref(), 30);
+        let params = SearchParams { k, stop, prefetch_depth: 2, log_snapshots: false };
+
+        let queries: Vec<(Vector, VirtualDuration)> = (0..n_queries)
+            .map(|i| (
+                set.vector_owned((i * 53) % set.len()),
+                VirtualDuration::from_ms(gap_q_ms * i as f64),
+            ))
+            .collect();
+        let mutations: Vec<(VirtualDuration, LiveEvent)> = ops
+            .iter()
+            .enumerate()
+            .map(|(j, op)| {
+                let at = VirtualDuration::from_ms(gap_m_ms * j as f64);
+                let event = if op.insert {
+                    let mut v = set.vector_owned(op.pick % set.len());
+                    v[1] += op.jitter;
+                    LiveEvent::Insert { id: 50_000 + j as u32, vector: v }
+                } else {
+                    LiveEvent::Delete { id: (op.pick % set.len()) as u32 }
+                };
+                (at, event)
+            })
+            .collect();
+        let trace = merge_timelines(&queries, &mutations);
+
+        let server = LiveServer::new(index, params, policy);
+        let (report, index) = server.serve_trace(&trace).expect("serve");
+        prop_assert_eq!(report.completions.len(), n_queries);
+        prop_assert_eq!(report.stats.mutations, ops.len() as u64);
+        prop_assert_eq!(index.epoch(), ops.len() as u64);
+
+        for c in &report.completions {
+            let solo = c.snapshot.search(&c.query, &params).expect("solo");
+            assert_bit_identical(
+                &solo,
+                &c.result,
+                &format!("{}/gen{}/epoch{}/q{}",
+                    policy.name(), c.snapshot.generation(), c.snapshot.epoch(), c.id),
+            );
+        }
+
+        // Compactions that ran stayed within the rebalancing bound.
+        if report.stats.compactions > 0 {
+            prop_assert!(report.stats.max_installed_chunk <= 2 * index.target_chunk_size());
+        }
+    }
+}
+
+/// The live server is a pure function of (index files, trace): two runs
+/// over identical inputs produce identical completions, fleet figures and
+/// final generations.
+#[test]
+fn live_replays_are_bit_identical() {
+    let set = lumpy_set(400);
+    let params = SearchParams::exact(6);
+    let run = |tag: &str| {
+        let index = build_index(tag, &set, &SrTreeChunker { leaf_size: 30 }, 30);
+        let queries: Vec<(Vector, VirtualDuration)> = (0..8)
+            .map(|i| {
+                (
+                    set.vector_owned((i * 41) % set.len()),
+                    VirtualDuration::from_ms(4.0 * i as f64),
+                )
+            })
+            .collect();
+        let mutations: Vec<(VirtualDuration, LiveEvent)> = (0..30)
+            .map(|j| {
+                let at = VirtualDuration::from_ms(1.5 * j as f64);
+                let event = if j % 3 == 0 {
+                    LiveEvent::Delete {
+                        id: (j * 7 % 400) as u32,
+                    }
+                } else {
+                    LiveEvent::Insert {
+                        id: 50_000 + j as u32,
+                        vector: set.vector_owned((j * 13) % set.len()),
+                    }
+                };
+                (at, event)
+            })
+            .collect();
+        let trace = merge_timelines(&queries, &mutations);
+        LiveServer::new(index, params, CompactionPolicy::EveryOps(10))
+            .serve_trace(&trace)
+            .expect("serve")
+    };
+    let (a, index_a) = run("replay_a");
+    let (b, index_b) = run("replay_b");
+    assert!(a.stats.compactions >= 1, "the policy must have fired");
+    assert_eq!(a.stats.compactions, b.stats.compactions);
+    assert_eq!(a.stats.chunks_fed, b.stats.chunks_fed);
+    assert_eq!(index_a.generation(), index_b.generation());
+    assert_eq!(index_a.epoch(), index_b.epoch());
+    assert_eq!(a.final_chunk_loads, b.final_chunk_loads);
+    assert_eq!(
+        a.makespan.as_secs().to_bits(),
+        b.makespan.as_secs().to_bits()
+    );
+    assert_eq!(a.completions.len(), b.completions.len());
+    for (x, y) in a.completions.iter().zip(b.completions.iter()) {
+        assert_eq!(x.id, y.id);
+        assert_eq!(x.snapshot.generation(), y.snapshot.generation());
+        assert_eq!(x.snapshot.epoch(), y.snapshot.epoch());
+        assert_bit_identical(&x.result, &y.result, &format!("replay q{}", x.id));
+    }
+}

@@ -194,21 +194,15 @@ impl ShardMap {
         counts
     }
 
-    /// The Tavenard/Amsaleg/Jégou imbalance factor: max primary load over
-    /// mean primary load. 1.0 is perfect balance; an empty map (or a
-    /// single shard) is trivially balanced.
+    /// The Tavenard/Amsaleg/Jégou imbalance factor of the primary
+    /// placement: max primary load over mean primary load, via the shared
+    /// [`eff2_metrics::imbalance_factor`] definition. 1.0 is perfect
+    /// balance; an empty map (or a single shard) is trivially balanced.
     pub fn imbalance_factor(&self) -> f64 {
         if self.owners.is_empty() || self.n_shards == 0 {
             return 1.0;
         }
-        let counts = self.primary_counts();
-        let max = counts.iter().copied().max().unwrap_or(0) as f64;
-        let mean = self.owners.len() as f64 / self.n_shards as f64;
-        if mean == 0.0 {
-            1.0
-        } else {
-            max / mean
-        }
+        eff2_metrics::imbalance_factor(&self.primary_counts())
     }
 
     /// The shard a read of `chunk` is routed to when the shards flagged in

@@ -109,6 +109,50 @@ fn header_page_quant(
     page
 }
 
+/// Writes one checksummed block: `body`, its FNV-1a checksum, then zero
+/// fill up to the next page boundary. Returns the padded span written —
+/// always `chunk_span(body.len(), page_size)`.
+fn write_padded_block<W: Write>(w: &mut W, body: &[u8], page_size: u32) -> Result<u64> {
+    w.write_all(body)?;
+    w.write_all(&checksum(body).to_le_bytes())?;
+    let padded = chunk_span(body.len() as u64, u64::from(page_size));
+    let padding = padded - body.len() as u64 - CHECKSUM_BYTES;
+    w.write_all(&vec![0u8; padding as usize])?;
+    Ok(padded)
+}
+
+/// The one raw-region writer (v2 layout) shared by [`write_chunks`] and
+/// [`write_chunks_quantized`]: emits every chunk's record block starting at
+/// file offset `offset` and returns the `(offset, byte_len, count)` triples
+/// the index file records. Both format versions — and any future one
+/// embedding the raw layout — go through here, so the regions stay
+/// byte-identical by construction.
+fn write_raw_region<W: Write>(
+    set: &DescriptorSet,
+    chunks: &[Vec<u32>],
+    page_size: u32,
+    mut offset: u64,
+    w: &mut W,
+) -> Result<ChunkLocations> {
+    let mut locations = Vec::with_capacity(chunks.len());
+    let mut body = Vec::new();
+    for members in chunks {
+        let byte_len = (members.len() * RECORD_BYTES) as u32;
+        body.clear();
+        for &pos in members {
+            let pos = pos as usize;
+            body.extend_from_slice(&set.id(pos).0.to_le_bytes());
+            for &c in set.vector(pos) {
+                body.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        let padded = write_padded_block(w, &body, page_size)?;
+        locations.push((offset, byte_len, members.len() as u32));
+        offset += padded;
+    }
+    Ok(locations)
+}
+
 /// Writes the chunks to `writer` and returns, per chunk, the
 /// `(offset, byte_len, count)` triple the index file records.
 ///
@@ -127,29 +171,7 @@ pub fn write_chunks<W: Write>(
     let mut w = std::io::BufWriter::new(writer);
     let total = chunks.iter().map(|c| c.len() as u64).sum::<u64>();
     w.write_all(&header_page(page_size, chunks.len() as u32, total))?;
-
-    let mut locations = Vec::with_capacity(chunks.len());
-    let mut offset = u64::from(page_size);
-    let mut body = Vec::new();
-    for members in chunks {
-        let byte_len = (members.len() * RECORD_BYTES) as u32;
-        body.clear();
-        for &pos in members {
-            let pos = pos as usize;
-            body.extend_from_slice(&set.id(pos).0.to_le_bytes());
-            for &c in set.vector(pos) {
-                body.extend_from_slice(&c.to_le_bytes());
-            }
-        }
-        w.write_all(&body)?;
-        w.write_all(&checksum(&body).to_le_bytes())?;
-        let padded = chunk_span(u64::from(byte_len), u64::from(page_size));
-        let padding = padded - u64::from(byte_len) - CHECKSUM_BYTES;
-        // Zero-fill to the page boundary.
-        w.write_all(&vec![0u8; padding as usize])?;
-        locations.push((offset, byte_len, members.len() as u32));
-        offset += padded;
-    }
+    let locations = write_raw_region(set, chunks, page_size, u64::from(page_size), &mut w)?;
     w.flush()?;
     Ok(locations)
 }
@@ -204,33 +226,11 @@ pub fn write_chunks_quantized<W: Write>(
     w.write_all(&blob)?;
     w.write_all(&vec![0u8; (blob_pages - blob.len() as u64) as usize])?;
 
-    // Raw region: byte-for-byte the v2 chunk layout.
-    let mut locations = Vec::with_capacity(chunks.len());
-    let mut offset = raw_start;
-    let mut body = Vec::new();
-    for members in chunks {
-        let byte_len = (members.len() * RECORD_BYTES) as u32;
-        body.clear();
-        for &pos in members {
-            let pos = pos as usize;
-            body.extend_from_slice(&set.id(pos).0.to_le_bytes());
-            for &c in set.vector(pos) {
-                body.extend_from_slice(&c.to_le_bytes());
-            }
-        }
-        w.write_all(&body)?;
-        w.write_all(&checksum(&body).to_le_bytes())?;
-        let padded = chunk_span(u64::from(byte_len), u64::from(page_size));
-        w.write_all(&vec![
-            0u8;
-            (padded - u64::from(byte_len) - CHECKSUM_BYTES)
-                as usize
-        ])?;
-        locations.push((offset, byte_len, members.len() as u32));
-        offset += padded;
-    }
+    // Raw region: byte-for-byte the v2 chunk layout, via the shared writer.
+    let locations = write_raw_region(set, chunks, page_size, raw_start, &mut w)?;
 
     // Quant region: ids then codes, checksummed and padded like raw chunks.
+    let mut body = Vec::new();
     let mut code = vec![0u8; cb];
     for members in chunks {
         body.clear();
@@ -241,12 +241,8 @@ pub fn write_chunks_quantized<W: Write>(
             codec.encode_into(set.vector(pos as usize), &mut code);
             body.extend_from_slice(&code);
         }
-        let byte_len = quant_byte_len(members.len() as u32, cb);
-        debug_assert_eq!(body.len() as u64, byte_len);
-        w.write_all(&body)?;
-        w.write_all(&checksum(&body).to_le_bytes())?;
-        let padded = chunk_span(byte_len, u64::from(page_size));
-        w.write_all(&vec![0u8; (padded - byte_len - CHECKSUM_BYTES) as usize])?;
+        debug_assert_eq!(body.len() as u64, quant_byte_len(members.len() as u32, cb));
+        write_padded_block(&mut w, &body, page_size)?;
     }
     w.flush()?;
     Ok((locations, quant_start))

@@ -18,6 +18,9 @@
 //!
 //! * [`chunkfile`] / [`indexfile`] — binary codecs for the two files;
 //! * [`store::ChunkStore`] — create/open a chunk index, read chunks;
+//! * [`epoch`] — the additive mutability layer: an append-only delta op
+//!   log with pinnable prefixes plus the epoch manifest that persists it
+//!   next to the (still write-once) chunk/index files;
 //! * [`prefetch`] — a pipelined reader that overlaps chunk I/O with
 //!   processing (the overlap that motivates uniform chunk sizes);
 //! * [`source`] — the [`ChunkSource`]/[`ChunkStream`] abstraction over chunk
@@ -32,6 +35,7 @@
 pub mod bytes;
 pub mod chunkfile;
 pub mod diskmodel;
+pub mod epoch;
 pub mod error;
 pub mod indexfile;
 pub mod prefetch;
@@ -40,6 +44,7 @@ pub mod source;
 pub mod store;
 
 pub use diskmodel::{DiskModel, PipelineClock, VirtualDuration};
+pub use epoch::{DeltaChunk, DeltaOp, DeltaPin, EpochManifest, FoldedDelta};
 pub use error::{Error, ErrorClass, Result};
 pub use indexfile::ChunkMeta;
 pub use singleflight::{FlightOutcome, FlightStats, SingleFlight};

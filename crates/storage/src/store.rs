@@ -71,7 +71,7 @@ impl ChunkStore {
         chunks: &[ChunkDef],
         page_size: u32,
     ) -> Result<ChunkStore> {
-        Self::create_inner(dir, name, set, chunks, page_size, None)
+        Self::build_checked(dir, name, set, chunks, page_size, None)
     }
 
     /// [`create`](Self::create), additionally writing a quantized copy of
@@ -87,10 +87,17 @@ impl ChunkStore {
         page_size: u32,
         codec: &Codec,
     ) -> Result<ChunkStore> {
-        Self::create_inner(dir, name, set, chunks, page_size, Some(codec))
+        Self::build_checked(dir, name, set, chunks, page_size, Some(codec))
     }
 
-    fn create_inner(
+    /// The one checked builder behind [`create`](Self::create) and
+    /// [`create_quantized`](Self::create_quantized): validates every chunk
+    /// position against `set`, writes the chunk + index file pair (raw v2,
+    /// or format v3 when `codec` is given) and opens the result. New
+    /// writers — epoch compaction generations in particular — call this
+    /// directly so any future format version inherits the same validation
+    /// and the byte-identical raw region for free.
+    pub fn build_checked(
         dir: &Path,
         name: &str,
         set: &DescriptorSet,

@@ -16,9 +16,11 @@
 //! container those experiments iterate over.
 
 pub mod arrivals;
+pub mod mutations;
 pub mod skew;
 
 pub use arrivals::{burst_arrivals, poisson_arrivals, ArrivalTrace};
+pub use mutations::{skewed_mutation_trace, MutationEvent, MutationOp, MutationTrace};
 pub use skew::zipf_assignments;
 
 use eff2_descriptor::{DescriptorSet, TrimmedRanges, Vector, DIM};

@@ -68,9 +68,24 @@ HASH_CROSS="$(awk '$1=="16" && $2=="1" && $3=="chunk-hash" {print $9}' "$EXP7_OU
 LOCAL_CROSS="$(awk '$1=="16" && $2=="1" && $3=="centroid-locality" {print $9}' "$EXP7_OUT/exp7.txt")"
 rm -rf "$EXP7_OUT"
 
-echo "==> criterion benches (reduced sampling: kernels, batch_search, scheduler, fleet)"
+echo "==> eval exp8 smoke (tiny-scale live-mutation sweep)"
+EXP8_OUT="$(mktemp -d)"
+EFF2_SCALE=2500 EFF2_QUERIES=6 cargo run --release -p eff2-eval -- exp8 \
+  --out "$EXP8_OUT" | tee "$EXP8_OUT/exp8.txt"
+grep -q "Every served result bit-identical to a solo run on its pinned epoch snapshot: yes" "$EXP8_OUT/exp8.txt"
+grep -q "Compactor kept every installed chunk within 2x the target size: yes" "$EXP8_OUT/exp8.txt"
+grep -q "reduced the final imbalance factor vs never-compacting under skewed ingest: yes" "$EXP8_OUT/exp8.txt"
+# Final imbalance factors of the hottest sr-tree cell (4x ingest), with
+# compaction off vs on, for the bench artefact below.
+NEVER_IMB="$(awk '$1=="sr-tree" && $2=="4.0" && $3=="never" {print $11}' "$EXP8_OUT/exp8.txt")"
+COMPACT_IMB="$(awk '$1=="sr-tree" && $2=="4.0" && $3 ~ /^every-/ {print $11}' "$EXP8_OUT/exp8.txt")"
+COMPACTIONS="$(awk '$1=="sr-tree" && $2=="4.0" && $3 ~ /^every-/ {print $6}' "$EXP8_OUT/exp8.txt")"
+rm -rf "$EXP8_OUT"
+
+echo "==> criterion benches (reduced sampling: kernels, batch_search, scheduler, fleet, compaction)"
 EFF2_BENCH_SCALE=4000 cargo bench -p eff2-bench \
-  --bench kernels --bench batch_search --bench scheduler_throughput --bench fleet -- \
+  --bench kernels --bench batch_search --bench scheduler_throughput --bench fleet \
+  --bench compaction -- \
   --sample-size 10 --warm-up-time 0.5 --measurement-time 1
 
 echo "==> bench_report -> BENCH_7.json"
@@ -81,6 +96,13 @@ cargo run --release -p eff2-bench --bin bench_report -- \
   --kv "exp6_pq_flat_r1_bytes=$PQ_BYTES" \
   --kv "exp7_16shard_hash_cross_fetches=$HASH_CROSS" \
   --kv "exp7_16shard_locality_cross_fetches=$LOCAL_CROSS"
+
+echo "==> bench_report -> BENCH_8.json"
+cargo run --release -p eff2-bench --bin bench_report -- \
+  --criterion-dir target/criterion --out BENCH_8.json \
+  --kv "exp8_srtree_4x_never_imbalance=$NEVER_IMB" \
+  --kv "exp8_srtree_4x_compacting_imbalance=$COMPACT_IMB" \
+  --kv "exp8_srtree_4x_compactions=$COMPACTIONS"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
