@@ -32,6 +32,7 @@
 pub mod adc;
 pub mod chunkers;
 pub mod coarse;
+pub mod image;
 pub mod index;
 pub mod merge;
 pub mod neighbors;
@@ -46,6 +47,10 @@ pub use chunkers::{
     RoundRobinChunker, SrTreeChunker,
 };
 pub use coarse::CoarseQuantizer;
+pub use image::{
+    solo_image_search, ImageAggregator, ImageOutcome, ImageStopRule, ImageStopTracker, ImageVote,
+    ImageVoteAccumulator, ImageVoteEvent,
+};
 pub use index::{BuiltIndex, ChunkIndex};
 pub use merge::{LegOutcome, ScatterGather};
 pub use neighbors::{Neighbor, NeighborSet};

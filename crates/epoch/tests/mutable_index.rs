@@ -190,10 +190,7 @@ fn compactor_merges_starved_chunks() {
         .read_chunk(0, &mut payload)
         .expect("read");
     let victims: Vec<u32> = payload.ids.iter().skip(2).copied().collect();
-    assert!(
-        victims.len() + 2 >= TARGET / 2,
-        "chunk 0 is non-trivial"
-    );
+    assert!(victims.len() + 2 >= TARGET / 2, "chunk 0 is non-trivial");
     for id in victims {
         index.delete(id).expect("delete");
     }

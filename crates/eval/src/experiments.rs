@@ -9,6 +9,7 @@ use eff2_chaos::plan::TRANSIENT_CLEAR;
 use eff2_chaos::{Fault, FaultConfig, FaultPlan, FaultSource, RetryPolicy, RetrySource};
 use eff2_core::chunkers::{ChunkFormer, RoundRobinChunker, SrTreeChunker};
 use eff2_core::coarse::CoarseQuantizer;
+use eff2_core::image::{solo_image_search, ImageStopRule};
 use eff2_core::search::{search, SearchParams, SearchResult, StopRule};
 use eff2_core::session::{evaluate_stop_rules, SearchSession, SkipPolicy};
 use eff2_core::snapshot::Snapshot;
@@ -16,17 +17,20 @@ use eff2_core::{search_quantized_with, search_two_level};
 use eff2_descriptor::Vector;
 use eff2_epoch::MutableIndex;
 use eff2_metrics::{
-    fleet_quality_curve, imbalance_factor, precision_at, GroundTruth, LatencySummary, QualityCurve,
-    Table,
+    avg_spent_fraction, descriptors_spent_curve, fleet_quality_curve, image_precision_at,
+    imbalance_factor, precision_at, GroundTruth, LatencySummary, QualityCurve, Table,
 };
 use eff2_serve::{
-    merge_timelines, CompactionPolicy, FleetConfig, FleetScheduler, LiveEvent, LiveServer, Policy,
-    Scheduler, SchedulerConfig,
+    merge_timelines, CompactionPolicy, FleetConfig, FleetScheduler, ImageConfig, ImageQuerySpec,
+    ImageScheduler, LiveEvent, LiveServer, Policy, Scheduler, SchedulerConfig,
 };
 use eff2_shard::Placement;
 use eff2_storage::diskmodel::VirtualDuration;
 use eff2_storage::source::{ChunkSource, FileSource};
-use eff2_workload::{poisson_arrivals, skewed_mutation_trace, zipf_assignments, MutationOp};
+use eff2_workload::{
+    image_of_map, image_queries, poisson_arrivals, skewed_mutation_trace, zipf_assignments,
+    MutationOp,
+};
 use std::sync::Arc;
 
 /// The neighbour counts Figures 6/7 trace (scaled to the configured k).
@@ -1631,6 +1635,300 @@ pub fn exp8(lab: &Lab) -> EvalResult<String> {
     ))
 }
 
+// ---------------------------------------------------------------------------
+// Experiment 9 — image-level queries: vote aggregation + early termination
+// ---------------------------------------------------------------------------
+
+/// Experiment 9's stability windows for the `StableTop` stop rule.
+pub fn exp9_stability_windows() -> Vec<usize> {
+    vec![1, 2, 3]
+}
+
+/// Experiment 9's image-concurrency levels.
+pub fn exp9_concurrency() -> Vec<usize> {
+    vec![1, 4]
+}
+
+/// Descriptors per image query. Large enough that an early-terminating
+/// stop rule has real room to save work (the gate wants ≤ 0.5× the
+/// sessions of a full run).
+pub fn exp9_per_query() -> usize {
+    24
+}
+
+/// Regenerates **Experiment 9**: the image-query quality-vs-time sweep.
+/// The collection's descriptors are partitioned into images by a
+/// Zipf-skewed map; each query is a set of [`exp9_per_query`] descriptors
+/// drawn from one source image and served through the
+/// [`ImageScheduler`] — one search session per descriptor, most-wanted-
+/// chunk fan-out shared across siblings — under every image stop rule ×
+/// stability window × concurrency cell. Ground truth is the exact
+/// (run-to-completion, every-descriptor) image ranking; the sweep
+/// reproduces the paper's "a fraction of the query points suffices"
+/// claim at image granularity: an early-terminating cell must reach
+/// ≥ 0.95 of the full run's precision@10 while completing ≤ 0.5× the
+/// descriptor sessions.
+pub fn exp9(lab: &Lab) -> EvalResult<String> {
+    let handle = lab.serving_index()?;
+    let snap = Snapshot::new(handle.store.clone(), lab.model);
+    let m = 10usize;
+    // Wide neighbour lists spread each completion's votes across several
+    // images, so the tail of the top-10 separates (and stabilises) after
+    // a fraction of the descriptor set rather than at the very end.
+    let k = lab.scale.k.max(10);
+    let n_images = (lab.set.len() / 250).clamp(10, 40);
+    let image_of = Arc::new(image_of_map(
+        lab.set.len(),
+        n_images,
+        0.8,
+        lab.scale.seed ^ 0xA9,
+    ));
+    let n_queries = lab.scale.n_queries.max(1);
+    let queries = image_queries(
+        &lab.set,
+        &image_of,
+        n_queries,
+        exp9_per_query(),
+        lab.scale.seed ^ 0x1A9,
+    );
+
+    // Ground truth: exact per-descriptor searches, every descriptor spent.
+    eprintln!(
+        "[exp9] exact image truth over {n_queries} queries × {} descriptors …",
+        exp9_per_query()
+    );
+    let exact = SearchParams::exact(k);
+    let mut truths: Vec<Vec<u32>> = Vec::with_capacity(queries.len());
+    for q in &queries {
+        let (outcome, _) = solo_image_search(&snap, q.image, &q.descriptors, &exact, &image_of)?;
+        truths.push(outcome.top_images(m));
+    }
+
+    // The serving sweep runs each descriptor under the approximate stop
+    // the quality-vs-time experiments use.
+    let params = SearchParams {
+        k,
+        stop: StopRule::ToCompletionEps(0.5),
+        prefetch_depth: 2,
+        log_snapshots: false,
+    };
+    // Solo reference under the same per-descriptor params: the answer the
+    // run-to-completion cells must reproduce bit for bit.
+    let mut solo = Vec::with_capacity(queries.len());
+    for q in &queries {
+        solo.push(solo_image_search(&snap, q.image, &q.descriptors, &params, &image_of)?.0);
+    }
+
+    // The stop rules watch a *head* prefix (top-3): the tail of a vote
+    // ranking churns until almost every descriptor is spent, but the head
+    // settles after a fraction of them — exactly the paper's trade-off.
+    // Quality is still measured over the full top-10.
+    let stop_m = 3usize;
+    let mut stops = vec![ImageStopRule::RunAll];
+    for window in exp9_stability_windows() {
+        stops.push(ImageStopRule::StableTop { m: stop_m, window });
+    }
+    stops.push(ImageStopRule::CertifiedTop { m: stop_m });
+
+    let trace: Vec<(ImageQuerySpec, VirtualDuration)> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            (
+                ImageQuerySpec {
+                    label: q.image,
+                    descriptors: q.descriptors.clone(),
+                },
+                VirtualDuration::from_ms(i as f64),
+            )
+        })
+        .collect();
+
+    let mut t = Table::new(
+        &format!(
+            "Experiment 9. Image-level queries ({n_queries} queries × {} descriptors, \
+             {n_images} images, k = {k}, precision@{m} vs the exact image ranking)",
+            exp9_per_query(),
+        ),
+        &[
+            "Stop rule",
+            "Active",
+            "Spent",
+            "Abandoned",
+            "Spent frac",
+            "Precision",
+            "Rel precision",
+            "Cert rate",
+            "Thru q/s",
+            "p50 s",
+            "Fetches",
+            "Accounting",
+        ],
+    );
+    let mut spent_curve = Table::new(
+        "Experiment 9 descriptors-spent curves",
+        &[
+            "Stop rule",
+            "Active",
+            "completions",
+            "mean_precision",
+            "queries_live",
+        ],
+    );
+
+    let mut all_identical = true;
+    let mut accounting_exact = true;
+    // (stop label, active, spent, precision) per cell, for the gate.
+    let mut cells: Vec<(String, usize, u64, f64)> = Vec::new();
+
+    for &active in &exp9_concurrency() {
+        for &stop in &stops {
+            eprintln!("[exp9] {} × {active} active …", stop.label());
+            let mut config = ImageConfig::new(Policy::MostWantedChunk, active, stop);
+            config.max_queued = queries.len();
+            let report = ImageScheduler::new(snap.clone(), config, Arc::clone(&image_of))
+                .serve_trace(&trace, &params)?;
+
+            let outcomes: Vec<&eff2_core::image::ImageOutcome> =
+                report.completions.iter().map(|c| &c.outcome).collect();
+            let mut precision = 0.0f64;
+            let mut certified = 0usize;
+            for c in &report.completions {
+                let o = &c.outcome;
+                accounting_exact = accounting_exact
+                    && o.descriptors_spent + o.descriptors_abandoned == o.descriptors_total;
+                let truth = &truths[c.id as usize];
+                precision += image_precision_at(&o.top_images(m), truth, m);
+                if o.certificate {
+                    certified += 1;
+                }
+                if matches!(stop, ImageStopRule::RunAll) {
+                    let want = &solo[c.id as usize];
+                    let same = want.ranking.len() == o.ranking.len()
+                        && want.ranking.iter().zip(o.ranking.iter()).all(|(w, g)| {
+                            w.image == g.image
+                                && w.votes == g.votes
+                                && w.best_dist.to_bits() == g.best_dist.to_bits()
+                        });
+                    all_identical = all_identical && same;
+                }
+            }
+            let nq = report.completions.len().max(1);
+            precision /= nq as f64;
+            let cert_rate = certified as f64 / nq as f64;
+            let spent_frac = avg_spent_fraction(&outcomes);
+            cells.push((
+                stop.label(),
+                active,
+                report.stats.descriptors_spent,
+                precision,
+            ));
+            // The RunAll cell leads each concurrency level, so the full-run
+            // reference is always in `cells` by the time any cell needs it
+            // (for RunAll itself this is a self-comparison: rel = 1).
+            let rel = cells
+                .iter()
+                .find(|(label, a, _, _)| label == "run-all" && *a == active)
+                .map_or(
+                    1.0,
+                    |(_, _, _, full)| {
+                        if *full > 0.0 {
+                            precision / full
+                        } else {
+                            1.0
+                        }
+                    },
+                );
+
+            for point in descriptors_spent_curve(&outcomes, &truths, m) {
+                spent_curve.row(vec![
+                    stop.label(),
+                    active.to_string(),
+                    point.completions.to_string(),
+                    fmt_f(point.avg_precision, 4),
+                    point.queries_live.to_string(),
+                ]);
+            }
+
+            let latencies: Vec<f64> = report
+                .completions
+                .iter()
+                .map(|c| c.latency().as_secs())
+                .collect();
+            let lat = LatencySummary::from_secs(&latencies);
+            t.row(vec![
+                stop.label(),
+                active.to_string(),
+                report.stats.descriptors_spent.to_string(),
+                report.stats.descriptors_abandoned.to_string(),
+                fmt_f(spent_frac, 3),
+                fmt_f(precision, 3),
+                fmt_f(rel, 3),
+                fmt_f(cert_rate, 2),
+                fmt_f(report.throughput_qps(), 1),
+                fmt_f(lat.p50_secs, 3),
+                report.stats.fetches.to_string(),
+                if accounting_exact { "exact" } else { "BROKEN" }.to_string(),
+            ]);
+        }
+    }
+
+    // The quality-vs-time gate: some early-terminating cell must hold
+    // ≥ 95 % of its concurrency level's full-run precision while
+    // completing at most half the descriptor sessions.
+    let full_of = |active: usize| {
+        cells
+            .iter()
+            .find(|(label, a, _, _)| label == "run-all" && *a == active)
+            .map(|(_, _, spent, precision)| (*spent, *precision))
+    };
+    let mut gate_hit: Option<(String, usize, f64, f64)> = None;
+    for (label, active, spent, precision) in &cells {
+        let Some((full_spent, full_precision)) = full_of(*active) else {
+            continue;
+        };
+        let rel = if full_precision > 0.0 {
+            precision / full_precision
+        } else {
+            1.0
+        };
+        let ratio = *spent as f64 / full_spent.max(1) as f64;
+        if label != "run-all" && rel >= 0.95 && ratio <= 0.5 {
+            let better = gate_hit
+                .as_ref()
+                .is_none_or(|(_, _, _, best_ratio)| ratio < *best_ratio);
+            if better {
+                gate_hit = Some((label.clone(), *active, rel, ratio));
+            }
+        }
+    }
+
+    let rendered = t.render();
+    let dir = lab.results_dir()?;
+    t.save_csv(&dir.join("exp9.csv"))?;
+    spent_curve.save_csv(&dir.join("exp9_spent.csv"))?;
+
+    let mut out = format!(
+        "{rendered}\nRun-to-completion cells bit-identical to the solo image reference: {}.\n\
+         Descriptor accounting exact in every cell: {}.\n",
+        if all_identical { "yes" } else { "NO" },
+        if accounting_exact { "yes" } else { "NO" },
+    );
+    match &gate_hit {
+        Some((label, active, rel, ratio)) => out.push_str(&format!(
+            "Best early-stop cell: {label} at {active} active — {rel:.3} of full-run \
+             precision@{m} using {ratio:.2}x the descriptor sessions.\n\
+             An early-terminating cell reached >=0.95 of full-run precision@{m} at <=0.5x \
+             the descriptor sessions: yes.\n"
+        )),
+        None => out.push_str(&format!(
+            "An early-terminating cell reached >=0.95 of full-run precision@{m} at <=0.5x \
+             the descriptor sessions: NO.\n"
+        )),
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1817,6 +2115,31 @@ mod tests {
             "compaction failed to rebalance the skewed ingest:\n{report}"
         );
         assert!(lab.results_dir().unwrap().join("exp8.csv").exists());
+    }
+
+    #[test]
+    fn exp9_smoke() {
+        let lab = tiny_lab("e9");
+        let report = exp9(&lab).expect("exp9");
+        assert!(report.contains("Experiment 9"));
+        assert!(
+            report
+                .contains("Run-to-completion cells bit-identical to the solo image reference: yes"),
+            "interleaving changed an image ranking:\n{report}"
+        );
+        assert!(
+            report.contains("Descriptor accounting exact in every cell: yes"),
+            "a descriptor session went unaccounted:\n{report}"
+        );
+        assert!(
+            report.contains(
+                "An early-terminating cell reached >=0.95 of full-run precision@10 at <=0.5x \
+                 the descriptor sessions: yes"
+            ),
+            "no early-stop cell met the quality-vs-time gate:\n{report}"
+        );
+        assert!(lab.results_dir().unwrap().join("exp9.csv").exists());
+        assert!(lab.results_dir().unwrap().join("exp9_spent.csv").exists());
     }
 
     #[test]

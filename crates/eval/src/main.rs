@@ -17,6 +17,7 @@
 //!   exp6     the quantization sweep — ADC scans, rerank depths, two-level ranking
 //!   exp7     the sharded-fleet sweep — shards × replication × placement, with failover
 //!   exp8     the live-mutation sweep — ingest rate × compaction policy × chunker
+//!   exp9     the image-query sweep — vote aggregation, stop rules × windows × concurrency
 //!   all      everything above, in order
 //! ```
 //!
@@ -30,7 +31,7 @@ use std::path::{Path, PathBuf};
 
 fn usage() -> ! {
     eprintln!(
-        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|exp6|exp7|exp8|all> \
+        "usage: eff2-eval <gen|indexes|table1|fig1|exp1|table2|exp2|exp3|exp4|exp5|exp6|exp7|exp8|exp9|all> \
          [--scale N] [--queries N] [--seed S] [--out DIR]"
     );
     std::process::exit(2);
@@ -126,6 +127,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
         "exp6" => print!("{}", experiments::exp6(&lab)?),
         "exp7" => print!("{}", experiments::exp7(&lab)?),
         "exp8" => print!("{}", experiments::exp8(&lab)?),
+        "exp9" => print!("{}", experiments::exp9(&lab)?),
         "all" => {
             print!("{}", experiments::table1(&lab)?);
             print!("{}", experiments::fig1(&lab)?);
@@ -137,6 +139,7 @@ fn run(command: &str, scale: Scale, out: &Path) -> EvalResult<()> {
             print!("{}", experiments::exp6(&lab)?);
             print!("{}", experiments::exp7(&lab)?);
             print!("{}", experiments::exp8(&lab)?);
+            print!("{}", experiments::exp9(&lab)?);
         }
         _ => usage(),
     }

@@ -12,16 +12,23 @@
 //!   always ran queries to conclusion, we were able to measure the quality
 //!   of intermediate results";
 //! * [`table`] — aligned text tables and CSV output for the experiment
-//!   harness.
+//!   harness;
+//! * [`image`] — image-granularity precision@m and the
+//!   descriptors-spent curve: quality as a function of how much of an
+//!   image query's descriptor set was consumed.
 
 pub mod balance;
 pub mod curves;
+pub mod image;
 pub mod latency;
 pub mod table;
 pub mod truth;
 
 pub use balance::imbalance_factor;
 pub use curves::{precision_at, quality_curve, QualityCurve};
+pub use image::{
+    avg_spent_fraction, descriptors_spent_curve, image_precision_at, ImageQualityPoint,
+};
 pub use latency::{fleet_quality_curve, FleetQualityPoint, LatencySummary};
 pub use table::{write_csv, Table};
 pub use truth::GroundTruth;

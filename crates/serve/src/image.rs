@@ -1,0 +1,1134 @@
+//! Image-query serving: one [`SearchSession`] per query descriptor,
+//! interleaved chunk-by-chunk across sibling descriptors *and* across
+//! concurrent image queries, with a cross-descriptor early-termination
+//! rule.
+//!
+//! The [`ImageScheduler`] is the image-level twin of the per-descriptor
+//! [`Scheduler`](crate::Scheduler): it shares the policies
+//! ([`Policy`]), the byte-budgeted resident chunk cache, and the fleet
+//! [`PipelineClock`]. The unit of admission is the image query; the unit
+//! of scheduling stays the (descriptor session, chunk) pair, so
+//! [`Policy::MostWantedChunk`] fans one chunk read out across *sibling
+//! descriptors of the same image* as readily as across unrelated queries
+//! — descriptors cropped from one image are near-duplicates, which is
+//! exactly the co-scheduling opportunity.
+//!
+//! When a descriptor session completes, its retained neighbours are
+//! folded into the image's [`ImageAggregator`]. If the image's
+//! [`ImageStopRule`] then fires — the top-`m` image ranking has been
+//! stable for `S` consecutive completions, or the vote margins prove the
+//! prefix final — every sibling session still in flight is torn down and
+//! booked as abandoned: the "fraction of the query points suffices"
+//! trade-off, with `descriptors_spent + descriptors_abandoned ==`
+//! set size always.
+//!
+//! Determinism carries over from the descriptor layer: per-descriptor
+//! results are bit-identical to solo runs under any feeding order, and
+//! the vote fold is commutative, so a run-to-completion image query is
+//! bit-identical to [`solo_image_search`] under every policy — the
+//! `image_equivalence` proptests pin this down.
+
+use crate::error::{Result, ServeError};
+use eff2_core::image::{ImageAggregator, ImageOutcome, ImageStopRule, DEFAULT_EVENT_TOP};
+use eff2_core::search::{SearchParams, SearchResult};
+use eff2_core::session::{ChunkRanking, SearchSession};
+use eff2_core::snapshot::Snapshot;
+use eff2_descriptor::Vector;
+use eff2_storage::diskmodel::{PipelineClock, VirtualDuration};
+use eff2_storage::source::{ResidentSource, ResidentStats};
+use eff2_storage::store::ChunkReader;
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
+
+pub use crate::scheduler::Policy;
+pub use eff2_core::image::solo_image_search;
+
+/// One image query offered to the scheduler: a ground-truth label and
+/// the descriptor set voting on its behalf.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ImageQuerySpec {
+    /// The query's source image (carried through to the outcome).
+    pub label: u32,
+    /// The query descriptors; one [`SearchSession`] is run per entry.
+    pub descriptors: Vec<Vector>,
+}
+
+/// Image-scheduler knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ImageConfig {
+    /// The chunk-pick policy, shared with the descriptor scheduler.
+    pub policy: Policy,
+    /// Image queries interleaved at once (each may hold many descriptor
+    /// sessions). Clamped to a minimum of 1.
+    pub max_active: usize,
+    /// Admitted-but-waiting image queries beyond which
+    /// [`ImageScheduler::submit`] returns [`ServeError::Overloaded`].
+    pub max_queued: usize,
+    /// Byte budget of the shared decoded-chunk cache.
+    pub cache_budget_bytes: u64,
+    /// Per-image virtual deadline, measured from arrival.
+    pub deadline: VirtualDuration,
+    /// The cross-descriptor early-termination rule.
+    pub stop: ImageStopRule,
+    /// Keep every absorbed per-descriptor [`SearchResult`] in the
+    /// completion (`None` entries for abandoned descriptors). Off by
+    /// default — the equivalence tests turn it on.
+    pub keep_descriptor_results: bool,
+}
+
+impl ImageConfig {
+    /// A config for `policy` at image concurrency `max_active` under
+    /// `stop`, with a generous queue (4× the active slots), an 8 MiB
+    /// chunk cache and a 2 s virtual deadline.
+    pub fn new(policy: Policy, max_active: usize, stop: ImageStopRule) -> ImageConfig {
+        let active = max_active.max(1);
+        ImageConfig {
+            policy,
+            max_active: active,
+            max_queued: active.saturating_mul(4),
+            cache_budget_bytes: 8 << 20,
+            deadline: VirtualDuration::from_secs(2.0),
+            stop,
+            keep_descriptor_results: false,
+        }
+    }
+}
+
+/// An image query waiting for an execution slot.
+struct PendingImage {
+    id: u64,
+    label: u32,
+    descriptors: Vec<Vector>,
+    params: SearchParams,
+    arrival: VirtualDuration,
+}
+
+/// An admitted image query whose descriptor sessions are in flight.
+struct ImageInFlight {
+    label: u32,
+    arrival: VirtualDuration,
+    deadline: VirtualDuration,
+    agg: ImageAggregator,
+    /// Absorbed per-descriptor results, indexed by descriptor position
+    /// (`None` for abandoned descriptors). Only kept when
+    /// [`ImageConfig::keep_descriptor_results`] is set.
+    results: Option<Vec<Option<SearchResult>>>,
+    /// Fleet-clock time of the latest absorbed completion.
+    finish: VirtualDuration,
+}
+
+/// One descriptor session in flight, keyed by `(image id, descriptor
+/// index)` in the scheduler's active map.
+struct ActiveDesc {
+    session: SearchSession,
+    /// Cache-attribution tag with the shared [`ResidentSource`].
+    requester: u64,
+}
+
+/// One finished image query.
+#[derive(Clone, Debug)]
+pub struct ImageCompletion {
+    /// Submission order (0-based).
+    pub id: u64,
+    /// Virtual arrival time.
+    pub arrival: VirtualDuration,
+    /// Virtual deadline this image was held to.
+    pub deadline: VirtualDuration,
+    /// Fleet-clock time of the last absorbed descriptor completion.
+    pub finish: VirtualDuration,
+    /// The aggregated vote outcome.
+    pub outcome: ImageOutcome,
+    /// Per-descriptor results when
+    /// [`ImageConfig::keep_descriptor_results`] was set (`None` entries
+    /// for abandoned descriptors).
+    pub descriptor_results: Option<Vec<Option<SearchResult>>>,
+}
+
+impl ImageCompletion {
+    /// Arrival-to-finish latency on the fleet clock.
+    pub fn latency(&self) -> VirtualDuration {
+        self.finish - self.arrival
+    }
+}
+
+/// Fleet-level counters for an image-scheduler run.
+#[derive(Clone, Debug, Default)]
+pub struct ImageServeStats {
+    /// Image queries offered to [`ImageScheduler::submit`].
+    pub submitted: u64,
+    /// Image queries refused by admission control.
+    pub rejected: u64,
+    /// Image queries finished.
+    pub completed: u64,
+    /// Scheduling ticks (= chunk fetches issued).
+    pub ticks: u64,
+    /// Chunk deliveries from the shared source.
+    pub fetches: u64,
+    /// Fetches that went to the disk (the rest were cache hits).
+    pub disk_reads: u64,
+    /// Descriptor-session feeds (total `step_with` calls).
+    pub feeds: u64,
+    /// Descriptor sessions run to completion and absorbed.
+    pub descriptors_spent: u64,
+    /// Descriptor sessions torn down by a fired image stop rule.
+    pub descriptors_abandoned: u64,
+    /// Completions whose finish exceeded their deadline.
+    pub deadline_misses: u64,
+    /// Completions whose aggregate fidelity was `Degraded`.
+    pub images_degraded: u64,
+    /// Shared chunk-cache counters.
+    pub cache: ResidentStats,
+}
+
+/// Everything a finished image-scheduler run produced.
+#[derive(Clone, Debug)]
+pub struct ImageServeReport {
+    /// Per-image completions, sorted by submission id.
+    pub completions: Vec<ImageCompletion>,
+    /// Fleet counters.
+    pub stats: ImageServeStats,
+    /// Fleet-clock time at which the last image finished.
+    pub makespan: VirtualDuration,
+}
+
+impl ImageServeReport {
+    /// Completed image queries per virtual second (0 for an empty run).
+    pub fn throughput_qps(&self) -> f64 {
+        let secs = self.makespan.as_secs();
+        if secs > 0.0 {
+            self.stats.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The interleaved image-query scheduler. See the [module docs](self).
+pub struct ImageScheduler {
+    snapshot: Snapshot,
+    config: ImageConfig,
+    /// Descriptor id → image id, shared by every query's vote fold.
+    image_of: Arc<Vec<u32>>,
+    source: ResidentSource,
+    /// One lazily-opened chunk reader reused across every cache miss.
+    reader: Option<ChunkReader>,
+    /// The shared device: disk + scan CPU every session contends for.
+    clock: PipelineClock,
+    last_arrival: VirtualDuration,
+    next_id: u64,
+    pending: VecDeque<PendingImage>,
+    /// Admitted images still collecting completions.
+    images: BTreeMap<u64, ImageInFlight>,
+    /// Descriptor sessions in flight, keyed `(image id, descriptor
+    /// index)` — BTreeMap order is admission order, then descriptor
+    /// order, which every policy tie-break inherits.
+    active: BTreeMap<(u64, u32), ActiveDesc>,
+    /// Last session served by [`Policy::FairShare`].
+    fair_cursor: (u64, u32),
+    /// Ranking buffers recycled from retired sessions.
+    spare_rankings: Vec<ChunkRanking>,
+    completions: Vec<ImageCompletion>,
+    stats: ImageServeStats,
+}
+
+impl ImageScheduler {
+    /// A scheduler over `snapshot` with `config`, voting through the
+    /// `image_of` descriptor→image map.
+    pub fn new(snapshot: Snapshot, config: ImageConfig, image_of: Arc<Vec<u32>>) -> ImageScheduler {
+        let source = snapshot.resident_source(config.cache_budget_bytes);
+        let config = ImageConfig {
+            max_active: config.max_active.max(1),
+            ..config
+        };
+        ImageScheduler {
+            snapshot,
+            config,
+            image_of,
+            source,
+            reader: None,
+            clock: PipelineClock::start_at(VirtualDuration::ZERO),
+            last_arrival: VirtualDuration::ZERO,
+            next_id: 0,
+            pending: VecDeque::new(),
+            images: BTreeMap::new(),
+            active: BTreeMap::new(),
+            fair_cursor: (u64::MAX, u32::MAX),
+            spare_rankings: Vec::new(),
+            completions: Vec::new(),
+            stats: ImageServeStats::default(),
+        }
+    }
+
+    /// Image queries waiting for a slot.
+    pub fn queued(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Image queries currently interleaved.
+    pub fn active_images(&self) -> usize {
+        self.images.len()
+    }
+
+    /// Descriptor sessions currently in flight.
+    pub fn active_sessions(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The fleet clock.
+    pub fn now(&self) -> VirtualDuration {
+        self.clock.now()
+    }
+
+    /// Offers one image query arriving at virtual time `arrival`, with
+    /// `params` governing each of its descriptor searches. Returns the
+    /// image's id, or [`ServeError::Overloaded`] if the wait queue is
+    /// full (the query is counted as rejected and the run continues).
+    pub fn submit(
+        &mut self,
+        spec: &ImageQuerySpec,
+        params: &SearchParams,
+        arrival: VirtualDuration,
+    ) -> Result<u64> {
+        if arrival.as_secs() < self.last_arrival.as_secs() {
+            return Err(ServeError::NonMonotoneArrival {
+                prev_secs: self.last_arrival.as_secs(),
+                next_secs: arrival.as_secs(),
+            });
+        }
+        self.last_arrival = arrival;
+        self.stats.submitted += 1;
+        self.advance_to(arrival)?;
+        if self.images.len() >= self.config.max_active
+            && self.pending.len() >= self.config.max_queued
+        {
+            self.stats.rejected += 1;
+            return Err(ServeError::Overloaded {
+                queued: self.pending.len(),
+                capacity: self.config.max_queued,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.pending.push_back(PendingImage {
+            id,
+            label: spec.label,
+            descriptors: spec.descriptors.clone(),
+            params: *params,
+            arrival,
+        });
+        self.catch_up();
+        Ok(id)
+    }
+
+    /// Drains every admitted image query and returns the report.
+    pub fn finish(mut self) -> Result<ImageServeReport> {
+        loop {
+            self.catch_up();
+            if self.active.is_empty() {
+                if self.pending.is_empty() {
+                    break;
+                }
+                continue; // instant completions drained a wave; re-admit
+            }
+            self.tick()?;
+        }
+        debug_assert!(
+            self.images.is_empty(),
+            "an image with no live sessions must have retired"
+        );
+        let makespan = self
+            .completions
+            .iter()
+            .map(|c| c.finish)
+            .fold(VirtualDuration::ZERO, VirtualDuration::max);
+        self.stats.cache = self.source.stats();
+        let mut completions = std::mem::take(&mut self.completions);
+        completions.sort_by_key(|c| c.id);
+        Ok(ImageServeReport {
+            completions,
+            stats: self.stats,
+            makespan,
+        })
+    }
+
+    /// Submits a whole trace of `(spec, arrival)` pairs (already in
+    /// arrival order) and drains. Overload rejections are recorded
+    /// rather than aborting the run.
+    pub fn serve_trace(
+        mut self,
+        trace: &[(ImageQuerySpec, VirtualDuration)],
+        params: &SearchParams,
+    ) -> Result<ImageServeReport> {
+        for (spec, arrival) in trace {
+            match self.submit(spec, params, *arrival) {
+                Ok(_) | Err(ServeError::Overloaded { .. }) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.finish()
+    }
+
+    /// Processes backlog until the fleet clock reaches `t` (or there is
+    /// nothing left to do before `t`).
+    fn advance_to(&mut self, t: VirtualDuration) -> Result<()> {
+        loop {
+            self.catch_up();
+            if self.active.is_empty() {
+                if self.pending.is_empty() {
+                    break;
+                }
+                continue;
+            }
+            if self.clock.now().as_secs() >= t.as_secs() {
+                break;
+            }
+            self.tick()?;
+        }
+        Ok(())
+    }
+
+    /// Admits eligible pending images; when idle, jumps the fleet clock
+    /// forward to the next arrival first.
+    fn catch_up(&mut self) {
+        self.admit_eligible();
+        if self.active.is_empty() {
+            if let Some(front) = self.pending.front() {
+                if front.arrival.as_secs() > self.clock.now().as_secs() {
+                    self.clock = PipelineClock::start_at(front.arrival);
+                }
+            }
+            self.admit_eligible();
+        }
+    }
+
+    /// Moves pending images whose arrival has passed into active slots.
+    fn admit_eligible(&mut self) {
+        while self.images.len() < self.config.max_active {
+            let eligible = self
+                .pending
+                .front()
+                .is_some_and(|p| p.arrival.as_secs() <= self.clock.now().as_secs());
+            if !eligible {
+                break;
+            }
+            let Some(p) = self.pending.pop_front() else {
+                break;
+            };
+            self.admit(p);
+        }
+    }
+
+    /// Admits one image: ranks each descriptor (charging its chunk-index
+    /// ranking CPU on the fleet clock), opens its session, and absorbs
+    /// any session that completes without reading a chunk (`k = 0`, an
+    /// empty index). Completions absorbed here run the stop rule exactly
+    /// like mid-flight ones, so a rule that fires during admission
+    /// abandons the not-yet-opened descriptors too.
+    fn admit(&mut self, p: PendingImage) {
+        let deadline = p.arrival + self.config.deadline;
+        let mut flight = ImageInFlight {
+            label: p.label,
+            arrival: p.arrival,
+            deadline,
+            agg: ImageAggregator::new(
+                Arc::clone(&self.image_of),
+                p.params.k,
+                p.descriptors.len(),
+                self.config.stop,
+                DEFAULT_EVENT_TOP,
+            ),
+            results: self
+                .config
+                .keep_descriptor_results
+                .then(|| (0..p.descriptors.len()).map(|_| None).collect()),
+            finish: self.clock.now(),
+        };
+        let mut opened: Vec<(u64, u32)> = Vec::new();
+        let mut stopped = false;
+        for (d, q) in p.descriptors.iter().enumerate() {
+            if stopped {
+                break;
+            }
+            let mut ranking = self.spare_rankings.pop().unwrap_or_default();
+            self.snapshot.rank_into(&mut ranking, q);
+            let rank_cpu = self.snapshot.model().rank_time(self.snapshot.n_chunks());
+            let ranked_at = self.clock.chunk_overlapped(VirtualDuration::ZERO, rank_cpu);
+            let session = self.snapshot.session_from_ranking(ranking, q, &p.params);
+            if session.stop_satisfied() || session.next_wanted().is_none() {
+                // Done without reading anything: absorb right here.
+                let (result, ranking) = session.into_result_and_ranking();
+                self.spare_rankings.push(ranking);
+                stopped =
+                    Self::absorb_into(&mut flight, &mut self.stats, d as u32, result, ranked_at);
+            } else {
+                let key = (p.id, d as u32);
+                opened.push(key);
+                self.active.insert(
+                    key,
+                    ActiveDesc {
+                        session,
+                        requester: self.source.new_requester(),
+                    },
+                );
+            }
+            flight.finish = flight.finish.max(ranked_at);
+        }
+        if stopped {
+            self.teardown_siblings(p.id, &opened, &mut flight);
+        }
+        if flight.agg.is_done() {
+            let finish = flight.finish;
+            self.retire(p.id, flight, finish);
+        } else {
+            self.images.insert(p.id, flight);
+        }
+    }
+
+    /// One scheduling step: pick a chunk by policy, fetch it once, feed
+    /// every selected session, absorb the completed ones (which may fire
+    /// the image stop rule and tear down siblings mid-tick).
+    fn tick(&mut self) -> Result<()> {
+        let Some((chunk_id, fed_keys)) = self.pick() else {
+            return Ok(());
+        };
+        if self.config.policy == Policy::FairShare {
+            if let Some(key) = fed_keys.first() {
+                self.fair_cursor = *key;
+            }
+        }
+        let requester = fed_keys
+            .first()
+            .and_then(|key| self.active.get(key))
+            .map_or(0, |a| a.requester);
+        let fetched = self
+            .source
+            .fetch_through(requester, chunk_id, &mut self.reader)?;
+        self.stats.ticks += 1;
+        self.stats.fetches += 1;
+        if fetched.from_disk {
+            self.stats.disk_reads += 1;
+        }
+
+        // Fleet device: the chunk's I/O (nothing on a cache hit)
+        // overlaps the previous tick's CPU; the fanned-out scans are
+        // CPU, one per fed session, summed in key order.
+        let io = if fetched.from_disk {
+            self.snapshot.model().io_time(fetched.chunk.bytes_read)
+        } else {
+            VirtualDuration::ZERO
+        };
+        let scan = self.snapshot.model().scan_time(fetched.chunk.payload.len());
+        let mut cpu = VirtualDuration::ZERO;
+        for _ in &fed_keys {
+            cpu += scan;
+        }
+        let done = self.clock.chunk_overlapped(io, cpu);
+
+        for key in fed_keys {
+            // A fired stop rule may have torn this sibling down earlier
+            // in the same tick; the `else` arm is that abandonment.
+            let Some(a) = self.active.get_mut(&key) else {
+                continue;
+            };
+            a.session.step_with(&fetched.chunk)?;
+            self.stats.feeds += 1;
+            let finished = a.session.stop_satisfied() || a.session.next_wanted().is_none();
+            if finished {
+                if let Some(a) = self.active.remove(&key) {
+                    self.complete_descriptor(key, a, done);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Books one completed descriptor session: absorb its result into
+    /// the image's aggregator, run the stop rule, tear down siblings if
+    /// it fires, and retire the image once every descriptor is
+    /// accounted for.
+    fn complete_descriptor(&mut self, key: (u64, u32), active: ActiveDesc, done: VirtualDuration) {
+        let (img, d) = key;
+        let (result, ranking) = active.session.into_result_and_ranking();
+        self.spare_rankings.push(ranking);
+        let Some(mut flight) = self.images.remove(&img) else {
+            debug_assert!(false, "completed session {key:?} has no image in flight");
+            return;
+        };
+        let fired = Self::absorb_into(&mut flight, &mut self.stats, d, result, done);
+        if fired {
+            self.teardown_siblings(img, &[], &mut flight);
+        }
+        if flight.agg.is_done() {
+            self.retire(img, flight, done);
+        } else {
+            self.images.insert(img, flight);
+        }
+    }
+
+    /// The shared absorption step (admission-time and mid-flight):
+    /// record the result, update counters, run the stop rule. Returns
+    /// whether the rule fired. Associated (not `&mut self`) so callers
+    /// holding a flight borrowed out of the images map can use it.
+    fn absorb_into(
+        flight: &mut ImageInFlight,
+        stats: &mut ImageServeStats,
+        d: u32,
+        result: SearchResult,
+        done: VirtualDuration,
+    ) -> bool {
+        stats.descriptors_spent += 1;
+        flight.finish = flight.finish.max(done);
+        let fired = flight.agg.absorb(&result);
+        if let Some(slots) = flight.results.as_mut() {
+            if let Some(slot) = slots.get_mut(d as usize) {
+                *slot = Some(result);
+            }
+        }
+        fired
+    }
+
+    /// Tears down every live sibling session of image `img` (both those
+    /// in the global active map and `extra` keys opened during an
+    /// admission still in progress) and books the abandonment.
+    fn teardown_siblings(&mut self, img: u64, extra: &[(u64, u32)], flight: &mut ImageInFlight) {
+        let keys: Vec<(u64, u32)> = self
+            .active
+            .range((img, 0)..=(img, u32::MAX))
+            .map(|(k, _)| *k)
+            .chain(extra.iter().copied())
+            .collect();
+        for key in keys {
+            if let Some(a) = self.active.remove(&key) {
+                // Recycle the abandoned session's ranking buffers; its
+                // partial result is discarded, not absorbed.
+                let (_, ranking) = a.session.into_result_and_ranking();
+                self.spare_rankings.push(ranking);
+            }
+        }
+        let dropped = flight.agg.abandon_rest();
+        self.stats.descriptors_abandoned += dropped as u64;
+    }
+
+    /// Which chunk to serve this tick, and to which descriptor sessions.
+    fn pick(&self) -> Option<(usize, Vec<(u64, u32)>)> {
+        match self.config.policy {
+            Policy::FairShare => {
+                let key = self
+                    .active
+                    .range((
+                        std::ops::Bound::Excluded(self.fair_cursor),
+                        std::ops::Bound::Unbounded,
+                    ))
+                    .map(|(k, _)| *k)
+                    .next()
+                    .or_else(|| self.active.keys().next().copied())?;
+                let a = self.active.get(&key)?;
+                Some((a.session.next_wanted()?, vec![key]))
+            }
+            Policy::EarliestDeadline => {
+                // Key: (image deadline, remaining-work estimate, key) —
+                // the image-level reading of the descriptor scheduler's
+                // tie-break: a nearly-done descriptor slips past an
+                // equal-deadline scan-everything one.
+                let mut best: Option<((u64, u32), f64, usize)> = None;
+                for (key, a) in &self.active {
+                    let Some(flight) = self.images.get(&key.0) else {
+                        continue;
+                    };
+                    let d = flight.deadline.as_secs();
+                    let w = a.session.remaining_work_estimate();
+                    let better = match best {
+                        None => true,
+                        Some((_, bd, bw)) => match d.total_cmp(&bd) {
+                            std::cmp::Ordering::Less => true,
+                            std::cmp::Ordering::Equal => w < bw,
+                            std::cmp::Ordering::Greater => false,
+                        },
+                    };
+                    if better {
+                        best = Some((*key, d, w));
+                    }
+                }
+                let (key, _, _) = best?;
+                let a = self.active.get(&key)?;
+                Some((a.session.next_wanted()?, vec![key]))
+            }
+            Policy::MostWantedChunk => {
+                let mut wanted: BTreeMap<usize, Vec<(u64, u32)>> = BTreeMap::new();
+                for (key, a) in &self.active {
+                    if let Some(c) = a.session.next_wanted() {
+                        wanted.entry(c).or_default().push(*key);
+                    }
+                }
+                let mut best: Option<(usize, usize)> = None;
+                for (c, keys) in &wanted {
+                    let better = match best {
+                        None => true,
+                        Some((_, n)) => keys.len() > n,
+                    };
+                    if better {
+                        best = Some((*c, keys.len()));
+                    }
+                }
+                let (chunk, _) = best?;
+                let keys = wanted.remove(&chunk)?;
+                Some((chunk, keys))
+            }
+        }
+    }
+
+    /// Books a finished image at fleet time `finish`.
+    fn retire(&mut self, id: u64, flight: ImageInFlight, finish: VirtualDuration) {
+        self.stats.completed += 1;
+        if finish.as_secs() > flight.deadline.as_secs() {
+            self.stats.deadline_misses += 1;
+        }
+        let outcome = flight.agg.into_outcome(flight.label);
+        if outcome.fidelity == eff2_core::search::ResultFidelity::Degraded {
+            self.stats.images_degraded += 1;
+        }
+        self.completions.push(ImageCompletion {
+            id,
+            arrival: flight.arrival,
+            deadline: flight.deadline,
+            finish,
+            outcome,
+            descriptor_results: flight.results,
+        });
+    }
+}
+
+impl std::fmt::Debug for ImageScheduler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ImageScheduler")
+            .field("policy", &self.config.policy)
+            .field("stop", &self.config.stop)
+            .field("active_images", &self.images.len())
+            .field("active_sessions", &self.active.len())
+            .field("queued", &self.pending.len())
+            .field("completed", &self.stats.completed)
+            .field("now", &self.clock.now())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eff2_core::chunkers::{ChunkFormer, SrTreeChunker};
+    use eff2_core::index::ChunkIndex;
+    use eff2_descriptor::{Descriptor, DescriptorSet};
+    use eff2_storage::diskmodel::DiskModel;
+    use eff2_storage::ChunkStore;
+    use std::path::PathBuf;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("eff2_imgserve_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        dir
+    }
+
+    fn lumpy_set(n: usize) -> DescriptorSet {
+        (0..n)
+            .map(|i| {
+                let blob = (i % 5) as f32 * 20.0;
+                let mut v = Vector::splat(blob);
+                v[0] += ((i * 31) % 23) as f32 * 0.3;
+                v[3] -= ((i * 17) % 19) as f32 * 0.2;
+                Descriptor::new(i as u32, v)
+            })
+            .collect()
+    }
+
+    fn snapshot(tag: &str, n: usize, leaf: usize) -> (Snapshot, DescriptorSet) {
+        let set = lumpy_set(n);
+        let formation = SrTreeChunker { leaf_size: leaf }.form(&set);
+        let store =
+            ChunkStore::create(&tmp_dir(tag), "s", &set, &formation.chunks, 512).expect("create");
+        (
+            ChunkIndex::from_store(store, DiskModel::ata_2005()).snapshot(),
+            set,
+        )
+    }
+
+    /// Round-robin image map: descriptor i belongs to image i % n_images.
+    fn rr_map(n: usize, n_images: u32) -> Arc<Vec<u32>> {
+        Arc::new((0..n).map(|i| (i as u32) % n_images).collect())
+    }
+
+    fn spec(set: &DescriptorSet, label: u32, positions: &[usize]) -> ImageQuerySpec {
+        ImageQuerySpec {
+            label,
+            descriptors: positions.iter().map(|&p| set.vector_owned(p)).collect(),
+        }
+    }
+
+    fn assert_same_ranking(
+        want: &[eff2_core::image::ImageVote],
+        got: &[eff2_core::image::ImageVote],
+        tag: &str,
+    ) {
+        assert_eq!(want.len(), got.len(), "{tag}: ranking length");
+        for (w, g) in want.iter().zip(got.iter()) {
+            assert_eq!(w.image, g.image, "{tag}: image");
+            assert_eq!(w.votes, g.votes, "{tag}: votes");
+            assert_eq!(
+                w.best_dist.to_bits(),
+                g.best_dist.to_bits(),
+                "{tag}: best_dist"
+            );
+        }
+    }
+
+    #[test]
+    fn run_all_matches_solo_under_every_policy() {
+        let (snap, set) = snapshot("runall", 600, 30);
+        let image_of = rr_map(set.len(), 24);
+        let params = SearchParams::exact(6);
+        let specs: Vec<ImageQuerySpec> = (0..4)
+            .map(|i| {
+                spec(
+                    &set,
+                    i,
+                    &[i as usize * 7, i as usize * 7 + 24, i as usize * 7 + 48],
+                )
+            })
+            .collect();
+        let solo: Vec<_> = specs
+            .iter()
+            .map(|s| {
+                solo_image_search(&snap, s.label, &s.descriptors, &params, &image_of).expect("solo")
+            })
+            .collect();
+        for policy in Policy::ALL {
+            let mut config = ImageConfig::new(policy, 2, ImageStopRule::RunAll);
+            config.keep_descriptor_results = true;
+            let trace: Vec<(ImageQuerySpec, VirtualDuration)> = specs
+                .iter()
+                .enumerate()
+                .map(|(i, s)| (s.clone(), VirtualDuration::from_ms(i as f64)))
+                .collect();
+            let report = ImageScheduler::new(snap.clone(), config, Arc::clone(&image_of))
+                .serve_trace(&trace, &params)
+                .expect("serve");
+            assert_eq!(report.completions.len(), specs.len());
+            for (c, (want, _)) in report.completions.iter().zip(solo.iter()) {
+                assert_same_ranking(
+                    &want.ranking,
+                    &c.outcome.ranking,
+                    &format!("{}/img{}", policy.name(), c.id),
+                );
+                assert_eq!(c.outcome.descriptors_abandoned, 0);
+                assert!(c.outcome.certificate);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_descriptor_set_completes_exact_and_empty() {
+        let (snap, set) = snapshot("empty", 200, 25);
+        let image_of = rr_map(set.len(), 8);
+        let params = SearchParams::exact(4);
+        let config = ImageConfig::new(
+            Policy::MostWantedChunk,
+            2,
+            ImageStopRule::StableTop { m: 5, window: 1 },
+        );
+        let trace = vec![(
+            ImageQuerySpec {
+                label: 3,
+                descriptors: Vec::new(),
+            },
+            VirtualDuration::ZERO,
+        )];
+        let report = ImageScheduler::new(snap, config, image_of)
+            .serve_trace(&trace, &params)
+            .expect("serve");
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.fetches, 0);
+        let Some(c) = report.completions.first() else {
+            panic!("one completion expected");
+        };
+        assert!(c.outcome.ranking.is_empty());
+        assert_eq!(c.outcome.descriptors_total, 0);
+        assert_eq!(c.outcome.descriptors_spent, 0);
+        assert_eq!(c.outcome.descriptors_abandoned, 0);
+        assert_eq!(c.outcome.fidelity, eff2_core::search::ResultFidelity::Exact);
+        assert!(c.outcome.certificate);
+    }
+
+    #[test]
+    fn k_zero_completes_without_reading_and_accounting_holds() {
+        let (snap, set) = snapshot("kzero", 200, 25);
+        let image_of = rr_map(set.len(), 8);
+        let params = SearchParams {
+            k: 0,
+            ..SearchParams::exact(0)
+        };
+        // A stable-empty ranking fires the stop rule after the window;
+        // everything still sums.
+        let config = ImageConfig::new(
+            Policy::FairShare,
+            2,
+            ImageStopRule::StableTop { m: 5, window: 1 },
+        );
+        let trace = vec![(spec(&set, 1, &[0, 8, 16, 24, 32]), VirtualDuration::ZERO)];
+        let report = ImageScheduler::new(snap, config, image_of)
+            .serve_trace(&trace, &params)
+            .expect("serve");
+        assert_eq!(report.stats.completed, 1);
+        assert_eq!(report.stats.fetches, 0, "k = 0 reads nothing");
+        let Some(c) = report.completions.first() else {
+            panic!("one completion expected");
+        };
+        assert!(c.outcome.ranking.is_empty());
+        assert_eq!(
+            c.outcome.descriptors_spent + c.outcome.descriptors_abandoned,
+            c.outcome.descriptors_total
+        );
+        assert!(
+            c.outcome.descriptors_abandoned > 0,
+            "the stable-empty prefix must fire during admission"
+        );
+    }
+
+    #[test]
+    fn single_descriptor_image_is_bit_identical_to_plain_search() {
+        let (snap, set) = snapshot("single", 400, 30);
+        let image_of = rr_map(set.len(), 16);
+        let params = SearchParams::exact(5);
+        let q = set.vector_owned(33);
+        let want = snap.search(&q, &params).expect("plain search");
+        for stop in [
+            ImageStopRule::RunAll,
+            ImageStopRule::StableTop { m: 3, window: 1 },
+            ImageStopRule::CertifiedTop { m: 3 },
+        ] {
+            let mut config = ImageConfig::new(Policy::EarliestDeadline, 2, stop);
+            config.keep_descriptor_results = true;
+            let trace = vec![(spec(&set, 9, &[33]), VirtualDuration::ZERO)];
+            let report = ImageScheduler::new(snap.clone(), config, Arc::clone(&image_of))
+                .serve_trace(&trace, &params)
+                .expect("serve");
+            let Some(c) = report.completions.first() else {
+                panic!("one completion expected");
+            };
+            assert_eq!(c.outcome.descriptors_spent, 1);
+            assert_eq!(c.outcome.descriptors_abandoned, 0, "{}", stop.label());
+            let Some(results) = c.descriptor_results.as_ref() else {
+                panic!("descriptor results were kept");
+            };
+            let Some(Some(got)) = results.first() else {
+                panic!("descriptor 0 was absorbed");
+            };
+            assert_eq!(want.neighbors.len(), got.neighbors.len());
+            for (w, g) in want.neighbors.iter().zip(got.neighbors.iter()) {
+                assert_eq!(w.id, g.id, "{}", stop.label());
+                assert_eq!(w.dist.to_bits(), g.dist.to_bits(), "{}", stop.label());
+            }
+            assert_eq!(
+                want.log.total_virtual.as_secs().to_bits(),
+                got.log.total_virtual.as_secs().to_bits(),
+                "{}: per-descriptor virtual clock",
+                stop.label()
+            );
+        }
+    }
+
+    #[test]
+    fn all_duplicate_descriptors_early_stop_agrees_with_full_run() {
+        let (snap, set) = snapshot("dups", 400, 30);
+        let image_of = rr_map(set.len(), 16);
+        let params = SearchParams::exact(5);
+        // Eight copies of one descriptor: the ranking is fixed after the
+        // first completion, so StableTop fires as early as it can.
+        let positions = [11usize; 8];
+        let full_trace = vec![(spec(&set, 2, &positions), VirtualDuration::ZERO)];
+        let full = ImageScheduler::new(
+            snap.clone(),
+            ImageConfig::new(Policy::MostWantedChunk, 1, ImageStopRule::RunAll),
+            Arc::clone(&image_of),
+        )
+        .serve_trace(&full_trace, &params)
+        .expect("full");
+        let early = ImageScheduler::new(
+            snap.clone(),
+            ImageConfig::new(
+                Policy::MostWantedChunk,
+                1,
+                ImageStopRule::StableTop { m: 4, window: 1 },
+            ),
+            Arc::clone(&image_of),
+        )
+        .serve_trace(&full_trace, &params)
+        .expect("early");
+        let (Some(f), Some(e)) = (full.completions.first(), early.completions.first()) else {
+            panic!("both runs complete");
+        };
+        assert!(e.outcome.descriptors_abandoned > 0, "early stop must fire");
+        assert!(
+            e.outcome.descriptors_spent < f.outcome.descriptors_spent,
+            "early stop spends fewer descriptors"
+        );
+        // Duplicates scale every tally uniformly: the top-m prefix (and
+        // here the whole membership order) is unchanged.
+        assert_eq!(e.outcome.top_images(4), f.outcome.top_images(4));
+        assert_eq!(
+            e.outcome.fidelity,
+            eff2_core::search::ResultFidelity::Approximate
+        );
+    }
+
+    #[test]
+    fn certified_stop_prefix_always_agrees_with_the_full_run() {
+        let (snap, set) = snapshot("certified", 500, 30);
+        let image_of = rr_map(set.len(), 10);
+        let params = SearchParams::exact(4);
+        let positions: Vec<usize> = (0..10).map(|i| (i * 10) % set.len()).collect();
+        let make_trace = || vec![(spec(&set, 5, &positions), VirtualDuration::ZERO)];
+        let full = ImageScheduler::new(
+            snap.clone(),
+            ImageConfig::new(Policy::FairShare, 1, ImageStopRule::RunAll),
+            Arc::clone(&image_of),
+        )
+        .serve_trace(&make_trace(), &params)
+        .expect("full");
+        let m = 2usize;
+        let early = ImageScheduler::new(
+            snap.clone(),
+            ImageConfig::new(Policy::FairShare, 1, ImageStopRule::CertifiedTop { m }),
+            Arc::clone(&image_of),
+        )
+        .serve_trace(&make_trace(), &params)
+        .expect("early");
+        let (Some(f), Some(e)) = (full.completions.first(), early.completions.first()) else {
+            panic!("both runs complete");
+        };
+        if e.outcome.descriptors_abandoned > 0 {
+            assert!(e.outcome.certificate, "a certified stop records its proof");
+            assert_eq!(e.outcome.top_images(m), f.outcome.top_images(m));
+        }
+    }
+
+    #[test]
+    fn overloaded_rejects_and_the_run_continues() {
+        let (snap, set) = snapshot("overload", 300, 25);
+        let image_of = rr_map(set.len(), 8);
+        let params = SearchParams::exact(4);
+        let mut config = ImageConfig::new(Policy::FairShare, 1, ImageStopRule::RunAll);
+        config.max_queued = 1;
+        let mut sched = ImageScheduler::new(snap, config, image_of);
+        let s = spec(&set, 0, &[0, 5]);
+        let t0 = VirtualDuration::ZERO;
+        sched.submit(&s, &params, t0).expect("first admitted");
+        sched.submit(&s, &params, t0).expect("second queued");
+        let third = sched.submit(&s, &params, t0);
+        assert!(matches!(third, Err(ServeError::Overloaded { .. })));
+        let report = sched.finish().expect("finish");
+        assert_eq!(report.stats.submitted, 3);
+        assert_eq!(report.stats.rejected, 1);
+        assert_eq!(report.stats.completed, 2);
+    }
+
+    #[test]
+    fn non_monotone_arrivals_are_refused() {
+        let (snap, set) = snapshot("monotone", 200, 25);
+        let image_of = rr_map(set.len(), 8);
+        let params = SearchParams::exact(3);
+        let mut sched = ImageScheduler::new(
+            snap,
+            ImageConfig::new(Policy::FairShare, 2, ImageStopRule::RunAll),
+            image_of,
+        );
+        sched
+            .submit(
+                &spec(&set, 0, &[0]),
+                &params,
+                VirtualDuration::from_secs(1.0),
+            )
+            .expect("submit");
+        let out = sched.submit(
+            &spec(&set, 1, &[1]),
+            &params,
+            VirtualDuration::from_secs(0.5),
+        );
+        assert!(matches!(out, Err(ServeError::NonMonotoneArrival { .. })));
+    }
+
+    #[test]
+    fn sibling_fanout_shares_fetches_under_most_wanted_chunk() {
+        let (snap, set) = snapshot("fanout", 800, 30);
+        let image_of = rr_map(set.len(), 4);
+        let params = SearchParams::exact(8);
+        // Sibling descriptors from one blob: nearly identical interests.
+        let positions: Vec<usize> = (0..8).map(|i| i * 5).collect();
+        let trace = vec![(spec(&set, 1, &positions), VirtualDuration::ZERO)];
+        let run = |policy: Policy| {
+            ImageScheduler::new(
+                snap.clone(),
+                ImageConfig::new(policy, 1, ImageStopRule::RunAll),
+                Arc::clone(&image_of),
+            )
+            .serve_trace(&trace, &params)
+            .expect("serve")
+        };
+        let fair = run(Policy::FairShare);
+        let mwc = run(Policy::MostWantedChunk);
+        assert_eq!(fair.stats.feeds, mwc.stats.feeds, "same per-session work");
+        assert!(
+            mwc.stats.fetches < fair.stats.fetches,
+            "sibling co-scheduling must share reads: mwc {} vs fair {}",
+            mwc.stats.fetches,
+            fair.stats.fetches
+        );
+        assert!(mwc.stats.feeds > mwc.stats.fetches, "some tick fanned out");
+    }
+
+    #[test]
+    fn stats_sums_match_per_image_accounting() {
+        let (snap, set) = snapshot("sums", 500, 30);
+        let image_of = rr_map(set.len(), 12);
+        let params = SearchParams::exact(5);
+        let trace: Vec<(ImageQuerySpec, VirtualDuration)> = (0..5u32)
+            .map(|i| {
+                (
+                    spec(
+                        &set,
+                        i,
+                        &[
+                            (i as usize * 13) % 500,
+                            (i as usize * 29) % 500,
+                            (i as usize * 7) % 500,
+                        ],
+                    ),
+                    VirtualDuration::from_ms(i as f64 * 2.0),
+                )
+            })
+            .collect();
+        let report = ImageScheduler::new(
+            snap,
+            ImageConfig::new(
+                Policy::MostWantedChunk,
+                3,
+                ImageStopRule::StableTop { m: 3, window: 1 },
+            ),
+            image_of,
+        )
+        .serve_trace(&trace, &params)
+        .expect("serve");
+        let mut spent = 0u64;
+        let mut abandoned = 0u64;
+        for c in &report.completions {
+            assert_eq!(
+                c.outcome.descriptors_spent + c.outcome.descriptors_abandoned,
+                c.outcome.descriptors_total,
+                "img{}",
+                c.id
+            );
+            spent += c.outcome.descriptors_spent as u64;
+            abandoned += c.outcome.descriptors_abandoned as u64;
+        }
+        assert_eq!(spent, report.stats.descriptors_spent);
+        assert_eq!(abandoned, report.stats.descriptors_abandoned);
+    }
+}

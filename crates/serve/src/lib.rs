@@ -38,13 +38,26 @@
 //! every completion stays bit-identical to a solo run against its pinned
 //! epoch.
 
+//!
+//! Image-level queries live in [`image`]: an [`ImageScheduler`] runs one
+//! descriptor session per query-set member (sharing most-wanted-chunk
+//! fan-out across sibling descriptors), folds their neighbour sets into a
+//! deterministic per-image vote ranking, and can abandon the remaining
+//! siblings once the top-`m` image ranking is stable or provably final —
+//! the paper's "a fraction of the query points suffices" trade-off lifted
+//! to whole-image queries.
+
 pub mod error;
 pub mod fleet;
+pub mod image;
 pub mod live;
 pub mod scheduler;
 
 pub use error::{Result, ServeError};
 pub use fleet::{FleetConfig, FleetReport, FleetScheduler, LossScope};
+pub use image::{
+    ImageCompletion, ImageConfig, ImageQuerySpec, ImageScheduler, ImageServeReport, ImageServeStats,
+};
 pub use live::{
     merge_timelines, CompactionPolicy, LiveCompletion, LiveEvent, LiveReport, LiveServer, LiveStats,
 };

@@ -1,0 +1,315 @@
+//! The image layer's load-bearing properties:
+//!
+//! 1. a run-to-completion image query through the interleaved
+//!    [`ImageScheduler`] is bit-identical — per-descriptor results *and*
+//!    image vote ranking — to [`solo_image_search`], under ANY policy,
+//!    ANY chunker, ANY per-descriptor stop rule and ANY concurrency;
+//! 2. whenever an early-terminated run's stability certificate holds,
+//!    its top-`m` image prefix agrees with the full run's;
+//! 3. `descriptors_spent + descriptors_abandoned == descriptors_total`,
+//!    always, per query and in the fleet totals.
+
+use eff2_core::chunkers::{ChunkFormer, RoundRobinChunker, SrTreeChunker};
+use eff2_core::image::{solo_image_search, ImageStopRule, ImageVote};
+use eff2_core::index::ChunkIndex;
+use eff2_core::search::{SearchParams, SearchResult, StopRule};
+use eff2_core::snapshot::Snapshot;
+use eff2_descriptor::{Descriptor, DescriptorSet, Vector};
+use eff2_serve::{ImageConfig, ImageQuerySpec, ImageScheduler, Policy};
+use eff2_storage::diskmodel::{DiskModel, VirtualDuration};
+use eff2_storage::ChunkStore;
+use eff2_workload::{image_of_map, image_queries};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let unique = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("eff2_img_eq_{tag}_{}_{unique}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+fn lumpy_set(n: usize) -> DescriptorSet {
+    (0..n)
+        .map(|i| {
+            let blob = (i % 5) as f32 * 20.0;
+            let mut v = Vector::splat(blob);
+            v[0] += ((i * 31) % 23) as f32 * 0.3;
+            v[3] -= ((i * 17) % 19) as f32 * 0.2;
+            Descriptor::new(i as u32, v)
+        })
+        .collect()
+}
+
+fn build_snapshot(tag: &str, set: &DescriptorSet, former: &dyn ChunkFormer) -> Snapshot {
+    let formation = former.form(set);
+    let store =
+        ChunkStore::create(&tmp_dir(tag), "ix", set, &formation.chunks, 512).expect("create");
+    ChunkIndex::from_store(store, DiskModel::ata_2005()).snapshot()
+}
+
+fn arb_former() -> impl Strategy<Value = Box<dyn ChunkFormer>> {
+    prop_oneof![
+        (15usize..50)
+            .prop_map(|leaf| Box::new(SrTreeChunker { leaf_size: leaf }) as Box<dyn ChunkFormer>),
+        (2usize..12)
+            .prop_map(|n| Box::new(RoundRobinChunker { n_chunks: n }) as Box<dyn ChunkFormer>),
+    ]
+}
+
+fn arb_policy() -> impl Strategy<Value = Policy> {
+    prop_oneof![
+        Just(Policy::FairShare),
+        Just(Policy::EarliestDeadline),
+        Just(Policy::MostWantedChunk),
+    ]
+}
+
+fn arb_stop() -> impl Strategy<Value = StopRule> {
+    prop_oneof![
+        (1usize..8).prop_map(StopRule::Chunks),
+        (0.01f64..0.15).prop_map(|s| StopRule::VirtualTime(VirtualDuration::from_secs(s))),
+        Just(StopRule::ToCompletion),
+        (0.0f32..1.0).prop_map(StopRule::ToCompletionEps),
+    ]
+}
+
+fn arb_image_stop() -> impl Strategy<Value = ImageStopRule> {
+    prop_oneof![
+        ((1usize..6), (1usize..4)).prop_map(|(m, window)| ImageStopRule::StableTop { m, window }),
+        (1usize..6).prop_map(|m| ImageStopRule::CertifiedTop { m }),
+    ]
+}
+
+fn assert_same_ranking(want: &[ImageVote], got: &[ImageVote], tag: &str) {
+    assert_eq!(want.len(), got.len(), "{tag}: ranking length");
+    for (w, g) in want.iter().zip(got.iter()) {
+        assert_eq!(w.image, g.image, "{tag}: image");
+        assert_eq!(w.votes, g.votes, "{tag}: votes");
+        assert_eq!(
+            w.best_dist.to_bits(),
+            g.best_dist.to_bits(),
+            "{tag}: best_dist"
+        );
+    }
+}
+
+fn assert_bit_identical(want: &SearchResult, got: &SearchResult, tag: &str) {
+    assert_eq!(want.neighbors.len(), got.neighbors.len(), "{tag}: k");
+    for (w, g) in want.neighbors.iter().zip(got.neighbors.iter()) {
+        assert_eq!(w.id, g.id, "{tag}: neighbor id");
+        assert_eq!(w.dist.to_bits(), g.dist.to_bits(), "{tag}: neighbor dist");
+    }
+    assert_eq!(
+        want.log.chunks_read, got.log.chunks_read,
+        "{tag}: chunks_read"
+    );
+    assert_eq!(
+        want.log.total_virtual.as_secs().to_bits(),
+        got.log.total_virtual.as_secs().to_bits(),
+        "{tag}: per-descriptor virtual clock"
+    );
+    assert_eq!(want.log.completed, got.log.completed, "{tag}: completed");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Property 1: run-to-completion interleaved image queries are
+    /// bit-identical to the solo reference — per descriptor and in the
+    /// aggregated vote ranking — across policies × chunkers ×
+    /// per-descriptor stop rules × concurrency levels.
+    #[test]
+    fn interleaved_image_queries_equal_solo(
+        (former, policy, stop) in (arb_former(), arb_policy(), arb_stop()),
+        (n, n_images, n_queries) in (150usize..400, 6usize..20, 1usize..5),
+        (per_query, max_active, k) in (1usize..7, 1usize..4, 1usize..8),
+        (gap_ms, seed) in (0.0f64..10.0, 0u64..1000),
+    ) {
+        let set = lumpy_set(n);
+        let snap = build_snapshot("solo", &set, former.as_ref());
+        let image_of = Arc::new(image_of_map(set.len(), n_images, 0.8, seed));
+        let queries = image_queries(&set, &image_of, n_queries, per_query, seed ^ 0x5eed);
+        let params = SearchParams { k, stop, prefetch_depth: 2, log_snapshots: false };
+
+        let solo: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                solo_image_search(&snap, q.image, &q.descriptors, &params, &image_of)
+                    .expect("solo")
+            })
+            .collect();
+
+        let mut config = ImageConfig::new(policy, max_active, ImageStopRule::RunAll);
+        config.max_queued = queries.len();
+        config.keep_descriptor_results = true;
+        let trace: Vec<(ImageQuerySpec, VirtualDuration)> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                (
+                    ImageQuerySpec { label: q.image, descriptors: q.descriptors.clone() },
+                    VirtualDuration::from_ms(gap_ms * i as f64),
+                )
+            })
+            .collect();
+        let report = ImageScheduler::new(snap.clone(), config, Arc::clone(&image_of))
+            .serve_trace(&trace, &params)
+            .expect("serve");
+        prop_assert_eq!(report.stats.rejected, 0u64);
+        prop_assert_eq!(report.completions.len(), queries.len());
+
+        for c in &report.completions {
+            let (want_outcome, want_results) = solo.get(c.id as usize).expect("id");
+            let tag = format!("{}/act{max_active}/img{}", policy.name(), c.id);
+            assert_same_ranking(&want_outcome.ranking, &c.outcome.ranking, &tag);
+            prop_assert_eq!(c.outcome.descriptors_abandoned, 0);
+            prop_assert_eq!(c.outcome.descriptors_spent, want_outcome.descriptors_spent);
+            prop_assert!(c.outcome.certificate, "no-abandonment runs self-certify");
+            prop_assert_eq!(c.outcome.fidelity, want_outcome.fidelity);
+            let results = c.descriptor_results.as_ref().expect("kept");
+            prop_assert_eq!(results.len(), want_results.len());
+            for (d, (got, want)) in results.iter().zip(want_results.iter()).enumerate() {
+                let got = got.as_ref().expect("no descriptor was abandoned");
+                assert_bit_identical(want, got, &format!("{tag}/d{d}"));
+            }
+        }
+    }
+
+    /// Properties 2 + 3: under an early-termination rule, accounting is
+    /// exact (spent + abandoned == total, per query and in the fleet
+    /// totals), and whenever the stability certificate holds the top-`m`
+    /// prefix agrees with the full (solo) run's.
+    #[test]
+    fn early_termination_certificate_and_accounting(
+        (former, policy, image_stop) in (arb_former(), arb_policy(), arb_image_stop()),
+        (n, n_images, n_queries) in (150usize..400, 4usize..16, 1usize..5),
+        (per_query, max_active, k) in (2usize..10, 1usize..4, 1usize..8),
+        seed in 0u64..1000,
+    ) {
+        let set = lumpy_set(n);
+        let snap = build_snapshot("early", &set, former.as_ref());
+        let image_of = Arc::new(image_of_map(set.len(), n_images, 0.8, seed));
+        let queries = image_queries(&set, &image_of, n_queries, per_query, seed ^ 0xabcd);
+        let params = SearchParams::exact(k);
+
+        let solo: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                solo_image_search(&snap, q.image, &q.descriptors, &params, &image_of)
+                    .expect("solo")
+            })
+            .collect();
+
+        let mut config = ImageConfig::new(policy, max_active, image_stop);
+        config.max_queued = queries.len();
+        let trace: Vec<(ImageQuerySpec, VirtualDuration)> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, q)| {
+                (
+                    ImageQuerySpec { label: q.image, descriptors: q.descriptors.clone() },
+                    VirtualDuration::from_ms(i as f64),
+                )
+            })
+            .collect();
+        let report = ImageScheduler::new(snap.clone(), config, Arc::clone(&image_of))
+            .serve_trace(&trace, &params)
+            .expect("serve");
+        prop_assert_eq!(report.completions.len(), queries.len());
+
+        let m = match image_stop {
+            ImageStopRule::StableTop { m, .. } | ImageStopRule::CertifiedTop { m } => m,
+            ImageStopRule::RunAll => unreachable!("strategy never draws RunAll"),
+        };
+        let mut fleet_spent = 0u64;
+        let mut fleet_abandoned = 0u64;
+        for c in &report.completions {
+            // Property 3: exact accounting.
+            prop_assert_eq!(
+                c.outcome.descriptors_spent + c.outcome.descriptors_abandoned,
+                c.outcome.descriptors_total
+            );
+            prop_assert_eq!(c.outcome.descriptors_total, per_query);
+            fleet_spent += c.outcome.descriptors_spent as u64;
+            fleet_abandoned += c.outcome.descriptors_abandoned as u64;
+
+            // Property 2: a held certificate pins the ordered prefix.
+            let (want, _) = solo.get(c.id as usize).expect("id");
+            if c.outcome.certificate {
+                prop_assert_eq!(
+                    c.outcome.top_images(m),
+                    want.top_images(m),
+                    "certified prefix diverged: {} img{}",
+                    image_stop.label(),
+                    c.id
+                );
+            }
+            // A CertifiedTop stop only ever fires on a proof.
+            if matches!(image_stop, ImageStopRule::CertifiedTop { .. })
+                && c.outcome.descriptors_abandoned > 0
+            {
+                prop_assert!(c.outcome.certificate);
+            }
+        }
+        prop_assert_eq!(fleet_spent, report.stats.descriptors_spent);
+        prop_assert_eq!(fleet_abandoned, report.stats.descriptors_abandoned);
+    }
+}
+
+/// The image scheduler is a pure function of (snapshot, config, trace):
+/// replays agree tick for tick, including early-termination decisions.
+#[test]
+fn image_scheduler_replays_are_bit_identical() {
+    let set = lumpy_set(500);
+    let snap = build_snapshot("replay", &set, &SrTreeChunker { leaf_size: 30 });
+    let image_of = Arc::new(image_of_map(set.len(), 12, 1.0, 3));
+    let queries = image_queries(&set, &image_of, 6, 5, 17);
+    let params = SearchParams::exact(6);
+    let trace: Vec<(ImageQuerySpec, VirtualDuration)> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| {
+            (
+                ImageQuerySpec {
+                    label: q.image,
+                    descriptors: q.descriptors.clone(),
+                },
+                VirtualDuration::from_ms(2.0 * i as f64),
+            )
+        })
+        .collect();
+    for policy in Policy::ALL {
+        let run = || {
+            let config = ImageConfig::new(policy, 3, ImageStopRule::StableTop { m: 3, window: 2 });
+            ImageScheduler::new(snap.clone(), config, Arc::clone(&image_of))
+                .serve_trace(&trace, &params)
+                .expect("serve")
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.stats.fetches, b.stats.fetches);
+        assert_eq!(a.stats.feeds, b.stats.feeds);
+        assert_eq!(a.stats.descriptors_spent, b.stats.descriptors_spent);
+        assert_eq!(a.stats.descriptors_abandoned, b.stats.descriptors_abandoned);
+        assert_eq!(
+            a.makespan.as_secs().to_bits(),
+            b.makespan.as_secs().to_bits()
+        );
+        for (x, y) in a.completions.iter().zip(b.completions.iter()) {
+            assert_eq!(x.id, y.id);
+            assert_eq!(x.finish.as_secs().to_bits(), y.finish.as_secs().to_bits());
+            assert_same_ranking(
+                &x.outcome.ranking,
+                &y.outcome.ranking,
+                &format!("replay/{}", policy.name()),
+            );
+            assert_eq!(x.outcome.descriptors_spent, y.outcome.descriptors_spent);
+            assert_eq!(x.outcome.events, y.outcome.events);
+        }
+    }
+}

@@ -166,6 +166,44 @@ mod tests {
     }
 
     #[test]
+    fn zero_gap_is_independent_of_burst_size_and_stays_admissible() {
+        // With a zero gap the burst width is irrelevant — every shape
+        // collapses to one instant — and the trace is still a valid
+        // (non-decreasing) submission order for the schedulers, which
+        // refuse non-monotone arrivals but accept ties.
+        for burst in [1usize, 3, 100] {
+            let t = burst_arrivals(7, burst, 0.0);
+            assert_eq!(t.arrivals, vec![0.0; 7], "burst = {burst}");
+            for w in t.arrivals.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+        }
+        // A partial final burst changes nothing at zero gap either.
+        assert_eq!(burst_arrivals(5, 4, 0.0).arrivals, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn tiny_positive_gap_still_separates_bursts() {
+        // The zero-gap collapse is exact, not a rounding artefact: any
+        // positive gap, however small, keeps bursts at distinct instants.
+        let t = burst_arrivals(4, 2, 1e-9);
+        assert_eq!(t.arrivals, vec![0.0, 0.0, 1e-9, 1e-9]);
+        assert!(t.offered_qps() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst gap")]
+    fn negative_gaps_are_rejected() {
+        burst_arrivals(5, 2, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst gap")]
+    fn non_finite_gaps_are_rejected() {
+        burst_arrivals(5, 2, f64::NAN);
+    }
+
+    #[test]
     fn burst_of_zero_is_clamped() {
         let t = burst_arrivals(3, 0, 1.0);
         assert_eq!(t.arrivals, vec![0.0, 1.0, 2.0]);

@@ -16,10 +16,12 @@
 //! container those experiments iterate over.
 
 pub mod arrivals;
+pub mod image;
 pub mod mutations;
 pub mod skew;
 
 pub use arrivals::{burst_arrivals, poisson_arrivals, ArrivalTrace};
+pub use image::{image_of_map, image_queries, ImageQuery};
 pub use mutations::{skewed_mutation_trace, MutationEvent, MutationOp, MutationTrace};
 pub use skew::zipf_assignments;
 

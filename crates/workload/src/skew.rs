@@ -115,4 +115,54 @@ mod tests {
     fn negative_exponents_are_rejected() {
         zipf_assignments(5, 4, -1.0, 0);
     }
+
+    #[test]
+    fn bucket_counts_decay_monotonically_in_aggregate() {
+        // The empirical distribution should follow the Zipf shape: the
+        // first half of the buckets holds more mass than the second, and
+        // each quarter at least as much as the next (aggregated to damp
+        // sampling noise).
+        let assignments = zipf_assignments(20_000, 32, 1.0, 21);
+        let mut counts = [0usize; 32];
+        for b in assignments {
+            counts[b as usize] += 1;
+        }
+        let quarter = |q: usize| counts[q * 8..(q + 1) * 8].iter().sum::<usize>();
+        let quarters = [quarter(0), quarter(1), quarter(2), quarter(3)];
+        for w in quarters.windows(2) {
+            assert!(
+                w[0] >= w[1],
+                "quarter mass must decay along the bucket order: {quarters:?}"
+            );
+        }
+        assert!(
+            quarters[0] > 2 * quarters[3],
+            "head quarter must dominate the tail quarter: {quarters:?}"
+        );
+    }
+
+    #[test]
+    fn empirical_head_frequency_tracks_the_zipf_weight() {
+        // Bucket 0's expected share under exponent 1 over 16 buckets is
+        // 1 / H_16 ≈ 0.296; the empirical share should land near it.
+        let n = 50_000usize;
+        let assignments = zipf_assignments(n, 16, 1.0, 13);
+        let head = assignments.iter().filter(|&&b| b == 0).count() as f64 / n as f64;
+        let h16: f64 = (1..=16).map(|j| 1.0 / j as f64).sum();
+        let expected = 1.0 / h16;
+        assert!(
+            (head - expected).abs() < 0.02,
+            "head share {head:.3} should be within 0.02 of {expected:.3}"
+        );
+    }
+
+    #[test]
+    fn item_count_does_not_perturb_the_shared_prefix() {
+        // Draws are sequential from one seeded stream: asking for more
+        // items extends the vector without rewriting the prefix — what
+        // lets experiments grow a workload while keeping cached truth.
+        let short = zipf_assignments(100, 8, 0.9, 17);
+        let long = zipf_assignments(400, 8, 0.9, 17);
+        assert_eq!(short.as_slice(), &long[..100]);
+    }
 }

@@ -82,10 +82,26 @@ COMPACT_IMB="$(awk '$1=="sr-tree" && $2=="4.0" && $3 ~ /^every-/ {print $11}' "$
 COMPACTIONS="$(awk '$1=="sr-tree" && $2=="4.0" && $3 ~ /^every-/ {print $6}' "$EXP8_OUT/exp8.txt")"
 rm -rf "$EXP8_OUT"
 
-echo "==> criterion benches (reduced sampling: kernels, batch_search, scheduler, fleet, compaction)"
+echo "==> eval exp9 smoke (tiny-scale image-query sweep)"
+EXP9_OUT="$(mktemp -d)"
+EFF2_SCALE=2500 EFF2_QUERIES=6 cargo run --release -p eff2-eval -- exp9 \
+  --out "$EXP9_OUT" | tee "$EXP9_OUT/exp9.txt"
+grep -q "Run-to-completion cells bit-identical to the solo image reference: yes" "$EXP9_OUT/exp9.txt"
+grep -q "Descriptor accounting exact in every cell: yes" "$EXP9_OUT/exp9.txt"
+grep -q "at <=0.5x the descriptor sessions: yes" "$EXP9_OUT/exp9.txt"
+# Descriptor sessions spent by the full run vs the tightest early-stop rule
+# at 4-way concurrency, plus that rule's relative precision, for the bench
+# artefact below. Early stopping must spend strictly fewer sessions.
+RUNALL_SPENT="$(awk '$1=="run-all" && $2=="4" {print $3}' "$EXP9_OUT/exp9.txt")"
+W1_SPENT="$(awk '$1=="stable-top3-w1" && $2=="4" {print $3}' "$EXP9_OUT/exp9.txt")"
+W1_REL="$(awk '$1=="stable-top3-w1" && $2=="4" {print $7}' "$EXP9_OUT/exp9.txt")"
+test "$W1_SPENT" -lt "$RUNALL_SPENT"
+rm -rf "$EXP9_OUT"
+
+echo "==> criterion benches (reduced sampling: kernels, batch_search, scheduler, fleet, compaction, image_vote)"
 EFF2_BENCH_SCALE=4000 cargo bench -p eff2-bench \
   --bench kernels --bench batch_search --bench scheduler_throughput --bench fleet \
-  --bench compaction -- \
+  --bench compaction --bench image_vote -- \
   --sample-size 10 --warm-up-time 0.5 --measurement-time 1
 
 echo "==> bench_report -> BENCH_7.json"
@@ -103,6 +119,13 @@ cargo run --release -p eff2-bench --bin bench_report -- \
   --kv "exp8_srtree_4x_never_imbalance=$NEVER_IMB" \
   --kv "exp8_srtree_4x_compacting_imbalance=$COMPACT_IMB" \
   --kv "exp8_srtree_4x_compactions=$COMPACTIONS"
+
+echo "==> bench_report -> BENCH_9.json"
+cargo run --release -p eff2-bench --bin bench_report -- \
+  --criterion-dir target/criterion --out BENCH_9.json \
+  --kv "exp9_runall_4active_descriptors_spent=$RUNALL_SPENT" \
+  --kv "exp9_stable_top3_w1_4active_descriptors_spent=$W1_SPENT" \
+  --kv "exp9_stable_top3_w1_4active_rel_precision=$W1_REL"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
